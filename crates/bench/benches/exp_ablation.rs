@@ -1,0 +1,192 @@
+//! A1 / A2 — ablations of Phi design choices called out in DESIGN.md.
+//!
+//! **A1 — context freshness (§2.2.2's trade-off):** the practical design
+//! refreshes shared knowledge only at connection boundaries. We compare
+//! Cubic-Phi policy selection under three context feeds: none (always
+//! default parameters), practical (lookup at flow start), and an ideal
+//! oracle (fresh utilization at every flow start, straight from the
+//! link). The gap practical↔ideal is the price of staleness; the gap
+//! none↔practical is what minimal sharing already buys.
+//!
+//! **A2 — the loss term in the power metric:** the paper extends power
+//! `P = r/d` to `P_l = r(1−l)/d`. Optimizing the plain metric can pick
+//! lossier settings; this ablation reruns the Figure 2b sweep under both
+//! objectives and reports the loss rate of each argmax.
+
+use phi_bench::{banner, pct, scale, write_json};
+use phi_core::harness::{run_repeated, ExperimentSpec, Provisioned};
+use phi_core::hooks::{IdealOracleHook, PracticalHook};
+use phi_core::{
+    provision_cubic, provision_cubic_phi, score, sweep_cubic, Objective, PolicyTable, SweepSpec,
+};
+use phi_sim::time::Dur;
+use phi_tcp::cubic::{Cubic, CubicParams};
+use phi_tcp::report::RunMetrics;
+use phi_workload::OnOffConfig;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct FreshnessRow {
+    feed: String,
+    throughput_mbps: f64,
+    queueing_delay_ms: f64,
+    loss_rate: f64,
+    power: f64,
+}
+
+#[derive(Serialize)]
+struct ObjectiveRow {
+    objective: String,
+    best_init_window: f64,
+    best_init_ssthresh: f64,
+    best_loss_rate: f64,
+    best_queue_ms: f64,
+    best_power_loss_score: f64,
+}
+
+fn main() {
+    let sc = scale();
+
+    // ---------------- A1: context freshness ----------------------------
+    banner("Ablation A1: context freshness (none vs practical vs ideal oracle)");
+    let spec = ExperimentSpec::new(10, OnOffConfig::fig2(), Dur::from_secs(sc.sim_secs), 6006);
+    let base = spec.base_rtt_ms();
+    let policy = PolicyTable::reference();
+
+    let mean = |runs: Vec<phi_core::RunResult>| {
+        RunMetrics::mean_of(&runs.iter().map(|r| r.metrics.clone()).collect::<Vec<_>>())
+    };
+
+    let none = mean(run_repeated(
+        &spec,
+        sc.runs,
+        provision_cubic(CubicParams::default()),
+    ));
+    let practical = mean(run_repeated(
+        &spec,
+        sc.runs,
+        provision_cubic_phi(policy.clone()),
+    ));
+    let ideal = {
+        let policy = policy.clone();
+        mean(run_repeated(&spec, sc.runs, move |ctx| {
+            let policy = policy.clone();
+            let rate = ctx.net.topology.link(ctx.net.bottleneck).rate_bps;
+            let oracle =
+                IdealOracleHook::new(ctx.net.bottleneck, rate, ctx.net.senders.len() as u32);
+            Provisioned {
+                factory: Box::new(move |snap| {
+                    let params = match snap {
+                        Some(s) => policy.params_for(s),
+                        None => CubicParams::default(),
+                    };
+                    Box::new(Cubic::new(params))
+                }),
+                hook: Box::new(oracle),
+            }
+        }))
+    };
+    // A practical arm whose store is *never* updated mid-run would be the
+    // worst case; our practical hook reports at every flow end, so the gap
+    // to the ideal oracle quantifies exactly the §2.2.2 staleness.
+    let _ = PracticalHook::new; // (referenced for the doc trail)
+
+    let mut rows = Vec::new();
+    println!(
+        "{:<26} {:>10} {:>11} {:>9} {:>9}",
+        "context feed", "tput", "queue(ms)", "loss", "P_l"
+    );
+    for (name, m) in [
+        ("none (always defaults)", &none),
+        ("practical (flow-boundary)", &practical),
+        ("ideal (fresh oracle)", &ideal),
+    ] {
+        let p = score(Objective::PowerLoss, m, base);
+        println!(
+            "{:<26} {:>10.2} {:>11.2} {:>9} {:>9.4}",
+            name,
+            m.throughput_mbps,
+            m.queueing_delay_ms,
+            pct(m.loss_rate),
+            p
+        );
+        rows.push(FreshnessRow {
+            feed: name.to_string(),
+            throughput_mbps: m.throughput_mbps,
+            queueing_delay_ms: m.queueing_delay_ms,
+            loss_rate: m.loss_rate,
+            power: p,
+        });
+    }
+    println!(
+        "\nsharing gain (practical/none): {:.2}x; staleness cost (ideal/practical): {:.2}x",
+        rows[1].power / rows[0].power,
+        rows[2].power / rows[1].power
+    );
+    assert!(
+        rows[1].power >= rows[0].power * 0.95,
+        "practical sharing should not lose to no sharing"
+    );
+
+    // ---------------- A2: the loss term in the objective ---------------
+    banner("Ablation A2: optimizing P = r/d vs P_l = r(1-l)/d");
+    // A *shallow* buffer is where the metrics diverge: aggressive settings
+    // then buy throughput with loss rather than with queueing delay, so
+    // the plain power metric cannot see the damage.
+    let mut spec = ExperimentSpec::new(
+        14,
+        OnOffConfig::fig2(),
+        Dur::from_secs(sc.sim_secs),
+        2002, // the Figure 2b workload
+    );
+    spec.dumbbell.buffer_bdp_multiple = 0.25;
+    let grid = if sc.full_grid {
+        SweepSpec::short_flow()
+    } else {
+        SweepSpec::quick()
+    };
+    let mut obj_rows = Vec::new();
+    for (name, obj) in [
+        ("P = r/d", Objective::Power),
+        ("P_l = r(1-l)/d", Objective::PowerLoss),
+    ] {
+        let res = sweep_cubic(&spec, &grid, sc.runs, obj);
+        let best = res.best();
+        // Score both argmaxes on the loss-aware metric for comparability.
+        let pl = score(Objective::PowerLoss, &best.mean, spec.base_rtt_ms());
+        println!(
+            "argmax under {name}: initWnd {}, ssthresh {}, loss {}, queue {:.1} ms, P_l {:.4}",
+            best.params.init_window,
+            best.params.init_ssthresh,
+            pct(best.mean.loss_rate),
+            best.mean.queueing_delay_ms,
+            pl
+        );
+        obj_rows.push(ObjectiveRow {
+            objective: name.to_string(),
+            best_init_window: best.params.init_window,
+            best_init_ssthresh: best.params.init_ssthresh,
+            best_loss_rate: best.mean.loss_rate,
+            best_queue_ms: best.mean.queueing_delay_ms,
+            best_power_loss_score: pl,
+        });
+    }
+    println!(
+        "\nloss of the P-argmax vs P_l-argmax: {} vs {} — the loss term steers \
+         the optimizer away from buffer-filling settings",
+        pct(obj_rows[0].best_loss_rate),
+        pct(obj_rows[1].best_loss_rate)
+    );
+    assert!(
+        obj_rows[1].best_loss_rate <= obj_rows[0].best_loss_rate + 1e-9,
+        "the loss-aware objective must not pick a lossier argmax"
+    );
+    if obj_rows[0].best_loss_rate <= obj_rows[1].best_loss_rate + 1e-9 {
+        println!(
+            "(both objectives picked equally clean settings in this grid — \
+             the loss term is a guard rail, not always binding)"
+        );
+    }
+
+    write_json("ablation", &(rows, obj_rows));
+}

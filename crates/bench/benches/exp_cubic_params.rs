@@ -1,0 +1,83 @@
+//! T1 + T2 — Tables 1 and 2 of the paper.
+//!
+//! Table 1 lists the ns-2 default settings of the three Cubic parameters;
+//! Table 2 the sweep ranges Phi's optimizer explores. This harness prints
+//! both tables from the code that the rest of the suite actually uses, so
+//! any drift between paper constants and implementation is caught here.
+
+use phi_bench::{banner, write_json};
+use phi_core::SweepSpec;
+use phi_tcp::CubicParams;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Out {
+    default_init_ssthresh: f64,
+    default_init_window: f64,
+    default_beta: f64,
+    sweep_init_window: Vec<f64>,
+    sweep_init_ssthresh: Vec<f64>,
+    sweep_beta: Vec<f64>,
+    grid_points: usize,
+}
+
+fn main() {
+    banner("Table 1: Default settings of the TCP Cubic parameters");
+    let d = CubicParams::default();
+    println!("{:<22} {:>24}", "Parameter", "Default Value");
+    println!(
+        "{:<22} {:>24}",
+        "initial_ssthresh",
+        format!("{} segments (arbitrarily large)", d.init_ssthresh)
+    );
+    println!(
+        "{:<22} {:>24}",
+        "windowInit_",
+        format!("{} segments", d.init_window)
+    );
+    println!("{:<22} {:>24}", "beta", format!("{}", d.beta));
+
+    banner("Table 2: Range of parameter sweep in TCP Cubic-Phi");
+    let g = SweepSpec::paper();
+    println!("{:<22} {:<28} {:<10}", "Parameter", "Range", "Increment");
+    println!(
+        "{:<22} {:<28} {:<10}",
+        "initial_ssthresh",
+        format!(
+            "{} - {} segments",
+            g.init_ssthresh.first().unwrap(),
+            g.init_ssthresh.last().unwrap()
+        ),
+        "x 2"
+    );
+    println!(
+        "{:<22} {:<28} {:<10}",
+        "windowInit_",
+        format!(
+            "{} - {} segments",
+            g.init_window.first().unwrap(),
+            g.init_window.last().unwrap()
+        ),
+        "x 2"
+    );
+    println!(
+        "{:<22} {:<28} {:<10}",
+        "beta",
+        format!("{} - {}", g.beta.first().unwrap(), g.beta.last().unwrap()),
+        "+ 0.1"
+    );
+    println!("\ntotal grid points: {}", g.combos().len());
+
+    write_json(
+        "table1_table2",
+        &Out {
+            default_init_ssthresh: d.init_ssthresh,
+            default_init_window: d.init_window,
+            default_beta: d.beta,
+            sweep_init_window: g.init_window.clone(),
+            sweep_init_ssthresh: g.init_ssthresh.clone(),
+            sweep_beta: g.beta.clone(),
+            grid_points: g.combos().len(),
+        },
+    );
+}

@@ -1,0 +1,110 @@
+//! F3 — Figure 3: stability (leave-one-out) analysis.
+//!
+//! "Is the improved performance merely a statistical fluke?" For each of
+//! the n runs of a workload, take the parameter setting that was optimal
+//! for that run alone and evaluate it on the other n − 1 runs. The paper's
+//! finding: the transferred ("common") setting retains almost all of the
+//! gain of each run's own optimum — the optimal settings are stable
+//! properties of the workload, not of the noise.
+
+use phi_bench::{banner, scale, write_json};
+use phi_core::{leave_one_out, sweep_cubic, ExperimentSpec, Objective, SweepSpec};
+use phi_sim::time::Dur;
+use phi_workload::OnOffConfig;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Out {
+    workload: String,
+    rows: Vec<RowOut>,
+    mean_default: f64,
+    mean_transferred: f64,
+    mean_oracle: f64,
+    retained_gain_fraction: f64,
+}
+
+#[derive(Serialize)]
+struct RowOut {
+    run: usize,
+    default_score: f64,
+    transferred_score: f64,
+    oracle_score: f64,
+}
+
+fn main() {
+    let sc = scale();
+    let runs = sc.runs.max(4); // leave-one-out needs several runs
+    let mut outs = Vec::new();
+
+    for (name, senders) in [("low utilization", 4usize), ("high utilization", 12)] {
+        let spec = ExperimentSpec::new(
+            senders,
+            OnOffConfig::fig2(),
+            Dur::from_secs(sc.sim_secs),
+            4100 + senders as u64,
+        );
+        let grid = if sc.full_grid {
+            SweepSpec::short_flow()
+        } else {
+            SweepSpec::quick()
+        };
+        let res = sweep_cubic(&spec, &grid, runs, Objective::PowerLoss);
+        let rows = leave_one_out(&res);
+
+        banner(&format!(
+            "Figure 3: leave-one-out over {runs} runs — {name} ({senders} senders)"
+        ));
+        println!(
+            "{:<6} {:>12} {:>14} {:>12}",
+            "run", "default P_l", "transferred", "oracle"
+        );
+        for r in &rows {
+            println!(
+                "{:<6} {:>12.4} {:>14.4} {:>12.4}",
+                r.run, r.default_score, r.transferred_score, r.oracle_score
+            );
+        }
+        let n = rows.len() as f64;
+        let mean_default = rows.iter().map(|r| r.default_score).sum::<f64>() / n;
+        let mean_transferred = rows.iter().map(|r| r.transferred_score).sum::<f64>() / n;
+        let mean_oracle = rows.iter().map(|r| r.oracle_score).sum::<f64>() / n;
+        // How much of the (oracle − default) gain the transferred setting
+        // keeps — the paper's "almost equal to the gains from the optimal".
+        let retained = if mean_oracle > mean_default {
+            (mean_transferred - mean_default) / (mean_oracle - mean_default)
+        } else {
+            1.0
+        };
+        println!(
+            "\nmeans: default {:.4}, transferred {:.4}, oracle {:.4}",
+            mean_default, mean_transferred, mean_oracle
+        );
+        println!(
+            "transferred setting retains {:.0}% of the oracle gain over default",
+            retained * 100.0
+        );
+        assert!(
+            mean_transferred >= mean_default * 0.95,
+            "transferring one run's optimum should not lose to the default"
+        );
+
+        outs.push(Out {
+            workload: name.to_string(),
+            rows: rows
+                .iter()
+                .map(|r| RowOut {
+                    run: r.run,
+                    default_score: r.default_score,
+                    transferred_score: r.transferred_score,
+                    oracle_score: r.oracle_score,
+                })
+                .collect(),
+            mean_default,
+            mean_transferred,
+            mean_oracle,
+            retained_gain_fraction: retained,
+        });
+    }
+
+    write_json("fig3", &outs);
+}

@@ -1,0 +1,193 @@
+//! F4 — Figure 4: incremental deployment.
+//!
+//! Half the senders ("modified") adopt the parameters that would be
+//! optimal under full cooperation; the other half ("unmodified") keep the
+//! Table 1 defaults. The paper's findings at moderate (~60 %) utilization:
+//!
+//! * modified senders still see better throughput and delay than in the
+//!   all-default world;
+//! * even unmodified senders improve on the power metric (the shared
+//!   queue is shorter), though their queueing delay can be slightly worse
+//!   than the modified senders';
+//! * unmodified senders fill the queue far more (their huge initial
+//!   ssthresh), visible in their loss/retransmit counts.
+
+use phi_bench::{banner, pct, scale, write_json};
+use phi_core::{
+    is_modified, provision_cubic, provision_mixed, run_repeated, score, sweep_cubic,
+    ExperimentSpec, Objective, SweepSpec,
+};
+use phi_sim::time::Dur;
+use phi_tcp::report::RunMetrics;
+use phi_workload::OnOffConfig;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Arm {
+    name: String,
+    throughput_mbps: f64,
+    queueing_delay_ms: f64,
+    loss_rate: f64,
+    mean_rtt_ms: f64,
+    power: f64,
+}
+
+fn arm(name: &str, m: &RunMetrics, base_rtt: f64) -> Arm {
+    Arm {
+        name: name.to_string(),
+        throughput_mbps: m.throughput_mbps,
+        queueing_delay_ms: m.queueing_delay_ms,
+        loss_rate: m.loss_rate,
+        mean_rtt_ms: m.mean_rtt_ms,
+        power: score(Objective::PowerLoss, m, base_rtt),
+    }
+}
+
+fn print_arm(a: &Arm) {
+    println!(
+        "{:<34} {:>10.2} {:>10.2} {:>9} {:>9.1} {:>9.4}",
+        a.name,
+        a.throughput_mbps,
+        a.queueing_delay_ms,
+        pct(a.loss_rate),
+        a.mean_rtt_ms,
+        a.power
+    );
+}
+
+fn main() {
+    let sc = scale();
+    // Moderate utilization — the paper is explicit that the mixed-
+    // deployment benefit exists at ~60% and "diminishes" as utilization
+    // goes higher, so the experiment must sit in that regime: 8 on/off
+    // senders put the default baseline near 60% here.
+    let senders = 8;
+    let spec = ExperimentSpec::new(
+        senders,
+        OnOffConfig::fig2(),
+        Dur::from_secs(sc.sim_secs),
+        777,
+    );
+    let base_rtt = spec.base_rtt_ms();
+
+    banner("Figure 4: incremental deployment (half modified, half default)");
+
+    // Find the full-cooperation optimum first (what modified senders use).
+    let grid = if sc.full_grid {
+        SweepSpec::short_flow()
+    } else {
+        SweepSpec::quick()
+    };
+    let sweep = sweep_cubic(&spec, &grid, sc.runs, Objective::PowerLoss);
+    let tuned = sweep.best().params;
+    println!(
+        "full-cooperation optimum: initWnd {}, ssthresh {}, beta {}\n",
+        tuned.init_window, tuned.init_ssthresh, tuned.beta
+    );
+
+    // Baseline: everyone default.
+    let base_runs = run_repeated(
+        &spec,
+        sc.runs,
+        provision_cubic(phi_tcp::CubicParams::default()),
+    );
+    let all_default = RunMetrics::mean_of(
+        &base_runs
+            .iter()
+            .map(|r| r.metrics.clone())
+            .collect::<Vec<_>>(),
+    );
+
+    // Mixed deployment.
+    let mixed_runs = run_repeated(&spec, sc.runs, provision_mixed(tuned));
+    let modified = RunMetrics::mean_of(
+        &mixed_runs
+            .iter()
+            .map(|r| r.metrics_for(is_modified))
+            .collect::<Vec<_>>(),
+    );
+    let unmodified = RunMetrics::mean_of(
+        &mixed_runs
+            .iter()
+            .map(|r| r.metrics_for(|i| !is_modified(i)))
+            .collect::<Vec<_>>(),
+    );
+
+    // Full deployment for reference.
+    let full_runs = run_repeated(&spec, sc.runs, provision_cubic(tuned));
+    let all_tuned = RunMetrics::mean_of(
+        &full_runs
+            .iter()
+            .map(|r| r.metrics.clone())
+            .collect::<Vec<_>>(),
+    );
+
+    println!(
+        "{:<34} {:>10} {:>10} {:>9} {:>9} {:>9}",
+        "arm", "tput", "queue(ms)", "loss", "rtt(ms)", "P_l"
+    );
+    let arms = vec![
+        arm("all default (baseline)", &all_default, base_rtt),
+        arm("mixed: modified half", &modified, base_rtt),
+        arm("mixed: unmodified half", &unmodified, base_rtt),
+        arm("all modified (full deployment)", &all_tuned, base_rtt),
+    ];
+    for a in &arms {
+        print_arm(a);
+    }
+
+    // Queue-filling asymmetry: retransmits per flow in the mixed world.
+    let mut retx_modified = 0u64;
+    let mut flows_modified = 0u64;
+    let mut retx_unmod = 0u64;
+    let mut flows_unmod = 0u64;
+    for run in &mixed_runs {
+        for (i, reports) in run.per_sender.iter().enumerate() {
+            let retx: u64 = reports.iter().map(|r| r.retransmits).sum();
+            if is_modified(i) {
+                retx_modified += retx;
+                flows_modified += reports.len() as u64;
+            } else {
+                retx_unmod += retx;
+                flows_unmod += reports.len() as u64;
+            }
+        }
+    }
+    println!(
+        "\nflows completed: modified {flows_modified} vs unmodified {flows_unmod}; \
+         retransmits per flow: modified {:.2} vs unmodified {:.2}",
+        retx_modified as f64 / flows_modified.max(1) as f64,
+        retx_unmod as f64 / flows_unmod.max(1) as f64
+    );
+
+    // The paper's qualitative claims (2% tolerance for seed noise; the
+    // paper itself notes the effect shrinks with utilization).
+    assert!(
+        arms[1].power >= arms[0].power * 0.98,
+        "modified senders should not lose to the all-default baseline on P_l: {:.4} vs {:.4}",
+        arms[1].power,
+        arms[0].power,
+    );
+    assert!(
+        arms[3].power > arms[0].power,
+        "full deployment must beat all-default"
+    );
+    assert!(
+        arms[1].mean_rtt_ms < arms[2].mean_rtt_ms,
+        "modified senders should see lower RTT than unmodified ones"
+    );
+    println!(
+        "\nmodified vs all-default: P_l {:.4} vs {:.4} ({:+.0}%)",
+        arms[1].power,
+        arms[0].power,
+        (arms[1].power / arms[0].power - 1.0) * 100.0
+    );
+    println!(
+        "unmodified vs all-default: P_l {:.4} vs {:.4} ({:+.0}%)",
+        arms[2].power,
+        arms[0].power,
+        (arms[2].power / arms[0].power - 1.0) * 100.0
+    );
+
+    write_json("fig4", &arms);
+}

@@ -1,0 +1,144 @@
+//! MB — Criterion micro-benchmarks of the hot paths.
+//!
+//! These measure the implementation itself (not the paper's results):
+//! the simulator's event throughput, the context-server codec, the
+//! quantile sketch, and the whisker-tree lookup — the operations that
+//! bound how large an experiment or how busy a context server can get.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::rc::Rc;
+
+use phi_core::context::{ContextStore, FlowSummary, PathKey, StoreConfig};
+use phi_core::harness::{provision_cubic, run_experiment, ExperimentSpec};
+use phi_core::wire::{encode, Decoder, Message};
+use phi_predict::LogHistogram;
+use phi_remy::{Action, WhiskerTree};
+use phi_sim::time::Dur;
+use phi_tcp::CubicParams;
+use phi_workload::{OnOffConfig, SeedRng};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.bench_function("dumbbell_4x5s_cubic", |b| {
+        b.iter(|| {
+            let spec = ExperimentSpec::new(
+                4,
+                OnOffConfig {
+                    mean_on_bytes: 200_000.0,
+                    mean_off_secs: 0.5,
+                    deterministic: false,
+                },
+                Dur::from_secs(5),
+                42,
+            );
+            let r = run_experiment(&spec, provision_cubic(CubicParams::default()));
+            criterion::black_box(r.events)
+        })
+    });
+    g.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire");
+    let report = Message::Report {
+        path: PathKey(42),
+        summary: FlowSummary {
+            bytes: 1_000_000,
+            duration_ns: 2_000_000_000,
+            mean_rtt_ms: 163.0,
+            min_rtt_ms: 150.0,
+            retransmits: 2,
+            timeouts: 0,
+        },
+    };
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("encode_report", |b| {
+        b.iter(|| criterion::black_box(encode(&report)))
+    });
+    let frame = encode(&report);
+    g.bench_function("decode_report", |b| {
+        b.iter_batched(
+            Decoder::new,
+            |mut d| {
+                d.extend(&frame);
+                criterion::black_box(d.next().expect("decode"))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut g = c.benchmark_group("context_store");
+    g.bench_function("lookup_report_cycle", |b| {
+        let mut store = ContextStore::new(StoreConfig::default());
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1_000_000;
+            store.lookup(PathKey(1), t);
+            store.report(
+                PathKey(1),
+                t + 500_000,
+                &FlowSummary {
+                    bytes: 500_000,
+                    duration_ns: 400_000,
+                    mean_rtt_ms: 160.0,
+                    min_rtt_ms: 150.0,
+                    retransmits: 0,
+                    timeouts: 0,
+                },
+            );
+        })
+    });
+    g.finish();
+}
+
+fn bench_sketch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sketch");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("log_histogram_record", |b| {
+        let mut h = LogHistogram::for_latency_ms();
+        let mut rng = SeedRng::new(7);
+        b.iter(|| h.record(criterion::black_box(rng.range_f64(0.5, 5_000.0))))
+    });
+    g.bench_function("log_histogram_quantile", |b| {
+        let mut h = LogHistogram::for_latency_ms();
+        let mut rng = SeedRng::new(7);
+        for _ in 0..100_000 {
+            h.record(rng.range_f64(0.5, 5_000.0));
+        }
+        b.iter(|| criterion::black_box(h.quantile(0.95)))
+    });
+    g.finish();
+}
+
+fn bench_whiskers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("whisker_tree");
+    let mut tree = WhiskerTree::single(Action::initial());
+    for _ in 0..5 {
+        // Split the first whisker repeatedly to build a 6-rule tree.
+        tree.split(0);
+    }
+    let tree = Rc::new(tree);
+    let mut rng = SeedRng::new(9);
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("lookup_6_rules", |b| {
+        b.iter(|| {
+            let p = [rng.unit(), rng.unit(), rng.unit(), rng.unit()];
+            criterion::black_box(tree.index_of(&p))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_simulator,
+    bench_wire,
+    bench_store,
+    bench_sketch,
+    bench_whiskers
+);
+criterion_main!(benches);

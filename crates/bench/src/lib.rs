@@ -1,0 +1,116 @@
+//! Shared plumbing for the experiment harnesses.
+//!
+//! Every table and figure of the paper has a bench target under
+//! `benches/` (run with `cargo bench`). Each harness prints the paper's
+//! rows/series to stdout and writes a machine-readable JSON record to
+//! `target/phi-results/<name>.json` so EXPERIMENTS.md can cite exact
+//! numbers.
+//!
+//! Budget control: the default configuration finishes the whole suite in
+//! minutes; set `PHI_FULL=1` for the paper-scale grids (Table 2's full
+//! 576-point sweep, n = 8 runs, longer simulations).
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// True when `PHI_FULL=1`: run paper-scale configurations.
+pub fn full_mode() -> bool {
+    std::env::var("PHI_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Experiment scale knobs derived from the mode.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Repetitions per configuration (paper: n = 8).
+    pub runs: usize,
+    /// Simulated seconds per run.
+    pub sim_secs: u64,
+    /// Whether to use the full Table 2 grid.
+    pub full_grid: bool,
+}
+
+/// The scale for the current mode.
+pub fn scale() -> Scale {
+    if full_mode() {
+        Scale {
+            runs: 8,
+            sim_secs: 60,
+            full_grid: true,
+        }
+    } else {
+        Scale {
+            runs: 3,
+            sim_secs: 30,
+            full_grid: false,
+        }
+    }
+}
+
+/// Where JSON results land: `<workspace>/target/phi-results`.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            // Benches run with CWD = the bench crate; anchor at the
+            // workspace root two levels up from this crate's manifest.
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("target")
+        })
+        .join("phi-results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Persist a serializable result set for EXPERIMENTS.md provenance.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    let mut f = std::fs::File::create(&path).expect("create results file");
+    let json = serde_json::to_string_pretty(value).expect("serialize results");
+    f.write_all(json.as_bytes()).expect("write results");
+    println!("\n[results written to {}]", path.display());
+}
+
+/// Print a section header.
+pub fn banner(title: &str) {
+    println!("\n{}", "=".repeat(74));
+    println!("{title}");
+    println!("{}", "=".repeat(74));
+}
+
+/// Format a fraction as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_is_sane_in_both_modes() {
+        let s = scale();
+        assert!(s.runs >= 2 || !s.full_grid);
+        assert!(s.sim_secs >= 10);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.1234), "12.34%");
+        assert_eq!(pct(0.0), "0.00%");
+    }
+
+    #[test]
+    fn write_json_roundtrips() {
+        #[derive(Serialize)]
+        struct T {
+            x: u32,
+        }
+        write_json("selftest", &T { x: 7 });
+        let path = results_dir().join("selftest.json");
+        let back = std::fs::read_to_string(path).unwrap();
+        assert!(back.contains("\"x\": 7"));
+    }
+}

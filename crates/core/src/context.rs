@@ -1,0 +1,480 @@
+//! The shared congestion context and the store that maintains it.
+//!
+//! The paper characterizes the *congestion context* of a path by three
+//! quantities (§2.2.2): bottleneck **utilization** `u`, **queue occupancy**
+//! `q`, and the number of **competing senders** `n`. A per-domain *context
+//! server* maintains these from minimal sender traffic: one **lookup** when
+//! a connection starts and one **report** when it ends.
+//!
+//! [`ContextStore`] is that repository, independent of any transport or
+//! clock source (timestamps are plain nanoseconds so the same store backs
+//! both the in-simulation hooks and the real TCP server):
+//!
+//! * `n` — connections that have looked up but not yet reported;
+//! * `u` — windowed aggregate of reported delivery rates divided by the
+//!   path's capacity (configured, or learned as the largest windowed rate
+//!   ever observed);
+//! * `q` — an EWMA of reported RTT inflation (mean RTT − min RTT), the
+//!   same signal Remy's delay feature uses.
+//!
+//! The estimates are exactly as fresh as connection turnover — that is the
+//! paper's deliberate practicality trade-off, quantified by the
+//! `exp_ablation` bench.
+
+use std::collections::{HashMap, VecDeque};
+
+use phi_tcp::hook::ContextSnapshot;
+use serde::{Deserialize, Serialize};
+
+/// Identifies one network path class (e.g. a destination /24) whose flows
+/// are assumed to share a bottleneck (§2.1's spatio-temporal granularity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PathKey(pub u64);
+
+/// What a sender reports when a connection ends — the wire-level subset of
+/// a `FlowReport`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowSummary {
+    /// Bytes the connection delivered.
+    pub bytes: u64,
+    /// Connection duration, nanoseconds.
+    pub duration_ns: u64,
+    /// Mean RTT over the connection, milliseconds.
+    pub mean_rtt_ms: f64,
+    /// Minimum RTT over the connection, milliseconds.
+    pub min_rtt_ms: f64,
+    /// Segments retransmitted.
+    pub retransmits: u32,
+    /// RTO episodes.
+    pub timeouts: u32,
+}
+
+/// Store configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StoreConfig {
+    /// Sliding window over which delivery rates are aggregated, nanoseconds.
+    pub window_ns: u64,
+    /// Known path capacity in bits/s; `None` learns it as the maximum
+    /// windowed aggregate rate observed.
+    pub capacity_bps: Option<f64>,
+    /// EWMA smoothing for the queue-inflation estimate.
+    pub queue_alpha: f64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            window_ns: 10_000_000_000, // 10 s
+            capacity_bps: None,
+            queue_alpha: 0.3,
+        }
+    }
+}
+
+/// Per-path shared state.
+#[derive(Debug, Clone)]
+struct PathState {
+    /// Connections that looked up but have not reported back.
+    active: u32,
+    /// Recent reports: (end_ns, bytes, duration_ns).
+    recent: VecDeque<(u64, u64, u64)>,
+    /// EWMA of RTT inflation, ms.
+    queue_ms: Option<f64>,
+    /// Smallest RTT ever reported, ms.
+    min_rtt_ms: Option<f64>,
+    /// Learned capacity (max windowed rate), bits/s.
+    learned_capacity: f64,
+    /// Total reports folded in.
+    reports: u64,
+    /// Total lookups served.
+    lookups: u64,
+    /// Windowed loss signal: (retransmits, segments-ish) from reports.
+    retx_ewma: Option<f64>,
+}
+
+impl PathState {
+    fn new() -> Self {
+        PathState {
+            active: 0,
+            recent: VecDeque::new(),
+            queue_ms: None,
+            min_rtt_ms: None,
+            learned_capacity: 0.0,
+            reports: 0,
+            lookups: 0,
+            retx_ewma: None,
+        }
+    }
+
+    /// Aggregate delivery rate over `[now - window, now]`, bits/s.
+    fn windowed_rate(&self, now_ns: u64, window_ns: u64) -> f64 {
+        let horizon = now_ns.saturating_sub(window_ns);
+        let mut bits = 0.0;
+        for &(end, bytes, dur) in &self.recent {
+            if end <= horizon {
+                continue;
+            }
+            let start = end.saturating_sub(dur);
+            let overlap_start = start.max(horizon);
+            let overlap_end = end.min(now_ns);
+            if overlap_end <= overlap_start {
+                continue;
+            }
+            let frac = if dur == 0 {
+                1.0
+            } else {
+                (overlap_end - overlap_start) as f64 / dur as f64
+            };
+            bits += bytes as f64 * 8.0 * frac;
+        }
+        let denom_ns = window_ns.min(now_ns.max(1));
+        bits / (denom_ns as f64 / 1e9)
+    }
+
+    fn prune(&mut self, now_ns: u64, window_ns: u64) {
+        let horizon = now_ns.saturating_sub(window_ns);
+        while let Some(&(end, _, _)) = self.recent.front() {
+            if end <= horizon {
+                self.recent.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// The context server's repository of shared per-path state.
+///
+/// ```
+/// use phi_core::context::{ContextStore, FlowSummary, PathKey, StoreConfig};
+///
+/// let mut store = ContextStore::new(StoreConfig {
+///     window_ns: 10_000_000_000,
+///     capacity_bps: Some(10_000_000.0), // the provider knows its capacity
+///     queue_alpha: 0.3,
+/// });
+/// let path = PathKey(42);
+///
+/// // A connection starts: look up the context (and register as active).
+/// let ctx = store.lookup(path, 1_000_000_000);
+/// assert_eq!(ctx.competing, 0);
+///
+/// // ...it transfers 5 MB in 4 s, then reports back.
+/// store.report(path, 5_000_000_000, &FlowSummary {
+///     bytes: 5_000_000,
+///     duration_ns: 4_000_000_000,
+///     mean_rtt_ms: 170.0,
+///     min_rtt_ms: 150.0,
+///     retransmits: 0,
+///     timeouts: 0,
+/// });
+///
+/// // The next connection sees the shared picture.
+/// let ctx = store.peek(path, 5_000_000_000);
+/// assert!(ctx.utilization > 0.3); // 40 Mbit over a 10 s window on 10 Mbit/s
+/// assert!((ctx.queue_ms - 20.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ContextStore {
+    cfg: StoreConfig,
+    paths: HashMap<PathKey, PathState>,
+}
+
+impl ContextStore {
+    /// An empty store.
+    pub fn new(cfg: StoreConfig) -> Self {
+        ContextStore {
+            cfg,
+            paths: HashMap::new(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &StoreConfig {
+        &self.cfg
+    }
+
+    /// Serve a connection-start lookup: returns the current context for
+    /// `path` and registers one more active sender on it.
+    pub fn lookup(&mut self, path: PathKey, now_ns: u64) -> ContextSnapshot {
+        let snap = self.peek(path, now_ns);
+        let st = self.paths.entry(path).or_insert_with(PathState::new);
+        st.active += 1;
+        st.lookups += 1;
+        snap
+    }
+
+    /// Read the current context without registering a sender (monitoring).
+    pub fn peek(&self, path: PathKey, now_ns: u64) -> ContextSnapshot {
+        let Some(st) = self.paths.get(&path) else {
+            return ContextSnapshot {
+                utilization: 0.0,
+                queue_ms: 0.0,
+                competing: 0,
+            };
+        };
+        let rate = st.windowed_rate(now_ns, self.cfg.window_ns);
+        let capacity = self
+            .cfg
+            .capacity_bps
+            .unwrap_or(st.learned_capacity)
+            .max(1.0);
+        ContextSnapshot {
+            utilization: (rate / capacity).clamp(0.0, 1.0),
+            queue_ms: st.queue_ms.unwrap_or(0.0),
+            competing: st.active,
+        }
+    }
+
+    /// Fold in a connection-end report and release its active slot.
+    pub fn report(&mut self, path: PathKey, now_ns: u64, summary: &FlowSummary) {
+        let window = self.cfg.window_ns;
+        let alpha = self.cfg.queue_alpha;
+        let capacity_cfgd = self.cfg.capacity_bps.is_some();
+        let st = self.paths.entry(path).or_insert_with(PathState::new);
+        st.active = st.active.saturating_sub(1);
+        st.reports += 1;
+        st.recent
+            .push_back((now_ns, summary.bytes, summary.duration_ns));
+        st.prune(now_ns, window);
+
+        // Queue estimate: RTT inflation over the path minimum (§2.2.2 —
+        // "the difference between the current RTT and the minimum RTT would
+        // give an indication of q").
+        if summary.min_rtt_ms > 0.0 {
+            st.min_rtt_ms = Some(match st.min_rtt_ms {
+                None => summary.min_rtt_ms,
+                Some(m) => m.min(summary.min_rtt_ms),
+            });
+        }
+        if let Some(base) = st.min_rtt_ms {
+            if summary.mean_rtt_ms > 0.0 {
+                let inflation = (summary.mean_rtt_ms - base).max(0.0);
+                st.queue_ms = Some(match st.queue_ms {
+                    None => inflation,
+                    Some(q) => q + alpha * (inflation - q),
+                });
+            }
+        }
+
+        // Loss signal.
+        let seg_estimate = (summary.bytes / 1448).max(1) as f64;
+        let retx_frac = f64::from(summary.retransmits) / seg_estimate;
+        st.retx_ewma = Some(match st.retx_ewma {
+            None => retx_frac,
+            Some(r) => r + alpha * (retx_frac - r),
+        });
+
+        if !capacity_cfgd {
+            let rate = st.windowed_rate(now_ns, window);
+            st.learned_capacity = st.learned_capacity.max(rate);
+        }
+    }
+
+    /// Recent retransmission fraction on `path` (loss-rate proxy).
+    pub fn loss_signal(&self, path: PathKey) -> Option<f64> {
+        self.paths.get(&path).and_then(|s| s.retx_ewma)
+    }
+
+    /// Lifetime (lookups, reports) counters for `path`.
+    pub fn traffic_counters(&self, path: PathKey) -> (u64, u64) {
+        self.paths
+            .get(&path)
+            .map(|s| (s.lookups, s.reports))
+            .unwrap_or((0, 0))
+    }
+
+    /// Number of paths with state.
+    pub fn path_count(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// A dashboard snapshot: every known path with its current context,
+    /// sorted by utilization (busiest first).
+    pub fn snapshot(&self, now_ns: u64) -> Vec<(PathKey, ContextSnapshot)> {
+        let mut out: Vec<(PathKey, ContextSnapshot)> = self
+            .paths
+            .keys()
+            .map(|&k| (k, self.peek(k, now_ns)))
+            .collect();
+        out.sort_by(|a, b| {
+            b.1.utilization
+                .total_cmp(&a.1.utilization)
+                .then(a.0.cmp(&b.0))
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: u64 = 1_000_000_000;
+
+    fn summary(bytes: u64, dur_s: f64, mean_rtt: f64, min_rtt: f64) -> FlowSummary {
+        FlowSummary {
+            bytes,
+            duration_ns: (dur_s * 1e9) as u64,
+            mean_rtt_ms: mean_rtt,
+            min_rtt_ms: min_rtt,
+            retransmits: 0,
+            timeouts: 0,
+        }
+    }
+
+    #[test]
+    fn empty_store_returns_zero_context() {
+        let mut s = ContextStore::new(StoreConfig::default());
+        let c = s.lookup(PathKey(1), SEC);
+        assert_eq!(c.utilization, 0.0);
+        assert_eq!(c.queue_ms, 0.0);
+        assert_eq!(c.competing, 0);
+    }
+
+    #[test]
+    fn lookups_count_competing_senders() {
+        let mut s = ContextStore::new(StoreConfig::default());
+        s.lookup(PathKey(1), SEC);
+        s.lookup(PathKey(1), SEC);
+        let c = s.lookup(PathKey(1), SEC);
+        // Two earlier lookups still active.
+        assert_eq!(c.competing, 2);
+        // Reports release slots.
+        s.report(PathKey(1), 2 * SEC, &summary(1_000_000, 1.0, 160.0, 150.0));
+        let c = s.peek(PathKey(1), 2 * SEC);
+        assert_eq!(c.competing, 2); // 3 active - 1 reported
+    }
+
+    #[test]
+    fn utilization_against_configured_capacity() {
+        let mut s = ContextStore::new(StoreConfig {
+            window_ns: 10 * SEC,
+            capacity_bps: Some(10_000_000.0),
+            queue_alpha: 0.3,
+        });
+        // One connection delivered 5_000_000 bytes over the last 4 s
+        // = 40 Mbit over a 10 s window = 4 Mbit/s = 40% of 10 Mbit/s.
+        s.lookup(PathKey(7), 6 * SEC);
+        s.report(PathKey(7), 10 * SEC, &summary(5_000_000, 4.0, 160.0, 150.0));
+        let c = s.peek(PathKey(7), 10 * SEC);
+        assert!((c.utilization - 0.4).abs() < 0.01, "u = {}", c.utilization);
+    }
+
+    #[test]
+    fn old_reports_age_out() {
+        let mut s = ContextStore::new(StoreConfig {
+            window_ns: 10 * SEC,
+            capacity_bps: Some(10_000_000.0),
+            queue_alpha: 0.3,
+        });
+        s.report(PathKey(1), 10 * SEC, &summary(5_000_000, 4.0, 160.0, 150.0));
+        assert!(s.peek(PathKey(1), 10 * SEC).utilization > 0.3);
+        // 30 s later the report is outside the window.
+        assert_eq!(s.peek(PathKey(1), 40 * SEC).utilization, 0.0);
+    }
+
+    #[test]
+    fn partial_window_overlap_prorates() {
+        let mut s = ContextStore::new(StoreConfig {
+            window_ns: 10 * SEC,
+            capacity_bps: Some(8_000_000.0),
+            queue_alpha: 0.3,
+        });
+        // Connection ran 0..20 s, delivering 20 Mbytes (8 Mbit/s).
+        // At t=20 s, only 10 s of it overlaps a 10 s window: rate = 8 Mbit/s.
+        s.report(
+            PathKey(1),
+            20 * SEC,
+            &summary(20_000_000, 20.0, 160.0, 150.0),
+        );
+        let c = s.peek(PathKey(1), 20 * SEC);
+        assert!((c.utilization - 1.0).abs() < 0.01, "u = {}", c.utilization);
+    }
+
+    #[test]
+    fn queue_estimate_is_rtt_inflation_ewma() {
+        let mut s = ContextStore::new(StoreConfig::default());
+        let p = PathKey(2);
+        s.report(p, SEC, &summary(1_000_000, 1.0, 170.0, 150.0)); // inflation 20
+        let c = s.peek(p, SEC);
+        assert!((c.queue_ms - 20.0).abs() < 1e-9);
+        s.report(p, 2 * SEC, &summary(1_000_000, 1.0, 190.0, 150.0)); // inflation 40
+        let c = s.peek(p, 2 * SEC);
+        // EWMA(0.3): 20 + 0.3*(40-20) = 26.
+        assert!((c.queue_ms - 26.0).abs() < 1e-9, "q = {}", c.queue_ms);
+    }
+
+    #[test]
+    fn min_rtt_is_global_min_across_reports() {
+        let mut s = ContextStore::new(StoreConfig::default());
+        let p = PathKey(3);
+        s.report(p, SEC, &summary(1_000, 0.1, 200.0, 180.0));
+        s.report(p, 2 * SEC, &summary(1_000, 0.1, 200.0, 150.0));
+        // Third report's inflation is measured against min 150.
+        s.report(p, 3 * SEC, &summary(1_000, 0.1, 165.0, 160.0));
+        let c = s.peek(p, 3 * SEC);
+        assert!(c.queue_ms > 0.0);
+    }
+
+    #[test]
+    fn capacity_learned_from_peak_rate() {
+        let mut s = ContextStore::new(StoreConfig {
+            window_ns: 10 * SEC,
+            capacity_bps: None,
+            queue_alpha: 0.3,
+        });
+        let p = PathKey(4);
+        // Peak epoch: 12.5 Mbyte in the window = 10 Mbit/s.
+        s.report(p, 10 * SEC, &summary(12_500_000, 10.0, 160.0, 150.0));
+        // Quiet epoch much later: 1.25 Mbyte = 1 Mbit/s → u should be ~0.1.
+        s.report(p, 100 * SEC, &summary(1_250_000, 10.0, 160.0, 150.0));
+        let c = s.peek(p, 100 * SEC);
+        assert!(
+            (c.utilization - 0.1).abs() < 0.03,
+            "u = {} (learned capacity should pin to peak)",
+            c.utilization
+        );
+    }
+
+    #[test]
+    fn loss_signal_tracks_retransmit_fraction() {
+        let mut s = ContextStore::new(StoreConfig::default());
+        let p = PathKey(5);
+        assert_eq!(s.loss_signal(p), None);
+        let mut sm = summary(1_448_000, 1.0, 160.0, 150.0); // 1000 segments
+        sm.retransmits = 40;
+        s.report(p, SEC, &sm);
+        let l = s.loss_signal(p).unwrap();
+        assert!((l - 0.04).abs() < 1e-9, "loss {l}");
+    }
+
+    #[test]
+    fn snapshot_lists_paths_busiest_first() {
+        let mut s = ContextStore::new(StoreConfig {
+            window_ns: 10 * SEC,
+            capacity_bps: Some(10_000_000.0),
+            queue_alpha: 0.3,
+        });
+        s.report(PathKey(1), 10 * SEC, &summary(1_000_000, 4.0, 160.0, 150.0));
+        s.report(PathKey(2), 10 * SEC, &summary(8_000_000, 4.0, 160.0, 150.0));
+        s.lookup(PathKey(3), 10 * SEC);
+        let snap = s.snapshot(10 * SEC);
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[0].0, PathKey(2), "busiest first");
+        assert!(snap[0].1.utilization > snap[1].1.utilization);
+        assert_eq!(snap[2].1.utilization, 0.0);
+    }
+
+    #[test]
+    fn paths_are_independent() {
+        let mut s = ContextStore::new(StoreConfig::default());
+        s.lookup(PathKey(1), SEC);
+        s.report(PathKey(2), SEC, &summary(1_000_000, 1.0, 170.0, 150.0));
+        assert_eq!(s.peek(PathKey(1), SEC).queue_ms, 0.0);
+        assert_eq!(s.peek(PathKey(2), SEC).competing, 0);
+        assert_eq!(s.path_count(), 2);
+        assert_eq!(s.traffic_counters(PathKey(1)), (1, 0));
+        assert_eq!(s.traffic_counters(PathKey(2)), (0, 1));
+    }
+}

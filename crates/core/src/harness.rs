@@ -1,0 +1,470 @@
+//! The experiment harness: dumbbell + senders + receivers → metrics.
+//!
+//! Every congestion experiment in the paper is an instance of the same
+//! shape — N on/off senders over the Figure 1 dumbbell, measured for
+//! throughput (over on-times), bottleneck queueing delay, and loss — so
+//! this module builds that shape once. Callers differ only in how each
+//! sender is *provisioned* (which controller factory and which session
+//! hook), which is exactly the axis the paper varies: default Cubic,
+//! Phi-tuned Cubic, mixed deployments, Remy variants.
+
+use phi_sim::engine::Simulator;
+use phi_sim::queue::{Capacity, Discipline, DropTail, Red};
+use phi_sim::time::{Dur, Time};
+use phi_sim::topology::{dumbbell, Dumbbell, DumbbellSpec};
+use phi_tcp::cubic::{Cubic, CubicParams};
+use phi_tcp::hook::{NoHook, SessionHook};
+use phi_tcp::receiver::TcpReceiver;
+use phi_tcp::report::{FlowReport, RunMetrics};
+use phi_tcp::sender::{CcFactory, SenderConfig, TcpSender};
+use phi_workload::{OnOffConfig, OnOffSource, SeedRng};
+use serde::{Deserialize, Serialize};
+
+use crate::context::{ContextStore, PathKey, StoreConfig};
+use crate::hooks::{shared, PracticalHook, SharedStore};
+use crate::policy::PolicyTable;
+
+/// The path key all senders of one dumbbell share (they all traverse the
+/// single bottleneck, per the §2.1 shared-path assumption).
+pub const DUMBBELL_PATH: PathKey = PathKey(1);
+
+/// Queueing discipline installed on the bottleneck pair (access links
+/// always run drop-tail; hosts never congest them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BottleneckQueue {
+    /// Classic drop-tail FIFO — the paper's (and the Internet's) default.
+    DropTail,
+    /// RED active queue management, for the §3.1 incentives ablation.
+    Red,
+}
+
+/// Everything that defines one experiment run except sender provisioning.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    /// The network.
+    pub dumbbell: DumbbellSpec,
+    /// The on/off workload each sender runs.
+    pub workload: OnOffConfig,
+    /// Simulated duration.
+    pub duration: Dur,
+    /// Root seed; run `i` of an n-run experiment uses `seed + i`.
+    pub seed: u64,
+    /// Duplicate-ACK threshold for all senders.
+    pub dupack_threshold: u32,
+    /// Context-store configuration for Phi-provisioned senders.
+    pub store: StoreConfig,
+    /// Bottleneck queueing discipline.
+    pub queue: BottleneckQueue,
+}
+
+impl ExperimentSpec {
+    /// A spec over the paper dumbbell with `pairs` senders.
+    pub fn new(pairs: usize, workload: OnOffConfig, duration: Dur, seed: u64) -> Self {
+        let dumbbell = DumbbellSpec::paper(pairs);
+        let store = StoreConfig {
+            // The provider knows its own egress capacity.
+            capacity_bps: Some(dumbbell.bottleneck_bps as f64),
+            ..StoreConfig::default()
+        };
+        ExperimentSpec {
+            dumbbell,
+            workload,
+            duration,
+            seed,
+            dupack_threshold: 3,
+            store,
+            queue: BottleneckQueue::DropTail,
+        }
+    }
+
+    /// Base (unloaded) RTT in milliseconds.
+    pub fn base_rtt_ms(&self) -> f64 {
+        self.dumbbell.rtt.as_millis_f64()
+    }
+}
+
+/// Hands a provisioner what it needs to build one sender's controller
+/// factory and hook.
+pub struct ProvisionCtx<'a> {
+    /// Sender index in `0..pairs`.
+    pub index: usize,
+    /// The built network (bottleneck link id, node ids, …).
+    pub net: &'a Dumbbell,
+    /// The run's shared context store.
+    pub store: &'a SharedStore,
+    /// Path key for this sender's traffic.
+    pub path: PathKey,
+}
+
+/// What a provisioner returns for one sender.
+pub struct Provisioned {
+    /// Congestion-controller factory (fed the lookup snapshot, if any).
+    pub factory: CcFactory,
+    /// Session hook (NoHook for unmodified senders).
+    pub hook: Box<dyn SessionHook>,
+}
+
+/// Result of one run.
+pub struct RunResult {
+    /// Aggregate metrics in the paper's units (includes partial reports
+    /// of still-running connections, so long-running workloads measure).
+    pub metrics: RunMetrics,
+    /// Completed-flow reports, per sender.
+    pub per_sender: Vec<Vec<FlowReport>>,
+    /// Partial report of each sender's in-progress connection at the
+    /// deadline, if it had delivered anything.
+    pub partials: Vec<Option<FlowReport>>,
+    /// Base RTT of the topology, ms.
+    pub base_rtt_ms: f64,
+    /// Final state of the run's shared context store.
+    pub store: ContextStore,
+    /// Events the simulator processed (determinism checks, perf metrics).
+    pub events: u64,
+}
+
+impl RunResult {
+    /// Aggregate metrics over the subset of senders selected by `keep`.
+    ///
+    /// Queueing delay, loss, and utilization are shared-network quantities
+    /// and stay as measured; throughput and RTT are recomputed over the
+    /// subset (used to split modified vs unmodified senders in Figure 4).
+    pub fn metrics_for(&self, keep: impl Fn(usize) -> bool) -> RunMetrics {
+        let mut subset: Vec<FlowReport> = self
+            .per_sender
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| keep(*i))
+            .flat_map(|(_, r)| r.iter().cloned())
+            .collect();
+        subset.extend(
+            self.partials
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| keep(*i))
+                .filter_map(|(_, p)| p.clone()),
+        );
+        RunMetrics::from_reports(
+            &subset,
+            self.metrics.queueing_delay_ms,
+            self.metrics.loss_rate,
+            self.metrics.utilization,
+        )
+    }
+}
+
+/// Run one experiment; `provision` is called once per sender.
+pub fn run_experiment(
+    spec: &ExperimentSpec,
+    mut provision: impl FnMut(ProvisionCtx<'_>) -> Provisioned,
+) -> RunResult {
+    let net = dumbbell(&spec.dumbbell);
+    let bottleneck_ids = [net.bottleneck, net.reverse];
+    let queue_kind = spec.queue;
+    let mut sim = Simulator::with_disciplines(net.topology.clone(), move |id, link| {
+        let is_bottleneck = bottleneck_ids.contains(&id);
+        match (queue_kind, is_bottleneck) {
+            (BottleneckQueue::Red, true) => {
+                let pkts = match link.capacity {
+                    Capacity::Packets(p) => p,
+                    Capacity::Bytes(b) => (b / 1500).max(5) as usize,
+                };
+                Box::new(Red::gentle(pkts)) as Box<dyn Discipline>
+            }
+            _ => Box::new(DropTail::new(link.capacity)),
+        }
+    });
+    let store = shared(ContextStore::new(spec.store));
+    let root = SeedRng::new(spec.seed);
+
+    let mut sender_ids = Vec::with_capacity(spec.dumbbell.pairs);
+    for i in 0..spec.dumbbell.pairs {
+        let Provisioned { factory, hook } = provision(ProvisionCtx {
+            index: i,
+            net: &net,
+            store: &store,
+            path: DUMBBELL_PATH,
+        });
+        let mut cfg = SenderConfig::new(net.receivers[i], 80, 10);
+        cfg.dupack_threshold = spec.dupack_threshold;
+        cfg.flow_id_base = (i as u64) << 32;
+        let source = OnOffSource::new(spec.workload, root.fork_indexed("sender", i as u64));
+        let id = sim.add_agent(
+            net.senders[i],
+            10,
+            Box::new(TcpSender::new(cfg, source, factory, hook)),
+        );
+        sim.add_agent(net.receivers[i], 80, Box::new(TcpReceiver::new()));
+        sender_ids.push(id);
+    }
+
+    let deadline = Time::ZERO + spec.duration;
+    sim.run_until(deadline);
+
+    let per_sender: Vec<Vec<FlowReport>> = sender_ids
+        .iter()
+        .map(|&id| {
+            sim.agent_as::<TcpSender>(id)
+                .expect("sender agent")
+                .reports()
+                .to_vec()
+        })
+        .collect();
+    let partials: Vec<Option<FlowReport>> = sender_ids
+        .iter()
+        .map(|&id| {
+            sim.agent_as::<TcpSender>(id)
+                .expect("sender agent")
+                .partial_report(deadline)
+        })
+        .collect();
+
+    let bn = sim.link_stats(net.bottleneck);
+    let elapsed = spec.duration;
+    let mut all: Vec<FlowReport> = per_sender.iter().flatten().cloned().collect();
+    all.extend(partials.iter().filter_map(|p| p.clone()));
+    let metrics = RunMetrics::from_reports(
+        &all,
+        bn.mean_queue_wait() * 1e3,
+        bn.loss_rate(),
+        bn.utilization(elapsed),
+    );
+
+    let store = store.borrow().clone();
+    RunResult {
+        metrics,
+        per_sender,
+        partials,
+        base_rtt_ms: spec.base_rtt_ms(),
+        store,
+        events: sim.events_processed(),
+    }
+}
+
+/// Provision every sender as unmodified Cubic with fixed `params`
+/// (the §2.2.1 "simplified setting": one parameter set for the whole run).
+pub fn provision_cubic(params: CubicParams) -> impl FnMut(ProvisionCtx<'_>) -> Provisioned {
+    move |_| Provisioned {
+        factory: Box::new(move |_| Box::new(Cubic::new(params))),
+        hook: Box::new(NoHook),
+    }
+}
+
+/// Provision every sender as a Phi sender: practical hook (lookup/report
+/// against the run's shared store) and parameters drawn from `policy` at
+/// each connection start (§2.2.2's realization).
+pub fn provision_cubic_phi(policy: PolicyTable) -> impl FnMut(ProvisionCtx<'_>) -> Provisioned {
+    move |ctx| {
+        let policy = policy.clone();
+        Provisioned {
+            factory: Box::new(move |snap| {
+                let params = match snap {
+                    Some(s) => policy.params_for(s),
+                    None => CubicParams::default(),
+                };
+                Box::new(Cubic::new(params))
+            }),
+            hook: Box::new(PracticalHook::new(ctx.store.clone(), ctx.path)),
+        }
+    }
+}
+
+/// Provision a Figure 4 mixed deployment: senders with even index are
+/// "modified" (fixed `tuned` parameters, Phi reporting), odd ones run the
+/// defaults. Returns whether index `i` is modified via [`is_modified`].
+pub fn provision_mixed(tuned: CubicParams) -> impl FnMut(ProvisionCtx<'_>) -> Provisioned {
+    move |ctx| {
+        if is_modified(ctx.index) {
+            Provisioned {
+                factory: Box::new(move |_| Box::new(Cubic::new(tuned))),
+                hook: Box::new(PracticalHook::new(ctx.store.clone(), ctx.path)),
+            }
+        } else {
+            Provisioned {
+                factory: Box::new(|_| Box::new(Cubic::new(CubicParams::default()))),
+                hook: Box::new(NoHook),
+            }
+        }
+    }
+}
+
+/// Mixed-deployment group of sender `i`: true = modified half.
+pub fn is_modified(i: usize) -> bool {
+    i.is_multiple_of(2)
+}
+
+/// Run `n` repetitions (seeds `spec.seed + 0..n`) of the same experiment.
+pub fn run_repeated(
+    spec: &ExperimentSpec,
+    n: usize,
+    mut provision: impl FnMut(ProvisionCtx<'_>) -> Provisioned,
+) -> Vec<RunResult> {
+    (0..n)
+        .map(|i| {
+            let mut s = spec.clone();
+            s.seed = spec.seed + i as u64;
+            run_experiment(&s, &mut provision)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_spec(pairs: usize, mean_on: f64, mean_off: f64, secs: u64) -> ExperimentSpec {
+        let mut spec = ExperimentSpec::new(
+            pairs,
+            OnOffConfig {
+                mean_on_bytes: mean_on,
+                mean_off_secs: mean_off,
+                deterministic: false,
+            },
+            Dur::from_secs(secs),
+            42,
+        );
+        // Smaller topology for faster tests.
+        spec.dumbbell.bottleneck_bps = 10_000_000;
+        spec.dumbbell.rtt = Dur::from_millis(60);
+        spec
+    }
+
+    #[test]
+    fn default_cubic_runs_and_completes_flows() {
+        let spec = quick_spec(4, 300_000.0, 1.0, 20);
+        let r = run_experiment(&spec, provision_cubic(CubicParams::default()));
+        assert!(r.metrics.flows_completed > 10, "{:?}", r.metrics);
+        assert!(r.metrics.throughput_mbps > 0.1);
+        assert!(r.metrics.utilization > 0.05);
+        assert_eq!(r.per_sender.len(), 4);
+        assert!(r.per_sender.iter().all(|v| !v.is_empty()));
+    }
+
+    #[test]
+    fn same_seed_same_result_different_seed_differs() {
+        let spec = quick_spec(3, 200_000.0, 1.0, 15);
+        let a = run_experiment(&spec, provision_cubic(CubicParams::default()));
+        let b = run_experiment(&spec, provision_cubic(CubicParams::default()));
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.metrics.flows_completed, b.metrics.flows_completed);
+        assert_eq!(a.metrics.bytes, b.metrics.bytes);
+
+        let mut spec2 = spec.clone();
+        spec2.seed = 43;
+        let c = run_experiment(&spec2, provision_cubic(CubicParams::default()));
+        assert_ne!(a.events, c.events);
+    }
+
+    #[test]
+    fn phi_senders_populate_the_store() {
+        let spec = quick_spec(4, 300_000.0, 1.0, 20);
+        let r = run_experiment(&spec, provision_cubic_phi(PolicyTable::reference()));
+        let (lookups, reports) = r.store.traffic_counters(DUMBBELL_PATH);
+        assert!(lookups > 0, "no lookups recorded");
+        assert!(reports > 0, "no reports recorded");
+        // Lookups run ahead of reports by at most the in-flight count.
+        assert!(lookups >= reports);
+        let ctx = r.store.peek(DUMBBELL_PATH, spec.duration.as_nanos());
+        assert!(ctx.utilization > 0.0, "store learned nothing");
+    }
+
+    #[test]
+    fn workload_arrivals_independent_of_scheme() {
+        // The whole point of forked RNG streams: changing the congestion
+        // controller must not change which flows arrive (their sizes).
+        let spec = quick_spec(3, 200_000.0, 1.0, 15);
+        let a = run_experiment(&spec, provision_cubic(CubicParams::default()));
+        let b = run_experiment(&spec, provision_cubic(CubicParams::tuned(16.0, 64.0, 0.2)));
+        // Compare the byte-size of the first flow of each sender.
+        for (ra, rb) in a.per_sender.iter().zip(&b.per_sender) {
+            if let (Some(fa), Some(fb)) = (ra.first(), rb.first()) {
+                assert_eq!(fa.bytes, fb.bytes, "workload changed with scheme");
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_subset_splits_groups() {
+        let spec = quick_spec(4, 200_000.0, 1.0, 15);
+        let r = run_experiment(&spec, provision_mixed(CubicParams::tuned(16.0, 64.0, 0.2)));
+        let modified = r.metrics_for(is_modified);
+        let unmodified = r.metrics_for(|i| !is_modified(i));
+        assert_eq!(
+            modified.flows_completed + unmodified.flows_completed,
+            r.metrics.flows_completed
+        );
+        // Shared-network quantities are identical across the split.
+        assert_eq!(modified.queueing_delay_ms, unmodified.queueing_delay_ms);
+        assert_eq!(modified.loss_rate, unmodified.loss_rate);
+    }
+
+    #[test]
+    fn ideal_oracle_lookups_track_live_utilization() {
+        use crate::hooks::IdealOracleHook;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let spec = quick_spec(6, 400_000.0, 0.5, 20);
+        // Record every snapshot the factory receives from the oracle.
+        let seen: Rc<RefCell<Vec<f64>>> = Rc::new(RefCell::new(Vec::new()));
+        let seen_in = seen.clone();
+        let result = run_experiment(&spec, move |ctx| {
+            let rate = ctx.net.topology.link(ctx.net.bottleneck).rate_bps;
+            let oracle =
+                IdealOracleHook::new(ctx.net.bottleneck, rate, ctx.net.senders.len() as u32);
+            let seen = seen_in.clone();
+            Provisioned {
+                factory: Box::new(move |snap| {
+                    if let Some(s) = snap {
+                        seen.borrow_mut().push(s.utilization);
+                    }
+                    Box::new(Cubic::new(CubicParams::default()))
+                }),
+                hook: Box::new(oracle),
+            }
+        });
+        assert!(result.metrics.flows_completed > 10);
+        let snaps = seen.borrow();
+        // Every connection start consulted the oracle...
+        assert!(
+            snaps.len() as u64 >= result.metrics.flows_completed,
+            "{} snapshots for {} flows",
+            snaps.len(),
+            result.metrics.flows_completed
+        );
+        // ...readings are valid fractions...
+        assert!(snaps.iter().all(|u| (0.0..=1.0).contains(u)));
+        // ...and once the network is busy, later lookups see real load
+        // (the live feed, not a frozen zero).
+        let late_max = snaps[snaps.len() / 2..]
+            .iter()
+            .fold(0.0f64, |a, &b| a.max(b));
+        assert!(late_max > 0.1, "oracle never saw load: max {late_max}");
+    }
+
+    #[test]
+    fn red_bottleneck_keeps_queueing_lower_under_load() {
+        // Same heavy workload on drop-tail vs RED: AQM should trade a
+        // little early loss for substantially less standing queue.
+        let mut spec = quick_spec(10, 400_000.0, 0.5, 20);
+        let droptail = run_experiment(&spec, provision_cubic(CubicParams::default()));
+        spec.queue = BottleneckQueue::Red;
+        let red = run_experiment(&spec, provision_cubic(CubicParams::default()));
+        assert!(
+            red.metrics.queueing_delay_ms < droptail.metrics.queueing_delay_ms,
+            "RED queueing {:.1} ms should undercut drop-tail {:.1} ms",
+            red.metrics.queueing_delay_ms,
+            droptail.metrics.queueing_delay_ms
+        );
+        // Both still move real traffic.
+        assert!(red.metrics.throughput_mbps > 0.3);
+    }
+
+    #[test]
+    fn run_repeated_varies_seed() {
+        let spec = quick_spec(2, 150_000.0, 1.0, 10);
+        let runs = run_repeated(&spec, 3, provision_cubic(CubicParams::default()));
+        assert_eq!(runs.len(), 3);
+        // Different seeds → different event counts (with overwhelming odds).
+        assert!(runs.windows(2).any(|w| w[0].events != w[1].events));
+    }
+}

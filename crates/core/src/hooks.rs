@@ -1,0 +1,188 @@
+//! In-simulation session hooks: how senders talk to the shared context.
+//!
+//! Three levels of sharing, matching the paper's evaluation arms:
+//!
+//! * [`phi_tcp::hook::NoHook`] — unmodified senders; no sharing at all.
+//! * [`PracticalHook`] — the §2.2.2 design: one context-store lookup at
+//!   connection start, one report at connection end. The utilization the
+//!   controller sees between those points is *frozen* at lookup time
+//!   (Remy-Phi-practical).
+//! * [`IdealOracleHook`] — the idealized arm: every ACK carries the
+//!   bottleneck's up-to-the-minute rolling utilization straight from the
+//!   simulator (Remy-Phi-ideal / "up-to-the-minute link utilization").
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use phi_sim::engine::Ctx;
+use phi_sim::packet::LinkId;
+use phi_sim::time::Time;
+use phi_tcp::hook::{ContextSnapshot, SessionHook};
+use phi_tcp::report::FlowReport;
+
+use crate::context::{ContextStore, FlowSummary, PathKey};
+
+/// A context store shared by the senders of one simulation (single thread).
+pub type SharedStore = Rc<RefCell<ContextStore>>;
+
+/// Wrap a store for in-simulation sharing.
+pub fn shared(store: ContextStore) -> SharedStore {
+    Rc::new(RefCell::new(store))
+}
+
+/// Convert a transport-level flow report into the wire-level summary a
+/// sender would transmit to the context server.
+pub fn summarize(report: &FlowReport) -> FlowSummary {
+    FlowSummary {
+        bytes: report.bytes,
+        duration_ns: report.duration().as_nanos(),
+        mean_rtt_ms: report.mean_rtt_ms,
+        min_rtt_ms: report.min_rtt.map(|d| d.as_millis_f64()).unwrap_or(0.0),
+        retransmits: report.retransmits.min(u64::from(u32::MAX)) as u32,
+        timeouts: report.timeouts.min(u64::from(u32::MAX)) as u32,
+    }
+}
+
+/// The practical Phi hook: lookup at start, report at end (§2.2.2).
+pub struct PracticalHook {
+    store: SharedStore,
+    path: PathKey,
+    frozen_util: Option<f64>,
+}
+
+impl PracticalHook {
+    /// A hook for one sender on `path`, backed by `store`.
+    pub fn new(store: SharedStore, path: PathKey) -> Self {
+        PracticalHook {
+            store,
+            path,
+            frozen_util: None,
+        }
+    }
+}
+
+impl SessionHook for PracticalHook {
+    fn lookup(&mut self, now: Time, _ctx: &mut Ctx<'_>) -> Option<ContextSnapshot> {
+        let snap = self.store.borrow_mut().lookup(self.path, now.as_nanos());
+        self.frozen_util = Some(snap.utilization);
+        Some(snap)
+    }
+
+    fn report(&mut self, report: &FlowReport, ctx: &mut Ctx<'_>) {
+        self.store
+            .borrow_mut()
+            .report(self.path, ctx.now().as_nanos(), &summarize(report));
+        self.frozen_util = None;
+    }
+
+    fn live_util(&self, _ctx: &Ctx<'_>) -> Option<f64> {
+        // Between lookup and report, knowledge does not refresh: this is
+        // precisely the staleness the practical design accepts.
+        self.frozen_util
+    }
+}
+
+/// The ideal oracle: context read straight off the bottleneck link.
+pub struct IdealOracleHook {
+    bottleneck: LinkId,
+    /// Bottleneck rate (to convert queued bytes into milliseconds).
+    rate_bps: u64,
+    /// Competing-sender hint (the oracle arm doesn't track registrations).
+    competing_hint: u32,
+}
+
+impl IdealOracleHook {
+    /// An oracle reading `bottleneck` (of rate `rate_bps`).
+    pub fn new(bottleneck: LinkId, rate_bps: u64, competing_hint: u32) -> Self {
+        IdealOracleHook {
+            bottleneck,
+            rate_bps,
+            competing_hint,
+        }
+    }
+
+    fn snapshot(&self, ctx: &Ctx<'_>) -> ContextSnapshot {
+        let queued_bytes = ctx.link_queue_bytes(self.bottleneck) as f64;
+        let queue_ms = if self.rate_bps == 0 {
+            0.0
+        } else {
+            queued_bytes * 8.0 / self.rate_bps as f64 * 1e3
+        };
+        ContextSnapshot {
+            utilization: ctx.link_utilization(self.bottleneck),
+            queue_ms,
+            competing: self.competing_hint,
+        }
+    }
+}
+
+impl SessionHook for IdealOracleHook {
+    fn lookup(&mut self, _now: Time, ctx: &mut Ctx<'_>) -> Option<ContextSnapshot> {
+        Some(self.snapshot(ctx))
+    }
+
+    fn live_util(&self, ctx: &Ctx<'_>) -> Option<f64> {
+        Some(ctx.link_utilization(self.bottleneck))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::StoreConfig;
+    use phi_sim::packet::FlowId;
+    use phi_sim::time::Dur;
+
+    #[test]
+    fn summarize_converts_units() {
+        let r = FlowReport {
+            flow: FlowId(1),
+            bytes: 123_456,
+            segments: 86,
+            start: Time::from_secs(1),
+            end: Time::from_secs(3),
+            min_rtt: Some(Dur::from_millis(150)),
+            mean_rtt_ms: 163.5,
+            rtt_samples: 42,
+            retransmits: 3,
+            timeouts: 1,
+            recoveries: 2,
+        };
+        let s = summarize(&r);
+        assert_eq!(s.bytes, 123_456);
+        assert_eq!(s.duration_ns, 2_000_000_000);
+        assert!((s.min_rtt_ms - 150.0).abs() < 1e-9);
+        assert!((s.mean_rtt_ms - 163.5).abs() < 1e-9);
+        assert_eq!(s.retransmits, 3);
+        assert_eq!(s.timeouts, 1);
+    }
+
+    #[test]
+    fn summarize_handles_missing_min_rtt() {
+        let r = FlowReport {
+            flow: FlowId(1),
+            bytes: 10,
+            segments: 1,
+            start: Time::ZERO,
+            end: Time::from_millis(1),
+            min_rtt: None,
+            mean_rtt_ms: 0.0,
+            rtt_samples: 0,
+            retransmits: 0,
+            timeouts: 0,
+            recoveries: 0,
+        };
+        assert_eq!(summarize(&r).min_rtt_ms, 0.0);
+    }
+
+    #[test]
+    fn shared_store_is_shared() {
+        let store = shared(ContextStore::new(StoreConfig::default()));
+        let a = PracticalHook::new(store.clone(), PathKey(1));
+        let b = PracticalHook::new(store.clone(), PathKey(1));
+        // Both hooks point at the same underlying store.
+        store.borrow_mut().lookup(PathKey(1), 1);
+        assert_eq!(store.borrow().traffic_counters(PathKey(1)).0, 1);
+        drop((a, b));
+    }
+}

@@ -1,0 +1,59 @@
+//! # phi-core — the Phi system
+//!
+//! The paper's contribution (*Rethinking Networking for "Five Computers"*,
+//! HotNets '18): **information sharing and coordination across the senders
+//! of a large cloud provider**, realized with minimal overhead — one
+//! context lookup when a connection starts and one report when it ends.
+//!
+//! What lives here:
+//!
+//! * [`context`] — the congestion context (utilization `u`, queue `q`,
+//!   competing senders `n`) and the store that estimates it from sender
+//!   lookups/reports (§2.2.2).
+//! * [`hooks`] — in-simulation session hooks: the practical
+//!   lookup-at-start/report-at-end design, and the idealized live oracle.
+//! * [`policy`] — the shared-knowledge table mapping context →
+//!   recommended Cubic parameters (§2.2.1).
+//! * [`optimizer`] — Table 2 parameter sweeps, the `P_l` objective argmax,
+//!   and the Figure 3 leave-one-out stability analysis.
+//! * [`mod@power`] — network power `P = r/d`, the paper's loss-extended
+//!   `P_l = r(1−l)/d`, and Remy's `log(P)`.
+//! * [`harness`] — the dumbbell experiment runner every figure uses.
+//! * [`priority`] — cross-flow prioritization with a TCP-friendly ensemble
+//!   (§3.3, MulTCP-weighted AIMD).
+//! * [`adapt`] — informed adaptation without cooperation (§3.2): jitter
+//!   buffer sizing and duplicate-ACK threshold tuning from shared data.
+//! * [`privacy`] — additive secret-sharing aggregation, the §3.1 building
+//!   block for a cross-provider "network weather" barometer that reveals
+//!   only the aggregate.
+//! * [`wire`] / [`server`] — a real context server: length-prefixed binary
+//!   protocol, threaded TCP service, blocking client.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapt;
+pub mod context;
+pub mod harness;
+pub mod hooks;
+pub mod optimizer;
+pub mod policy;
+pub mod power;
+pub mod priority;
+pub mod privacy;
+pub mod server;
+pub mod wire;
+
+pub use context::{ContextStore, FlowSummary, PathKey, StoreConfig};
+pub use harness::{
+    is_modified, provision_cubic, provision_cubic_phi, provision_mixed, run_experiment,
+    run_repeated, ExperimentSpec, ProvisionCtx, Provisioned, RunResult, DUMBBELL_PATH,
+};
+pub use hooks::{shared, summarize, IdealOracleHook, PracticalHook, SharedStore};
+pub use optimizer::{
+    leave_one_out, policy_from_sweeps, sweep_cubic, LeaveOneOutRow, SweepOutcome, SweepResult,
+    SweepSpec,
+};
+pub use policy::{PolicyEntry, PolicyTable};
+pub use power::{log_power, power, power_loss, score, Objective};
+pub use server::{sync_store, ContextClient, ContextServer, SyncStore};

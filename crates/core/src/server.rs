@@ -1,0 +1,467 @@
+//! A real context server over TCP, and its blocking client.
+//!
+//! The in-simulation hooks talk to a [`crate::context::ContextStore`]
+//! directly; a production Phi deployment runs one (or a few) context
+//! servers per domain. [`ContextServer`] is that service: a threaded TCP
+//! server speaking the [`crate::wire`] protocol over a store shared with
+//! `parking_lot::RwLock`. It is deliberately runtime-agnostic (std::net +
+//! threads): the request rate is one lookup + one report per *connection*
+//! of the data plane, so a handful of OS threads is ample, and the library
+//! stays free of any async-runtime dependency.
+//!
+//! Lifecycle: [`ContextServer::start`] binds and serves;
+//! [`ContextServer::shutdown`] stops accepting, unblocks handlers via read
+//! timeouts, and joins every thread.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Mutex, RwLock};
+use phi_tcp::hook::ContextSnapshot;
+
+use crate::context::{ContextStore, FlowSummary, PathKey};
+use crate::wire::{encode, DecodeError, Decoder, Message};
+
+/// A thread-safe context store handle, shared by server handlers and any
+/// in-process instrumentation.
+pub type SyncStore = Arc<RwLock<ContextStore>>;
+
+/// Wrap a store for cross-thread sharing.
+pub fn sync_store(store: ContextStore) -> SyncStore {
+    Arc::new(RwLock::new(store))
+}
+
+/// Server-side counters, readable while running.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Lookup requests served.
+    pub lookups: AtomicU64,
+    /// Reports accepted.
+    pub reports: AtomicU64,
+    /// Protocol errors answered.
+    pub protocol_errors: AtomicU64,
+}
+
+/// A running context server.
+pub struct ContextServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    stats: Arc<ServerStats>,
+}
+
+/// How long handler reads block before re-checking the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+impl ContextServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start serving
+    /// requests against `store`. Timestamps handed to the store are
+    /// nanoseconds since server start.
+    pub fn start(addr: impl ToSocketAddrs, store: SyncStore) -> std::io::Result<ContextServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let stats = Arc::new(ServerStats::default());
+        let epoch = Instant::now();
+
+        let accept_thread = {
+            let shutdown = shutdown.clone();
+            let handlers = handlers.clone();
+            let stats = stats.clone();
+            std::thread::Builder::new()
+                .name("phi-ctx-accept".into())
+                .spawn(move || {
+                    while !shutdown.load(Ordering::Acquire) {
+                        match listener.accept() {
+                            Ok((stream, _peer)) => {
+                                stats.connections.fetch_add(1, Ordering::Relaxed);
+                                let shutdown = shutdown.clone();
+                                let store = store.clone();
+                                let stats = stats.clone();
+                                let handle = std::thread::Builder::new()
+                                    .name("phi-ctx-conn".into())
+                                    .spawn(move || {
+                                        handle_connection(stream, store, stats, shutdown, epoch)
+                                    })
+                                    .expect("spawn handler thread");
+                                handlers.lock().push(handle);
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(POLL_INTERVAL);
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                })
+                .expect("spawn accept thread")
+        };
+
+        Ok(ContextServer {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            handlers,
+            stats,
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live server counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Stop accepting, drain handlers, and join all threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let handlers = std::mem::take(&mut *self.handlers.lock());
+        for h in handlers {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ContextServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    store: SyncStore,
+    stats: Arc<ServerStats>,
+    shutdown: Arc<AtomicBool>,
+    epoch: Instant,
+) {
+    let mut stream = stream;
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let mut decoder = Decoder::new();
+    let mut buf = [0u8; 4096];
+
+    while !shutdown.load(Ordering::Acquire) {
+        match stream.read(&mut buf) {
+            Ok(0) => return, // peer closed
+            Ok(n) => decoder.extend(&buf[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+        loop {
+            let now_ns = epoch.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            let reply = match decoder.next() {
+                Ok(Message::Lookup { path }) => {
+                    stats.lookups.fetch_add(1, Ordering::Relaxed);
+                    let snap = store.write().lookup(path, now_ns);
+                    Message::Context(snap)
+                }
+                Ok(Message::Report { path, summary }) => {
+                    stats.reports.fetch_add(1, Ordering::Relaxed);
+                    store.write().report(path, now_ns, &summary);
+                    Message::ReportOk
+                }
+                Ok(Message::Snapshot { limit }) => {
+                    let mut paths = store.read().snapshot(now_ns);
+                    paths.truncate(usize::from(limit).min(crate::wire::MAX_SNAPSHOT_PATHS));
+                    Message::Paths(paths)
+                }
+                Ok(other) => {
+                    stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    Message::Error {
+                        code: 400,
+                        message: format!("unexpected message: {other:?}"),
+                    }
+                }
+                Err(DecodeError::Incomplete) => break,
+                Err(e) => {
+                    stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = stream.write_all(&encode(&Message::Error {
+                        code: 422,
+                        message: e.to_string(),
+                    }));
+                    return; // framing is broken; drop the connection
+                }
+            };
+            if stream.write_all(&encode(&reply)).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+/// Client-side errors.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The server answered with a protocol error frame.
+    Server {
+        /// Error code from the server.
+        code: u16,
+        /// Error detail from the server.
+        message: String,
+    },
+    /// The reply could not be decoded or had the wrong type.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Server { code, message } => write!(f, "server error {code}: {message}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking context-server client: one TCP connection, synchronous
+/// request/response — matching the one-lookup-one-report cadence of the
+/// practical design.
+pub struct ContextClient {
+    stream: TcpStream,
+    decoder: Decoder,
+}
+
+impl ContextClient {
+    /// Connect to a context server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<ContextClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+        Ok(ContextClient {
+            stream,
+            decoder: Decoder::new(),
+        })
+    }
+
+    fn request(&mut self, msg: &Message) -> Result<Message, ClientError> {
+        self.stream.write_all(&encode(msg))?;
+        let mut buf = [0u8; 4096];
+        loop {
+            match self.decoder.next() {
+                Ok(m) => return Ok(m),
+                Err(DecodeError::Incomplete) => {}
+                Err(e) => return Err(ClientError::Protocol(e.to_string())),
+            }
+            let n = self.stream.read(&mut buf)?;
+            if n == 0 {
+                return Err(ClientError::Protocol("server closed connection".into()));
+            }
+            self.decoder.extend(&buf[..n]);
+        }
+    }
+
+    /// Look up the congestion context for `path` (registers this client
+    /// as an active sender on it).
+    pub fn lookup(&mut self, path: PathKey) -> Result<ContextSnapshot, ClientError> {
+        match self.request(&Message::Lookup { path })? {
+            Message::Context(c) => Ok(c),
+            Message::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// The busiest `limit` paths the server knows about (dashboard view).
+    pub fn snapshot(&mut self, limit: u16) -> Result<Vec<(PathKey, ContextSnapshot)>, ClientError> {
+        match self.request(&Message::Snapshot { limit })? {
+            Message::Paths(paths) => Ok(paths),
+            Message::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Report a finished connection on `path`.
+    pub fn report(&mut self, path: PathKey, summary: FlowSummary) -> Result<(), ClientError> {
+        match self.request(&Message::Report { path, summary })? {
+            Message::ReportOk => Ok(()),
+            Message::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::StoreConfig;
+
+    fn start_server() -> (ContextServer, SocketAddr) {
+        let store = sync_store(ContextStore::new(StoreConfig {
+            window_ns: 10_000_000_000,
+            capacity_bps: Some(10_000_000.0),
+            queue_alpha: 0.3,
+        }));
+        let server = ContextServer::start("127.0.0.1:0", store).expect("bind");
+        let addr = server.addr();
+        (server, addr)
+    }
+
+    fn summary(bytes: u64) -> FlowSummary {
+        FlowSummary {
+            bytes,
+            duration_ns: 1_000_000_000,
+            mean_rtt_ms: 170.0,
+            min_rtt_ms: 150.0,
+            retransmits: 2,
+            timeouts: 0,
+        }
+    }
+
+    #[test]
+    fn lookup_report_roundtrip() {
+        let (server, addr) = start_server();
+        let mut client = ContextClient::connect(addr).expect("connect");
+
+        let c0 = client.lookup(PathKey(9)).expect("lookup");
+        assert_eq!(c0.competing, 0);
+        assert_eq!(c0.utilization, 0.0);
+
+        // A second lookup sees the first as competing.
+        let c1 = client.lookup(PathKey(9)).expect("lookup");
+        assert_eq!(c1.competing, 1);
+
+        client
+            .report(PathKey(9), summary(1_000_000))
+            .expect("report");
+        let c2 = client.lookup(PathKey(9)).expect("lookup");
+        // One reported (released), one still active, one new from c1's slot.
+        assert_eq!(c2.competing, 1);
+        assert!(c2.utilization > 0.0, "report should raise utilization");
+        assert!((c2.queue_ms - 20.0).abs() < 1e-9);
+
+        assert_eq!(server.stats().lookups.load(Ordering::Relaxed), 3);
+        assert_eq!(server.stats().reports.load(Ordering::Relaxed), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_share_state() {
+        let (server, addr) = start_server();
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut c = ContextClient::connect(addr).expect("connect");
+                    c.lookup(PathKey(1)).expect("lookup");
+                    c.report(PathKey(1), summary(500_000)).expect("report");
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("client thread");
+        }
+        let mut c = ContextClient::connect(addr).expect("connect");
+        let snap = c.lookup(PathKey(1)).expect("lookup");
+        // All four lookups were released by reports.
+        assert_eq!(snap.competing, 0);
+        assert!(snap.utilization > 0.0);
+        assert_eq!(server.stats().reports.load(Ordering::Relaxed), 4);
+        assert_eq!(server.stats().connections.load(Ordering::Relaxed), 5);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_frame_gets_error_and_disconnect() {
+        let (server, addr) = start_server();
+        let mut raw = TcpStream::connect(addr).expect("connect");
+        raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        // Garbage version byte.
+        raw.write_all(&[0, 0, 0, 2, 77, 1]).unwrap();
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 1024];
+        loop {
+            match raw.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(_) => break,
+            }
+        }
+        let mut d = Decoder::new();
+        d.extend(&buf);
+        match d.next().expect("error frame") {
+            Message::Error { code, .. } => assert_eq!(code, 422),
+            other => panic!("expected error, got {other:?}"),
+        }
+        assert_eq!(server.stats().protocol_errors.load(Ordering::Relaxed), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly_with_open_connections() {
+        let (server, addr) = start_server();
+        let _idle = ContextClient::connect(addr).expect("connect");
+        // Shut down while a client is connected but idle: must not hang.
+        let start = std::time::Instant::now();
+        server.shutdown();
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "shutdown took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn snapshot_returns_busiest_paths_first() {
+        let (server, addr) = start_server();
+        let mut c = ContextClient::connect(addr).expect("connect");
+        c.report(PathKey(1), summary(500_000)).expect("report");
+        c.report(PathKey(2), summary(6_000_000)).expect("report");
+        c.report(PathKey(3), summary(50_000)).expect("report");
+        let top = c.snapshot(2).expect("snapshot");
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, PathKey(2), "busiest first: {top:?}");
+        assert!(top[0].1.utilization >= top[1].1.utilization);
+        let all = c.snapshot(100).expect("snapshot");
+        assert_eq!(all.len(), 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn paths_are_isolated_across_clients() {
+        let (server, addr) = start_server();
+        let mut a = ContextClient::connect(addr).expect("connect");
+        let mut b = ContextClient::connect(addr).expect("connect");
+        a.lookup(PathKey(1)).unwrap();
+        a.report(PathKey(1), summary(2_000_000)).unwrap();
+        let other = b.lookup(PathKey(2)).unwrap();
+        assert_eq!(other.utilization, 0.0);
+        assert_eq!(other.competing, 0);
+        server.shutdown();
+    }
+}

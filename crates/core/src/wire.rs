@@ -1,0 +1,449 @@
+//! The context-server wire protocol.
+//!
+//! A deliberately minimal binary protocol — the whole point of the §2.2.2
+//! design is that the context traffic is tiny (one lookup and one report
+//! per connection), so the protocol is a handful of fixed-layout frames:
+//!
+//! ```text
+//! frame    := u32 length (big-endian, of everything after itself)
+//!             u8 version (= 1)
+//!             u8 type
+//!             payload
+//! LOOKUP   (1): u64 path
+//! CONTEXT  (2): f64 utilization, f64 queue_ms, u32 competing
+//! REPORT   (3): u64 path, u64 bytes, u64 duration_ns,
+//!               f64 mean_rtt_ms, f64 min_rtt_ms, u32 retransmits, u32 timeouts
+//! REPORT_OK(4): empty
+//! ERROR    (5): u16 code, u16 len, utf-8 message
+//! SNAPSHOT (6): u16 limit — dashboard query: the busiest paths
+//! PATHS    (7): u16 count, count x (u64 path, f64 utilization,
+//!               f64 queue_ms, u32 competing)
+//! ```
+//!
+//! Framing follows the length-prefix pattern: the decoder accumulates
+//! bytes and yields complete messages, tolerating any fragmentation the
+//! transport introduces.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use phi_tcp::hook::ContextSnapshot;
+
+use crate::context::{FlowSummary, PathKey};
+
+/// Protocol version this implementation speaks.
+pub const VERSION: u8 = 1;
+
+/// Upper bound on a frame's length field; anything larger is malformed.
+pub const MAX_FRAME: usize = 64 * 1024;
+
+const TYPE_LOOKUP: u8 = 1;
+const TYPE_CONTEXT: u8 = 2;
+const TYPE_REPORT: u8 = 3;
+const TYPE_REPORT_OK: u8 = 4;
+const TYPE_ERROR: u8 = 5;
+const TYPE_SNAPSHOT: u8 = 6;
+const TYPE_PATHS: u8 = 7;
+
+/// Most paths a PATHS reply may carry (bounded by `MAX_FRAME`).
+pub const MAX_SNAPSHOT_PATHS: usize = 1024;
+
+/// A protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Client → server: what's the context for this path?
+    Lookup {
+        /// The path being asked about.
+        path: PathKey,
+    },
+    /// Server → client: the context snapshot.
+    Context(ContextSnapshot),
+    /// Client → server: a finished connection's experience.
+    Report {
+        /// The path the connection used.
+        path: PathKey,
+        /// Its summary.
+        summary: FlowSummary,
+    },
+    /// Server → client: report accepted.
+    ReportOk,
+    /// Either direction: something went wrong.
+    Error {
+        /// Machine-readable code.
+        code: u16,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Client → server: the busiest `limit` paths, please (dashboard).
+    Snapshot {
+        /// Maximum paths to return.
+        limit: u16,
+    },
+    /// Server → client: per-path contexts, busiest first.
+    Paths(Vec<(PathKey, ContextSnapshot)>),
+}
+
+/// Decoding failures. Frame errors are fatal for the connection;
+/// [`DecodeError::Incomplete`] just means "feed me more bytes".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Not enough buffered bytes for a full frame yet.
+    Incomplete,
+    /// The peer speaks a different protocol version.
+    BadVersion(u8),
+    /// Unknown message type.
+    BadType(u8),
+    /// Length field out of bounds or payload malformed.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Incomplete => write!(f, "incomplete frame"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            DecodeError::BadType(t) => write!(f, "unknown message type {t}"),
+            DecodeError::Malformed(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encode a message into a self-contained frame.
+pub fn encode(msg: &Message) -> Bytes {
+    let mut payload = BytesMut::with_capacity(64);
+    payload.put_u8(VERSION);
+    match msg {
+        Message::Lookup { path } => {
+            payload.put_u8(TYPE_LOOKUP);
+            payload.put_u64(path.0);
+        }
+        Message::Context(c) => {
+            payload.put_u8(TYPE_CONTEXT);
+            payload.put_f64(c.utilization);
+            payload.put_f64(c.queue_ms);
+            payload.put_u32(c.competing);
+        }
+        Message::Report { path, summary } => {
+            payload.put_u8(TYPE_REPORT);
+            payload.put_u64(path.0);
+            payload.put_u64(summary.bytes);
+            payload.put_u64(summary.duration_ns);
+            payload.put_f64(summary.mean_rtt_ms);
+            payload.put_f64(summary.min_rtt_ms);
+            payload.put_u32(summary.retransmits);
+            payload.put_u32(summary.timeouts);
+        }
+        Message::ReportOk => {
+            payload.put_u8(TYPE_REPORT_OK);
+        }
+        Message::Snapshot { limit } => {
+            payload.put_u8(TYPE_SNAPSHOT);
+            payload.put_u16(*limit);
+        }
+        Message::Paths(paths) => {
+            payload.put_u8(TYPE_PATHS);
+            let n = paths.len().min(MAX_SNAPSHOT_PATHS);
+            payload.put_u16(n as u16);
+            for (key, ctx) in &paths[..n] {
+                payload.put_u64(key.0);
+                payload.put_f64(ctx.utilization);
+                payload.put_f64(ctx.queue_ms);
+                payload.put_u32(ctx.competing);
+            }
+        }
+        Message::Error { code, message } => {
+            payload.put_u8(TYPE_ERROR);
+            payload.put_u16(*code);
+            // Keep error frames small; 512 bytes of detail is plenty.
+            let len = truncated_utf8_len(message, 512);
+            payload.put_u16(len as u16);
+            payload.put_slice(&message.as_bytes()[..len]);
+        }
+    }
+    let mut frame = BytesMut::with_capacity(4 + payload.len());
+    frame.put_u32(payload.len() as u32);
+    frame.extend_from_slice(&payload);
+    frame.freeze()
+}
+
+/// Longest prefix length ≤ `max` that ends on a UTF-8 boundary.
+fn truncated_utf8_len(s: &str, max: usize) -> usize {
+    if s.len() <= max {
+        return s.len();
+    }
+    let mut end = max;
+    while end > 0 && !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    end
+}
+
+/// Streaming decoder: feed bytes with [`Decoder::extend`], pull messages
+/// with [`Decoder::next`].
+#[derive(Debug, Default)]
+pub struct Decoder {
+    buf: BytesMut,
+}
+
+impl Decoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        Decoder::default()
+    }
+
+    /// Append raw bytes from the transport.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Try to decode the next complete message.
+    #[allow(clippy::should_implement_trait)] // fallible, not an Iterator
+    pub fn next(&mut self) -> Result<Message, DecodeError> {
+        if self.buf.len() < 4 {
+            return Err(DecodeError::Incomplete);
+        }
+        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if !(2..=MAX_FRAME).contains(&len) {
+            return Err(DecodeError::Malformed("length out of bounds"));
+        }
+        if self.buf.len() < 4 + len {
+            return Err(DecodeError::Incomplete);
+        }
+        self.buf.advance(4);
+        let mut payload = self.buf.split_to(len);
+        decode_payload(&mut payload)
+    }
+}
+
+fn decode_payload(p: &mut BytesMut) -> Result<Message, DecodeError> {
+    let version = p.get_u8();
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let ty = p.get_u8();
+    macro_rules! need {
+        ($n:expr) => {
+            if p.remaining() < $n {
+                return Err(DecodeError::Malformed("payload too short"));
+            }
+        };
+    }
+    match ty {
+        TYPE_LOOKUP => {
+            need!(8);
+            Ok(Message::Lookup {
+                path: PathKey(p.get_u64()),
+            })
+        }
+        TYPE_CONTEXT => {
+            need!(20);
+            Ok(Message::Context(ContextSnapshot {
+                utilization: p.get_f64(),
+                queue_ms: p.get_f64(),
+                competing: p.get_u32(),
+            }))
+        }
+        TYPE_REPORT => {
+            need!(48);
+            Ok(Message::Report {
+                path: PathKey(p.get_u64()),
+                summary: FlowSummary {
+                    bytes: p.get_u64(),
+                    duration_ns: p.get_u64(),
+                    mean_rtt_ms: p.get_f64(),
+                    min_rtt_ms: p.get_f64(),
+                    retransmits: p.get_u32(),
+                    timeouts: p.get_u32(),
+                },
+            })
+        }
+        TYPE_REPORT_OK => Ok(Message::ReportOk),
+        TYPE_SNAPSHOT => {
+            need!(2);
+            Ok(Message::Snapshot { limit: p.get_u16() })
+        }
+        TYPE_PATHS => {
+            need!(2);
+            let n = p.get_u16() as usize;
+            if n > MAX_SNAPSHOT_PATHS {
+                return Err(DecodeError::Malformed("too many paths"));
+            }
+            need!(n * 28);
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                out.push((
+                    PathKey(p.get_u64()),
+                    ContextSnapshot {
+                        utilization: p.get_f64(),
+                        queue_ms: p.get_f64(),
+                        competing: p.get_u32(),
+                    },
+                ));
+            }
+            Ok(Message::Paths(out))
+        }
+        TYPE_ERROR => {
+            need!(4);
+            let code = p.get_u16();
+            let len = p.get_u16() as usize;
+            need!(len);
+            let raw = p.split_to(len);
+            let message = String::from_utf8(raw.to_vec())
+                .map_err(|_| DecodeError::Malformed("error message not utf-8"))?;
+            Ok(Message::Error { code, message })
+        }
+        other => Err(DecodeError::BadType(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Message) {
+        let frame = encode(&msg);
+        let mut d = Decoder::new();
+        d.extend(&frame);
+        assert_eq!(d.next().unwrap(), msg);
+        assert_eq!(d.next(), Err(DecodeError::Incomplete));
+        assert_eq!(d.buffered(), 0);
+    }
+
+    #[test]
+    fn all_messages_roundtrip() {
+        roundtrip(Message::Lookup { path: PathKey(42) });
+        roundtrip(Message::Context(ContextSnapshot {
+            utilization: 0.73,
+            queue_ms: 12.25,
+            competing: 17,
+        }));
+        roundtrip(Message::Report {
+            path: PathKey(u64::MAX),
+            summary: FlowSummary {
+                bytes: 123_456_789,
+                duration_ns: 2_500_000_000,
+                mean_rtt_ms: 163.5,
+                min_rtt_ms: 150.0,
+                retransmits: 7,
+                timeouts: 1,
+            },
+        });
+        roundtrip(Message::ReportOk);
+        roundtrip(Message::Snapshot { limit: 10 });
+        roundtrip(Message::Paths(vec![
+            (
+                PathKey(1),
+                ContextSnapshot {
+                    utilization: 0.9,
+                    queue_ms: 40.0,
+                    competing: 12,
+                },
+            ),
+            (
+                PathKey(2),
+                ContextSnapshot {
+                    utilization: 0.1,
+                    queue_ms: 0.5,
+                    competing: 0,
+                },
+            ),
+        ]));
+        roundtrip(Message::Paths(Vec::new()));
+        roundtrip(Message::Error {
+            code: 404,
+            message: "no such path".into(),
+        });
+    }
+
+    #[test]
+    fn decoder_handles_fragmentation() {
+        let frame = encode(&Message::Lookup { path: PathKey(7) });
+        let mut d = Decoder::new();
+        for chunk in frame.chunks(3) {
+            if d.buffered() + chunk.len() < frame.len() {
+                d.extend(chunk);
+                assert_eq!(d.next(), Err(DecodeError::Incomplete));
+            } else {
+                d.extend(chunk);
+            }
+        }
+        assert_eq!(d.next().unwrap(), Message::Lookup { path: PathKey(7) });
+    }
+
+    #[test]
+    fn decoder_handles_pipelined_frames() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&encode(&Message::Lookup { path: PathKey(1) }));
+        stream.extend_from_slice(&encode(&Message::ReportOk));
+        stream.extend_from_slice(&encode(&Message::Lookup { path: PathKey(2) }));
+        let mut d = Decoder::new();
+        d.extend(&stream);
+        assert_eq!(d.next().unwrap(), Message::Lookup { path: PathKey(1) });
+        assert_eq!(d.next().unwrap(), Message::ReportOk);
+        assert_eq!(d.next().unwrap(), Message::Lookup { path: PathKey(2) });
+        assert_eq!(d.next(), Err(DecodeError::Incomplete));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut frame = BytesMut::from(&encode(&Message::ReportOk)[..]);
+        frame[4] = 9; // version byte
+        let mut d = Decoder::new();
+        d.extend(&frame);
+        assert_eq!(d.next(), Err(DecodeError::BadVersion(9)));
+    }
+
+    #[test]
+    fn bad_type_rejected() {
+        let mut frame = BytesMut::from(&encode(&Message::ReportOk)[..]);
+        frame[5] = 99; // type byte
+        let mut d = Decoder::new();
+        d.extend(&frame);
+        assert_eq!(d.next(), Err(DecodeError::BadType(99)));
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut d = Decoder::new();
+        d.extend(&(MAX_FRAME as u32 + 1).to_be_bytes());
+        d.extend(&[VERSION, TYPE_REPORT_OK]);
+        assert_eq!(
+            d.next(),
+            Err(DecodeError::Malformed("length out of bounds"))
+        );
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        // Claim a LOOKUP but supply only 4 of its 8 path bytes.
+        let mut frame = BytesMut::new();
+        frame.put_u32(2 + 4);
+        frame.put_u8(VERSION);
+        frame.put_u8(TYPE_LOOKUP);
+        frame.put_u32(1);
+        let mut d = Decoder::new();
+        d.extend(&frame);
+        assert_eq!(d.next(), Err(DecodeError::Malformed("payload too short")));
+    }
+
+    #[test]
+    fn long_error_messages_truncate_not_panic() {
+        let long = "x".repeat(100_000);
+        let frame = encode(&Message::Error {
+            code: 1,
+            message: long,
+        });
+        // Must still be decodable (truncated to u16::MAX bytes).
+        let mut d = Decoder::new();
+        d.extend(&frame);
+        match d.next().unwrap() {
+            Message::Error { message, .. } => assert_eq!(message.len(), 512),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based invariants of the context store and wire protocol.
+
+use proptest::prelude::*;
+
+use phi_core::context::{ContextStore, FlowSummary, PathKey, StoreConfig};
+use phi_core::wire::{encode, DecodeError, Decoder, Message};
+use phi_tcp::hook::ContextSnapshot;
+
+fn arb_summary() -> impl Strategy<Value = FlowSummary> {
+    (
+        0u64..u64::MAX / 2,
+        0u64..u64::MAX / 2,
+        0.0f64..10_000.0,
+        0.0f64..10_000.0,
+        any::<u32>(),
+        any::<u32>(),
+    )
+        .prop_map(
+            |(bytes, duration_ns, mean_rtt_ms, min_rtt_ms, retransmits, timeouts)| FlowSummary {
+                bytes,
+                duration_ns,
+                mean_rtt_ms,
+                min_rtt_ms,
+                retransmits,
+                timeouts,
+            },
+        )
+}
+
+fn arb_snapshot() -> impl Strategy<Value = ContextSnapshot> {
+    (0.0f64..1.0, 0.0f64..10_000.0, any::<u32>()).prop_map(|(u, q, n)| ContextSnapshot {
+        utilization: u,
+        queue_ms: q,
+        competing: n,
+    })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        any::<u64>().prop_map(|p| Message::Lookup { path: PathKey(p) }),
+        arb_snapshot().prop_map(Message::Context),
+        (any::<u64>(), arb_summary()).prop_map(|(p, summary)| Message::Report {
+            path: PathKey(p),
+            summary,
+        }),
+        Just(Message::ReportOk),
+        (any::<u16>(), "[ -~]{0,300}").prop_map(|(code, message)| Message::Error { code, message }),
+        any::<u16>().prop_map(|limit| Message::Snapshot { limit }),
+        proptest::collection::vec((any::<u64>(), arb_snapshot()), 0..40).prop_map(|entries| {
+            Message::Paths(entries.into_iter().map(|(k, s)| (PathKey(k), s)).collect())
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn wire_roundtrip_any_message(msg in arb_message()) {
+        let frame = encode(&msg);
+        let mut d = Decoder::new();
+        d.extend(&frame);
+        prop_assert_eq!(d.next().unwrap(), msg);
+        prop_assert_eq!(d.next(), Err(DecodeError::Incomplete));
+    }
+
+    #[test]
+    fn wire_roundtrip_survives_any_fragmentation(
+        msgs in proptest::collection::vec(arb_message(), 1..8),
+        chunk in 1usize..17,
+    ) {
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend_from_slice(&encode(m));
+        }
+        let mut d = Decoder::new();
+        let mut decoded = Vec::new();
+        for piece in stream.chunks(chunk) {
+            d.extend(piece);
+            loop {
+                match d.next() {
+                    Ok(m) => decoded.push(m),
+                    Err(DecodeError::Incomplete) => break,
+                    Err(e) => prop_assert!(false, "unexpected error {e}"),
+                }
+            }
+        }
+        prop_assert_eq!(decoded, msgs);
+    }
+
+    /// Arbitrary garbage never panics the decoder: it yields either a
+    /// message, an error, or a request for more bytes.
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut d = Decoder::new();
+        d.extend(&bytes);
+        for _ in 0..64 {
+            match d.next() {
+                Ok(_) => {}
+                Err(DecodeError::Incomplete) => break,
+                Err(_) => break, // connection would be dropped here
+            }
+        }
+    }
+
+    /// Store invariants under arbitrary interleavings of lookups/reports:
+    /// utilization stays in [0,1], competing equals lookups minus reports
+    /// (floored at zero), and time never has to move monotonically.
+    #[test]
+    fn store_invariants_under_interleaving(
+        ops in proptest::collection::vec((any::<bool>(), 0u64..3, 0u64..100_000_000_000, arb_summary()), 1..200),
+    ) {
+        let mut store = ContextStore::new(StoreConfig {
+            window_ns: 10_000_000_000,
+            capacity_bps: Some(10_000_000.0),
+            queue_alpha: 0.3,
+        });
+        let mut balance = [0i64; 3];
+        for (is_lookup, path_idx, now, summary) in ops {
+            let path = PathKey(path_idx);
+            if is_lookup {
+                let snap = store.lookup(path, now);
+                prop_assert!((0.0..=1.0).contains(&snap.utilization));
+                prop_assert!(snap.queue_ms >= 0.0 && snap.queue_ms.is_finite());
+                prop_assert_eq!(i64::from(snap.competing), balance[path_idx as usize].max(0));
+                balance[path_idx as usize] += 1;
+            } else {
+                store.report(path, now, &summary);
+                balance[path_idx as usize] = (balance[path_idx as usize] - 1).max(0);
+            }
+        }
+    }
+}

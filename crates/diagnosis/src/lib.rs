@@ -1,0 +1,28 @@
+//! # phi-diagnosis — problem diagnosis from aggregated telemetry
+//!
+//! §3.4 of the five-computers paper: a cloud service sees its request
+//! stream from *all* clients, affected and unaffected, so it can detect
+//! and localize unreachability events that individual hosts cannot.
+//!
+//! Pipeline: [`series::SlicedSeries`] (request volume per
+//! service × AS × metro slice) → [`model::SeasonalModel`] (robust diurnal
+//! baseline) → [`mod@detect`] (sustained-departure events, Figure 5) →
+//! [`mod@localize`] (which ISP/metro/service is down).
+//!
+//! [`synth`] generates the production-telemetry substitute with
+//! injectable ground-truth outages.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod detect;
+pub mod localize;
+pub mod model;
+pub mod series;
+pub mod synth;
+
+pub use detect::{detect, AnomalyEvent, DetectorConfig};
+pub use localize::{localize, Localization, LocalizerConfig};
+pub use model::SeasonalModel;
+pub use series::{Dimension, SliceKey, SlicedSeries, TimeSeries};
+pub use synth::{generate, Outage, TelemetryConfig};

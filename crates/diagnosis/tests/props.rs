@@ -1,0 +1,49 @@
+//! Property-based invariants of the diagnosis pipeline.
+
+use proptest::prelude::*;
+
+use phi_diagnosis::{detect, DetectorConfig, SeasonalModel, TimeSeries};
+
+proptest! {
+    /// Detection never panics and always returns well-formed, ordered,
+    /// disjoint events inside the series bounds.
+    #[test]
+    fn detect_returns_wellformed_events(
+        bins in proptest::collection::vec(0.0f64..10_000.0, 96..480),
+        period in 8usize..48,
+        z in -6.0f64..-1.0,
+        min_run in 1usize..6,
+    ) {
+        prop_assume!(bins.len() >= 2 * period);
+        let ts = TimeSeries { bin_secs: 300, bins };
+        let model = SeasonalModel::fit(&ts, period, ts.len());
+        let cfg = DetectorConfig { z_threshold: z, min_run, max_gap: 1 };
+        let events = detect(&ts, &model, &cfg);
+        let mut last_end = None;
+        for e in &events {
+            prop_assert!(e.start_bin <= e.end_bin);
+            prop_assert!(e.end_bin < ts.len());
+            prop_assert!(e.duration_bins() >= min_run);
+            prop_assert!((0.0..=1.0).contains(&e.deficit_fraction));
+            prop_assert!(e.mean_z.is_finite());
+            if let Some(le) = last_end {
+                prop_assert!(e.start_bin > le, "events must be ordered and disjoint");
+            }
+            last_end = Some(e.end_bin);
+        }
+    }
+
+    /// The baseline's z-scores are finite for any non-negative series.
+    #[test]
+    fn zscores_always_finite(
+        bins in proptest::collection::vec(0.0f64..1e9, 32..200),
+        period in 4usize..16,
+    ) {
+        prop_assume!(bins.len() >= 2 * period);
+        let ts = TimeSeries { bin_secs: 300, bins };
+        let model = SeasonalModel::fit(&ts, period, ts.len());
+        for z in model.zscores(&ts) {
+            prop_assert!(z.is_finite());
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! # phi-predict — network performance prediction (§3.5)
+//!
+//! A provider-side performance oracle: connection experiences stream into
+//! a per-path database of compact distribution sketches
+//! ([`db::PerfDb`] over [`sketch::LogHistogram`]), and applications ask,
+//! *before* starting a transfer or call, what to expect —
+//! [`predict::predict_download`] for completion-time percentiles and
+//! [`predict::predict_voip`] for an E-model MOS estimate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod db;
+pub mod predict;
+pub mod sketch;
+
+pub use db::{PathId, PathView, PerfDb, PerfObservation};
+pub use predict::{predict_download, predict_voip, DownloadPrediction, VoipPrediction};
+pub use sketch::LogHistogram;

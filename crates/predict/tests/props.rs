@@ -1,0 +1,92 @@
+//! Property-based invariants of the quantile sketch and predictors.
+
+use proptest::prelude::*;
+
+use phi_predict::{predict_download, predict_voip, LogHistogram, PathId, PerfDb, PerfObservation};
+
+proptest! {
+    /// Quantiles of the log histogram stay within the configured relative
+    /// error of the exact quantiles for arbitrary sample sets.
+    #[test]
+    fn sketch_quantile_error_bounded(
+        mut xs in proptest::collection::vec(1.0f64..99_000.0, 10..400),
+        q in 0.0f64..1.0,
+    ) {
+        let mut h = LogHistogram::new(1.0, 100_000.0, 0.05);
+        for &x in &xs {
+            h.record(x);
+        }
+        xs.sort_by(f64::total_cmp);
+        let rank = (q * (xs.len() as f64 - 1.0)).round() as usize;
+        let exact = xs[rank];
+        let got = h.quantile(q).unwrap();
+        prop_assert!(
+            (got - exact).abs() / exact < 0.12,
+            "q={q}: got {got}, exact {exact}"
+        );
+    }
+
+    #[test]
+    fn sketch_quantiles_monotone_in_q(xs in proptest::collection::vec(0.5f64..50_000.0, 1..200)) {
+        let mut h = LogHistogram::for_latency_ms();
+        for &x in &xs {
+            h.record(x);
+        }
+        let mut last = 0.0;
+        for i in 0..=20 {
+            let q = f64::from(i) / 20.0;
+            let v = h.quantile(q).unwrap();
+            prop_assert!(v >= last, "quantiles must be monotone");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn predictions_are_finite_and_ordered(
+        tput in 0.01f64..1000.0,
+        rtt in 1.0f64..2000.0,
+        loss in 0.0f64..0.5,
+        jitter in 0.0f64..500.0,
+        bytes in 1u64..1_000_000_000,
+    ) {
+        let mut db = PerfDb::new(u64::MAX);
+        for _ in 0..20 {
+            db.record(PathId(1), 0, &PerfObservation {
+                throughput_mbps: tput,
+                rtt_ms: rtt,
+                loss,
+                jitter_ms: jitter,
+            });
+        }
+        let view = db.view(PathId(1), 0).unwrap();
+        let d = predict_download(&view, bytes).unwrap();
+        prop_assert!(d.p50_secs.is_finite() && d.p50_secs > 0.0);
+        prop_assert!(d.p95_secs >= d.p50_secs * 0.99);
+        let v = predict_voip(&view).unwrap();
+        prop_assert!((1.0..=4.5).contains(&v.mos));
+        prop_assert!(v.r_factor.is_finite());
+    }
+
+    /// More loss never raises the predicted MOS (all else fixed).
+    #[test]
+    fn voip_mos_monotone_in_loss(
+        rtt in 10.0f64..500.0,
+        loss_lo in 0.0f64..0.2,
+        extra in 0.01f64..0.3,
+    ) {
+        let mk = |loss: f64| {
+            let mut db = PerfDb::new(u64::MAX);
+            for _ in 0..10 {
+                db.record(PathId(1), 0, &PerfObservation {
+                    throughput_mbps: 10.0,
+                    rtt_ms: rtt,
+                    loss,
+                    jitter_ms: 2.0,
+                });
+            }
+            let view = db.view(PathId(1), 0).unwrap();
+            predict_voip(&view).unwrap().mos
+        };
+        prop_assert!(mk(loss_lo + extra) <= mk(loss_lo) + 1e-9);
+    }
+}

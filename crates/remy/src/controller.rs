@@ -1,0 +1,265 @@
+//! The Remy congestion controller: rule-table lookup on every ACK.
+//!
+//! On each ACK the controller updates its [`crate::memory::Memory`], finds
+//! the whisker containing the normalized memory point, and applies its
+//! action: `cwnd ← m·cwnd + b` and pacing gap `r`. Loss produces no direct
+//! window reaction (Remy's learned policy responds through the delay
+//! features instead); a retransmission timeout collapses the window to one
+//! segment, as the transport has genuinely lost its ACK clock.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use phi_sim::time::{Dur, Time};
+use phi_tcp::cc::{AckEvent, CongestionControl, LossEvent};
+
+use crate::memory::{Memory, MemoryBounds, MemoryTracker};
+use crate::whisker::WhiskerTree;
+
+/// Per-whisker usage counts, shared across the connections of a run so the
+/// trainer can see where senders spend their time.
+#[derive(Debug, Default)]
+pub struct UsageTally {
+    counts: RefCell<Vec<u64>>,
+}
+
+impl UsageTally {
+    /// A tally sized for `tree`.
+    pub fn for_tree(tree: &WhiskerTree) -> Rc<UsageTally> {
+        Rc::new(UsageTally {
+            counts: RefCell::new(vec![0; tree.len()]),
+        })
+    }
+
+    fn bump(&self, idx: usize) {
+        let mut c = self.counts.borrow_mut();
+        if idx >= c.len() {
+            c.resize(idx + 1, 0);
+        }
+        c[idx] += 1;
+    }
+
+    /// Snapshot of the counts.
+    pub fn counts(&self) -> Vec<u64> {
+        self.counts.borrow().clone()
+    }
+
+    /// Index of the most-used whisker, if any use was recorded.
+    pub fn most_used(&self) -> Option<usize> {
+        let c = self.counts.borrow();
+        let (idx, &max) = c.iter().enumerate().max_by_key(|(_, &v)| v)?;
+        (max > 0).then_some(idx)
+    }
+}
+
+/// Remy congestion control over a (shared, immutable) whisker tree.
+pub struct RemyCc {
+    tree: Rc<WhiskerTree>,
+    bounds: MemoryBounds,
+    tracker: MemoryTracker,
+    cwnd: f64,
+    intersend: Dur,
+    tally: Option<Rc<UsageTally>>,
+    min_window: f64,
+    max_window: f64,
+}
+
+impl RemyCc {
+    /// A controller over `tree`; `tally` (if given) accumulates whisker
+    /// usage for the trainer.
+    pub fn new(tree: Rc<WhiskerTree>, tally: Option<Rc<UsageTally>>) -> Self {
+        RemyCc {
+            tree,
+            bounds: MemoryBounds::default(),
+            tracker: MemoryTracker::new(),
+            cwnd: 2.0,
+            intersend: Dur::from_millis(1),
+            tally,
+            min_window: 1.0,
+            max_window: 1024.0,
+        }
+    }
+
+    /// The controller's current memory (diagnostics).
+    pub fn memory(&self) -> Memory {
+        self.tracker.memory()
+    }
+}
+
+impl CongestionControl for RemyCc {
+    fn on_flow_start(&mut self, _now: Time) {
+        self.tracker.reset();
+        self.cwnd = 2.0;
+        self.intersend = Dur::from_millis(1);
+    }
+
+    fn window(&self) -> f64 {
+        self.cwnd.max(self.min_window)
+    }
+
+    fn intersend(&self) -> Option<Dur> {
+        Some(self.intersend)
+    }
+
+    fn on_ack(&mut self, ev: &AckEvent) {
+        self.tracker.on_ack(ev);
+        let point = self.tracker.memory().normalized(&self.bounds);
+        let idx = self.tree.index_of(&point);
+        if let Some(t) = &self.tally {
+            t.bump(idx);
+        }
+        let a = self.tree.whiskers()[idx].action;
+        self.cwnd = (a.window_multiple * self.cwnd + a.window_increment)
+            .clamp(self.min_window, self.max_window);
+        self.intersend = Dur::from_secs_f64(a.intersend_ms / 1e3);
+    }
+
+    fn on_loss(&mut self, _ev: &LossEvent) {
+        // Learned policy: no hard-coded reaction; the rtt_ratio and EWMA
+        // features carry the congestion signal.
+    }
+
+    fn on_rto(&mut self, _now: Time) {
+        self.cwnd = self.min_window;
+    }
+
+    fn name(&self) -> &'static str {
+        "remy"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::whisker::Action;
+
+    fn ack(now_ms: u64, util: Option<f64>) -> AckEvent {
+        AckEvent {
+            now: Time::from_millis(now_ms),
+            rtt: Some(Dur::from_millis(160)),
+            min_rtt: Some(Dur::from_millis(150)),
+            newly_acked: 1,
+            sent_at: Time::from_millis(now_ms.saturating_sub(160)),
+            shared_util: util,
+        }
+    }
+
+    #[test]
+    fn action_applies_on_each_ack() {
+        let tree = Rc::new(WhiskerTree::single(Action {
+            window_multiple: 1.0,
+            window_increment: 2.0,
+            intersend_ms: 5.0,
+        }));
+        let mut cc = RemyCc::new(tree, None);
+        cc.on_flow_start(Time::ZERO);
+        assert_eq!(cc.window(), 2.0);
+        cc.on_ack(&ack(100, None));
+        assert_eq!(cc.window(), 4.0);
+        cc.on_ack(&ack(200, None));
+        assert_eq!(cc.window(), 6.0);
+        assert_eq!(cc.intersend(), Some(Dur::from_millis(5)));
+    }
+
+    #[test]
+    fn window_clamped_to_bounds() {
+        let tree = Rc::new(WhiskerTree::single(Action {
+            window_multiple: 0.0,
+            window_increment: -10.0,
+            intersend_ms: 1.0,
+        }));
+        let mut cc = RemyCc::new(tree, None);
+        cc.on_flow_start(Time::ZERO);
+        cc.on_ack(&ack(100, None));
+        assert_eq!(cc.window(), 1.0); // floor
+
+        let tree = Rc::new(WhiskerTree::single(Action {
+            window_multiple: 2.0,
+            window_increment: 20.0,
+            intersend_ms: 1.0,
+        }));
+        let mut cc = RemyCc::new(tree, None);
+        cc.on_flow_start(Time::ZERO);
+        for i in 1..100 {
+            cc.on_ack(&ack(i * 10, None));
+        }
+        assert_eq!(cc.window(), 1024.0); // ceiling
+    }
+
+    #[test]
+    fn util_dimension_can_switch_rules() {
+        // Two-rule tree split on the util dimension: low-util grows the
+        // window, high-util shrinks it — the shape Remy-Phi learns.
+        let mut tree = WhiskerTree::single(Action {
+            window_multiple: 1.0,
+            window_increment: 4.0,
+            intersend_ms: 1.0,
+        });
+        let (_low, high) = tree.split_along(0, 3);
+        tree.set_action(
+            high,
+            Action {
+                window_multiple: 0.5,
+                window_increment: 0.0,
+                intersend_ms: 1.0,
+            },
+        );
+        let tree = Rc::new(tree);
+        let mut quiet = RemyCc::new(tree.clone(), None);
+        let mut busy = RemyCc::new(tree, None);
+        quiet.on_flow_start(Time::ZERO);
+        busy.on_flow_start(Time::ZERO);
+        for i in 1..=5 {
+            quiet.on_ack(&ack(i * 100, Some(0.1)));
+            busy.on_ack(&ack(i * 100, Some(0.9)));
+        }
+        assert!(quiet.window() > busy.window());
+        assert_eq!(busy.window(), 1.0);
+    }
+
+    #[test]
+    fn tally_accumulates_across_controllers() {
+        let tree = Rc::new(WhiskerTree::initial());
+        let tally = UsageTally::for_tree(&tree);
+        let mut a = RemyCc::new(tree.clone(), Some(tally.clone()));
+        let mut b = RemyCc::new(tree.clone(), Some(tally.clone()));
+        a.on_flow_start(Time::ZERO);
+        b.on_flow_start(Time::ZERO);
+        a.on_ack(&ack(100, None));
+        b.on_ack(&ack(100, None));
+        b.on_ack(&ack(200, None));
+        assert_eq!(tally.counts().iter().sum::<u64>(), 3);
+        assert_eq!(tally.most_used(), Some(0));
+    }
+
+    #[test]
+    fn rto_collapses_window_loss_does_not() {
+        let tree = Rc::new(WhiskerTree::single(Action {
+            window_multiple: 1.0,
+            window_increment: 3.0,
+            intersend_ms: 1.0,
+        }));
+        let mut cc = RemyCc::new(tree, None);
+        cc.on_flow_start(Time::ZERO);
+        cc.on_ack(&ack(100, None));
+        let w = cc.window();
+        cc.on_loss(&LossEvent {
+            now: Time::from_millis(150),
+        });
+        assert_eq!(cc.window(), w);
+        cc.on_rto(Time::from_millis(300));
+        assert_eq!(cc.window(), 1.0);
+    }
+
+    #[test]
+    fn flow_start_resets_memory_and_window() {
+        let tree = Rc::new(WhiskerTree::initial());
+        let mut cc = RemyCc::new(tree, None);
+        cc.on_flow_start(Time::ZERO);
+        cc.on_ack(&ack(100, Some(0.9)));
+        cc.on_ack(&ack(130, Some(0.9)));
+        cc.on_flow_start(Time::from_secs(5));
+        assert_eq!(cc.window(), 2.0);
+        assert_eq!(cc.memory().util, 0.0);
+    }
+}

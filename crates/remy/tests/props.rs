@@ -1,0 +1,62 @@
+//! Property-based invariants of the whisker tree: any sequence of splits
+//! still partitions memory space, and actions stay inside their legal box
+//! under any perturbation chain.
+
+use proptest::prelude::*;
+
+use phi_remy::{Action, WhiskerTree};
+
+proptest! {
+    #[test]
+    fn splits_preserve_partition(
+        splits in proptest::collection::vec((0usize..64, 0usize..4), 0..20),
+        probes in proptest::collection::vec([0.0f64..=1.0, 0.0..=1.0, 0.0..=1.0, 0.0..=1.0], 1..50),
+    ) {
+        let mut tree = WhiskerTree::initial();
+        for (idx, dim) in splits {
+            let idx = idx % tree.len();
+            tree.split_along(idx, dim);
+        }
+        for p in probes {
+            let hits = tree
+                .whiskers()
+                .iter()
+                .filter(|w| w.cube.contains(&p))
+                .count();
+            prop_assert_eq!(hits, 1, "point {:?} hit {} whiskers", p, hits);
+            let idx = tree.index_of(&p);
+            prop_assert!(tree.whiskers()[idx].cube.contains(&p));
+        }
+    }
+
+    #[test]
+    fn neighbor_chains_stay_in_action_box(steps in proptest::collection::vec(0usize..6, 0..40)) {
+        let mut a = Action::initial();
+        for s in steps {
+            let n = a.neighbors();
+            if n.is_empty() {
+                break;
+            }
+            a = n[s % n.len()];
+            prop_assert!((0.0..=2.0).contains(&a.window_multiple));
+            prop_assert!((-10.0..=20.0).contains(&a.window_increment));
+            prop_assert!((0.02..=50.0).contains(&a.intersend_ms));
+        }
+    }
+
+    #[test]
+    fn clamp_is_idempotent(
+        m in -10.0f64..10.0,
+        b in -100.0f64..100.0,
+        r in -10.0f64..200.0,
+    ) {
+        let a = Action {
+            window_multiple: m,
+            window_increment: b,
+            intersend_ms: r,
+        }
+        .clamped();
+        prop_assert_eq!(a, a.clamped());
+        prop_assert!((0.0..=2.0).contains(&a.window_multiple));
+    }
+}

@@ -1,0 +1,922 @@
+//! The discrete-event simulation engine.
+//!
+//! Execution model:
+//!
+//! * A single binary-heap event queue ordered by `(time, sequence)` — the
+//!   sequence number makes simultaneous events fire in scheduling order, so
+//!   runs are fully deterministic.
+//! * **Links** do all store-and-forward work: a packet handed to a link is
+//!   queued (or dropped, drop-tail), serialized at the link rate, then
+//!   delivered to the far node after the propagation delay.
+//! * **Agents** (transport endpoints, traffic sources…) live on nodes and
+//!   are addressed by `(node, port)`. The engine calls [`Agent::on_packet`]
+//!   when a packet reaches its destination node and port, and
+//!   [`Agent::on_timer`] when a timer the agent set fires.
+//!
+//! Agents interact with the world exclusively through [`Ctx`], which can
+//! send packets, set timers, and read link statistics (the read access is
+//! the "ideal oracle" used by Remy-Phi-ideal, paper §2.2.4).
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::packet::{AgentId, Flags, FlowId, LinkId, NodeId, Packet, SackBlocks};
+use crate::queue::{Discipline, DropTail, Verdict};
+use crate::stats::{LinkStats, RollingUtil};
+use crate::time::{Dur, Time};
+use crate::topology::Topology;
+use crate::trace::{TraceEvent, TraceOp, Tracer};
+
+/// A simulation participant attached to a node.
+pub trait Agent: Any {
+    /// Called once when the simulation starts.
+    fn start(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    /// A packet addressed to this agent arrived.
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>);
+
+    /// A timer set via [`Ctx::set_timer_at`] fired.
+    fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_>) {}
+
+    /// Downcast support, for retrieving agent state after a run.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+#[derive(Debug)]
+enum Event {
+    /// The packet at the head of the link finished serializing.
+    TxEnd { link: LinkId, pkt: Packet },
+    /// A packet reached the `to` node of `link`.
+    Deliver { node: NodeId, pkt: Packet },
+    /// An agent timer fired.
+    Timer { agent: AgentId, token: u64 },
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    at: Time,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Runtime state of one link.
+struct LinkState {
+    queue: Box<dyn Discipline>,
+    busy: bool,
+    stats: LinkStats,
+    rolling: RollingUtil,
+}
+
+/// Everything the engine owns except the agents themselves. Splitting this
+/// out lets [`Ctx`] hold `&mut SimCore` while an agent (removed from the
+/// agent table for the duration of its callback) runs.
+struct SimCore {
+    now: Time,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    topology: Topology,
+    links: Vec<LinkState>,
+    bindings: HashMap<(NodeId, u16), AgentId>,
+    agent_nodes: Vec<NodeId>,
+    next_packet_id: u64,
+    /// Packets that arrived for a (node, port) with no agent bound.
+    pub undeliverable: u64,
+    events_processed: u64,
+    tracer: Option<Box<dyn Tracer>>,
+}
+
+impl SimCore {
+    fn trace(&mut self, op: TraceOp, link: Option<LinkId>, node: Option<NodeId>, pkt: &Packet) {
+        if let Some(t) = self.tracer.as_mut() {
+            t.event(&TraceEvent::new(self.now, op, link, node, pkt));
+        }
+    }
+}
+
+impl SimCore {
+    fn schedule(&mut self, at: Time, event: Event) {
+        debug_assert!(at >= self.now, "cannot schedule into the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled { at, seq, event }));
+    }
+
+    /// Route `pkt` from `at` toward its destination; enqueue on the next link.
+    fn forward(&mut self, at: NodeId, pkt: Packet) {
+        let Some(link_id) = self.topology.next_hop(at, pkt.dst) else {
+            // Destination is this node but no agent consumed it, or routing
+            // is impossible; count and drop.
+            self.undeliverable += 1;
+            return;
+        };
+        self.enqueue_on_link(link_id, pkt);
+    }
+
+    fn enqueue_on_link(&mut self, link_id: LinkId, pkt: Packet) {
+        let now = self.now;
+        let ls = &mut self.links[link_id.0 as usize];
+        ls.stats.advance_occupancy(now, ls.queue.len_bytes());
+        // The queue consumes the packet; clone identity bits for tracing
+        // only when a tracer is installed.
+        let traced = self.tracer.is_some().then(|| pkt.clone());
+        match ls.queue.offer(pkt, now) {
+            Verdict::Enqueued => {
+                ls.stats.enqueued += 1;
+                if let Some(p) = traced {
+                    self.trace(TraceOp::Enqueue, Some(link_id), None, &p);
+                }
+                if !self.links[link_id.0 as usize].busy {
+                    self.begin_tx(link_id);
+                }
+            }
+            Verdict::Dropped => {
+                ls.stats.dropped += 1;
+                if let Some(p) = traced {
+                    self.trace(TraceOp::Drop, Some(link_id), None, &p);
+                }
+            }
+        }
+    }
+
+    /// Start serializing the next queued packet, if any.
+    fn begin_tx(&mut self, link_id: LinkId) {
+        let now = self.now;
+        let spec_rate = self.topology.link(link_id).rate_bps;
+        let ls = &mut self.links[link_id.0 as usize];
+        debug_assert!(!ls.busy);
+        ls.stats.advance_occupancy(now, ls.queue.len_bytes());
+        let Some((pkt, enqueued_at)) = ls.queue.take() else {
+            return;
+        };
+        ls.busy = true;
+        ls.rolling.begin_busy(now);
+        ls.stats
+            .queue_wait
+            .push(now.saturating_since(enqueued_at).as_secs_f64());
+        let tx = Dur::transmission(pkt.size, spec_rate);
+        self.schedule(now + tx, Event::TxEnd { link: link_id, pkt });
+    }
+
+    fn on_tx_end(&mut self, link_id: LinkId, pkt: Packet) {
+        let now = self.now;
+        let spec = self.topology.link(link_id);
+        let mut delay = spec.delay;
+        if !spec.jitter.is_zero() {
+            // Deterministic per-packet jitter: splitmix64 of the packet id.
+            let j = splitmix64(pkt.id) % spec.jitter.as_nanos().max(1);
+            delay += Dur::from_nanos(j);
+        }
+        let to = spec.to;
+        {
+            let ls = &mut self.links[link_id.0 as usize];
+            ls.busy = false;
+            ls.rolling.end_busy(now);
+            ls.stats.transmitted += 1;
+            ls.stats.bytes_transmitted += u64::from(pkt.size);
+            ls.stats.busy += Dur::transmission(pkt.size, self.topology.link(link_id).rate_bps);
+        }
+        self.trace(TraceOp::Transmit, Some(link_id), None, &pkt);
+        self.schedule(now + delay, Event::Deliver { node: to, pkt });
+        // Immediately pull the next packet, if queued.
+        if self.links[link_id.0 as usize].queue.len_packets() > 0 {
+            self.begin_tx(link_id);
+        }
+    }
+}
+
+/// The handle through which agents act on the simulation.
+pub struct Ctx<'a> {
+    core: &'a mut SimCore,
+    agent: AgentId,
+    node: NodeId,
+}
+
+impl Ctx<'_> {
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.core.now
+    }
+
+    /// The id of the agent being called.
+    pub fn agent_id(&self) -> AgentId {
+        self.agent
+    }
+
+    /// The node this agent is attached to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Send a packet from this agent's node. The engine assigns the unique
+    /// packet id and stamps `sent_at`; routing starts immediately.
+    pub fn send(&mut self, mut pkt: Packet) {
+        pkt.id = self.core.next_packet_id;
+        self.core.next_packet_id += 1;
+        pkt.sent_at = self.core.now;
+        pkt.src = self.node;
+        let node = self.node;
+        self.core.forward(node, pkt);
+    }
+
+    /// Schedule [`Agent::on_timer`] with `token` at absolute time `at`.
+    ///
+    /// Timers cannot be cancelled; agents discard stale tokens instead
+    /// (the standard pattern for retransmission timers).
+    pub fn set_timer_at(&mut self, at: Time, token: u64) {
+        let agent = self.agent;
+        let at = at.max(self.core.now);
+        self.core.schedule(at, Event::Timer { agent, token });
+    }
+
+    /// Schedule [`Agent::on_timer`] with `token` after `delay`.
+    pub fn set_timer_after(&mut self, delay: Dur, token: u64) {
+        let at = self.core.now + delay;
+        self.set_timer_at(at, token);
+    }
+
+    /// Cumulative statistics of a link (ideal-oracle read access).
+    pub fn link_stats(&self, link: LinkId) -> &LinkStats {
+        &self.core.links[link.0 as usize].stats
+    }
+
+    /// Busy-fraction of a link over its rolling window (ideal oracle).
+    pub fn link_utilization(&self, link: LinkId) -> f64 {
+        self.core.links[link.0 as usize]
+            .rolling
+            .utilization(self.core.now)
+    }
+
+    /// Packets currently queued at a link.
+    pub fn link_queue_bytes(&self, link: LinkId) -> u64 {
+        self.core.links[link.0 as usize].queue.len_bytes()
+    }
+}
+
+/// The simulator: topology + agents + event loop.
+pub struct Simulator {
+    core: SimCore,
+    agents: Vec<Option<Box<dyn Agent>>>,
+    started: bool,
+}
+
+/// Window over which links report rolling utilization to the ideal oracle.
+pub const UTIL_WINDOW: Dur = Dur::from_millis(500);
+
+impl Simulator {
+    /// Create a simulator over `topology` with drop-tail queues on every
+    /// link, per the link specs.
+    pub fn new(topology: Topology) -> Self {
+        Simulator::with_disciplines(topology, |_, spec| Box::new(DropTail::new(spec.capacity)))
+    }
+
+    /// Create a simulator with a custom queueing discipline per link.
+    ///
+    /// The factory receives each link's id and spec and returns the
+    /// discipline instance to install (e.g. [`crate::queue::Red`] on the
+    /// bottleneck, drop-tail elsewhere) — the hook behind the §3.1
+    /// incentives ablation.
+    pub fn with_disciplines(
+        topology: Topology,
+        mut factory: impl FnMut(LinkId, &crate::topology::LinkSpec) -> Box<dyn Discipline>,
+    ) -> Self {
+        let links = topology
+            .links()
+            .iter()
+            .enumerate()
+            .map(|(idx, spec)| LinkState {
+                queue: factory(LinkId(idx as u32), spec),
+                busy: false,
+                stats: LinkStats::new(),
+                rolling: RollingUtil::new(UTIL_WINDOW),
+            })
+            .collect();
+        Simulator {
+            core: SimCore {
+                now: Time::ZERO,
+                seq: 0,
+                queue: BinaryHeap::new(),
+                topology,
+                links,
+                bindings: HashMap::new(),
+                agent_nodes: Vec::new(),
+                next_packet_id: 0,
+                undeliverable: 0,
+                events_processed: 0,
+                tracer: None,
+            },
+            agents: Vec::new(),
+            started: false,
+        }
+    }
+
+    /// Attach an agent to `node`, listening on `port`.
+    ///
+    /// # Panics
+    /// Panics if `(node, port)` is already bound or the sim has started.
+    pub fn add_agent(&mut self, node: NodeId, port: u16, agent: Box<dyn Agent>) -> AgentId {
+        assert!(!self.started, "cannot add agents after start");
+        let id = AgentId(self.agents.len() as u32);
+        let prev = self.core.bindings.insert((node, port), id);
+        assert!(prev.is_none(), "({node}, :{port}) already bound");
+        self.agents.push(Some(agent));
+        self.core.agent_nodes.push(node);
+        id
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.core.now
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.core.events_processed
+    }
+
+    /// Packets that reached a node with no agent bound to their port.
+    pub fn undeliverable(&self) -> u64 {
+        self.core.undeliverable
+    }
+
+    /// The topology under simulation.
+    pub fn topology(&self) -> &Topology {
+        &self.core.topology
+    }
+
+    /// Statistics of one link.
+    pub fn link_stats(&self, link: LinkId) -> &LinkStats {
+        &self.core.links[link.0 as usize].stats
+    }
+
+    /// Install a packet tracer (ns-2-style observation of every enqueue,
+    /// drop, transmission, and delivery). Replaces any previous tracer.
+    pub fn set_tracer(&mut self, tracer: Box<dyn Tracer>) {
+        self.core.tracer = Some(tracer);
+    }
+
+    /// Remove and return the installed tracer (to read a collector after
+    /// the run).
+    pub fn take_tracer(&mut self) -> Option<Box<dyn Tracer>> {
+        self.core.tracer.take()
+    }
+
+    /// Borrow an agent for post-run inspection.
+    ///
+    /// ```ignore
+    /// let sender: &TcpSender = sim.agent_as::<TcpSender>(id).unwrap();
+    /// ```
+    pub fn agent_as<T: Agent>(&self, id: AgentId) -> Option<&T> {
+        self.agents[id.0 as usize]
+            .as_deref()
+            .and_then(|a| a.as_any().downcast_ref::<T>())
+    }
+
+    /// Mutably borrow an agent.
+    pub fn agent_as_mut<T: Agent>(&mut self, id: AgentId) -> Option<&mut T> {
+        self.agents[id.0 as usize]
+            .as_deref_mut()
+            .and_then(|a| a.as_any_mut().downcast_mut::<T>())
+    }
+
+    fn start_agents(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.agents.len() {
+            self.with_agent(AgentId(i as u32), |agent, ctx| agent.start(ctx));
+        }
+    }
+
+    fn with_agent(&mut self, id: AgentId, f: impl FnOnce(&mut dyn Agent, &mut Ctx<'_>)) {
+        let mut agent = self.agents[id.0 as usize]
+            .take()
+            .expect("agent re-entrancy is impossible: events are dispatched serially");
+        let node = self.core.agent_nodes[id.0 as usize];
+        let mut ctx = Ctx {
+            core: &mut self.core,
+            agent: id,
+            node,
+        };
+        f(agent.as_mut(), &mut ctx);
+        self.agents[id.0 as usize] = Some(agent);
+    }
+
+    /// Run until the event queue drains or `deadline` passes, whichever is
+    /// first. Returns the time the run stopped.
+    pub fn run_until(&mut self, deadline: Time) -> Time {
+        self.start_agents();
+        while let Some(Reverse(head)) = self.core.queue.peek() {
+            if head.at > deadline {
+                break;
+            }
+            let Reverse(sch) = self.core.queue.pop().expect("peeked");
+            self.core.now = sch.at;
+            self.core.events_processed += 1;
+            match sch.event {
+                Event::TxEnd { link, pkt } => self.core.on_tx_end(link, pkt),
+                Event::Deliver { node, pkt } => {
+                    if pkt.dst == node {
+                        self.core.trace(TraceOp::Deliver, None, Some(node), &pkt);
+                        match self.core.bindings.get(&(node, pkt.dst_port)).copied() {
+                            Some(agent) => self.with_agent(agent, |a, ctx| a.on_packet(pkt, ctx)),
+                            None => self.core.undeliverable += 1,
+                        }
+                    } else {
+                        self.core.forward(node, pkt);
+                    }
+                }
+                Event::Timer { agent, token } => {
+                    self.with_agent(agent, |a, ctx| a.on_timer(token, ctx));
+                }
+            }
+        }
+        // Advance the clock to the deadline so utilization denominators and
+        // occupancy integrals cover the full requested span.
+        if self.core.now < deadline && deadline != Time::MAX {
+            self.core.now = deadline;
+            for ls in &mut self.core.links {
+                let bytes = ls.queue.len_bytes();
+                ls.stats.advance_occupancy(deadline, bytes);
+            }
+        }
+        self.core.now
+    }
+
+    /// Run until no events remain.
+    pub fn run_to_completion(&mut self) -> Time {
+        self.run_until(Time::MAX)
+    }
+}
+
+/// SplitMix64: a tiny, high-quality bit mixer used for deterministic
+/// per-packet jitter.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Convenience constructor for packets sent by agents (the engine fills in
+/// `id`, `src`, and `sent_at`).
+pub fn packet_to(dst: NodeId, dst_port: u16, src_port: u16, flow: FlowId, size: u32) -> Packet {
+    Packet {
+        id: 0,
+        flow,
+        src: NodeId(u32::MAX), // overwritten by Ctx::send
+        dst,
+        src_port,
+        dst_port,
+        seq: 0,
+        ack: 0,
+        flags: Flags::empty(),
+        size,
+        sent_at: Time::ZERO,
+        echo: Time::ZERO,
+        sack: SackBlocks::EMPTY,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::Capacity;
+    use crate::topology::TopologyBuilder;
+
+    /// Sends `count` packets of `size` bytes to a peer, spaced by `gap`.
+    struct Blaster {
+        peer: NodeId,
+        peer_port: u16,
+        port: u16,
+        count: u32,
+        size: u32,
+        gap: Dur,
+        sent: u32,
+    }
+
+    impl Agent for Blaster {
+        fn start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer_after(Dur::ZERO, 0);
+        }
+        fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
+        fn on_timer(&mut self, _token: u64, ctx: &mut Ctx<'_>) {
+            if self.sent < self.count {
+                let mut p = packet_to(self.peer, self.peer_port, self.port, FlowId(1), self.size);
+                p.seq = u64::from(self.sent);
+                ctx.send(p);
+                self.sent += 1;
+                ctx.set_timer_after(self.gap, 0);
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Records every packet it receives with its arrival time.
+    #[derive(Default)]
+    struct Sink {
+        received: Vec<(u64, Time)>,
+    }
+
+    impl Agent for Sink {
+        fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+            self.received.push((pkt.seq, ctx.now()));
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn two_nodes(rate_bps: u64, delay: Dur, cap: Capacity) -> (Topology, NodeId, NodeId) {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_node();
+        let z = b.add_node();
+        b.add_duplex(a, z, rate_bps, delay, cap);
+        (b.build(), a, z)
+    }
+
+    #[test]
+    fn single_packet_latency_is_tx_plus_prop() {
+        // 1000-byte packet at 1 Mbit/s = 8 ms tx; +2 ms prop = 10 ms.
+        let (t, a, z) = two_nodes(1_000_000, Dur::from_millis(2), Capacity::Packets(10));
+        let mut sim = Simulator::new(t);
+        sim.add_agent(
+            a,
+            1,
+            Box::new(Blaster {
+                peer: z,
+                peer_port: 2,
+                port: 1,
+                count: 1,
+                size: 1000,
+                gap: Dur::from_secs(1),
+                sent: 0,
+            }),
+        );
+        let sink = sim.add_agent(z, 2, Box::<Sink>::default());
+        sim.run_to_completion();
+        let s = sim.agent_as::<Sink>(sink).unwrap();
+        assert_eq!(s.received.len(), 1);
+        assert_eq!(s.received[0].1, Time::from_millis(10));
+    }
+
+    #[test]
+    fn back_to_back_packets_serialize() {
+        // Two packets sent at t=0; the second must wait for the first's tx.
+        let (t, a, z) = two_nodes(1_000_000, Dur::from_millis(2), Capacity::Packets(10));
+        let mut sim = Simulator::new(t);
+        sim.add_agent(
+            a,
+            1,
+            Box::new(Blaster {
+                peer: z,
+                peer_port: 2,
+                port: 1,
+                count: 2,
+                size: 1000,
+                gap: Dur::ZERO,
+                sent: 0,
+            }),
+        );
+        let sink = sim.add_agent(z, 2, Box::<Sink>::default());
+        sim.run_to_completion();
+        let s = sim.agent_as::<Sink>(sink).unwrap();
+        assert_eq!(s.received.len(), 2);
+        assert_eq!(s.received[0].1, Time::from_millis(10));
+        assert_eq!(s.received[1].1, Time::from_millis(18)); // +8 ms serialization
+                                                            // FIFO order.
+        assert_eq!(s.received[0].0, 0);
+        assert_eq!(s.received[1].0, 1);
+    }
+
+    #[test]
+    fn droptail_loses_overflow_and_counts_it() {
+        // Queue capacity 2 packets; 5 packets arrive while the first
+        // serializes (tx = 8 ms each, arrivals every 1 ms).
+        let (t, a, z) = two_nodes(1_000_000, Dur::from_millis(1), Capacity::Packets(2));
+        let mut sim = Simulator::new(t);
+        sim.add_agent(
+            a,
+            1,
+            Box::new(Blaster {
+                peer: z,
+                peer_port: 2,
+                port: 1,
+                count: 5,
+                size: 1000,
+                gap: Dur::from_millis(1),
+                sent: 0,
+            }),
+        );
+        let sink = sim.add_agent(z, 2, Box::<Sink>::default());
+        sim.run_to_completion();
+        let s = sim.agent_as::<Sink>(sink).unwrap();
+        let link = crate::packet::LinkId(0);
+        let stats = sim.link_stats(link);
+        assert!(stats.dropped > 0, "expected drops, got none");
+        assert_eq!(
+            stats.enqueued + stats.dropped,
+            5,
+            "all offered packets accounted"
+        );
+        assert_eq!(s.received.len() as u64, stats.transmitted);
+    }
+
+    #[test]
+    fn utilization_and_throughput_accounting() {
+        let (t, a, z) = two_nodes(8_000_000, Dur::from_millis(1), Capacity::Packets(100));
+        let mut sim = Simulator::new(t);
+        // 100 packets of 1000 bytes = 800_000 bits = 0.1 s of tx at 8 Mbit/s.
+        sim.add_agent(
+            a,
+            1,
+            Box::new(Blaster {
+                peer: z,
+                peer_port: 2,
+                port: 1,
+                count: 100,
+                size: 1000,
+                gap: Dur::ZERO,
+                sent: 0,
+            }),
+        );
+        sim.add_agent(z, 2, Box::<Sink>::default());
+        sim.run_until(Time::from_millis(200));
+        let stats = sim.link_stats(crate::packet::LinkId(0));
+        let elapsed = Dur::from_millis(200);
+        assert!((stats.utilization(elapsed) - 0.5).abs() < 0.01);
+        assert!((stats.throughput_bps(elapsed) - 4_000_000.0).abs() < 50_000.0);
+        assert_eq!(stats.transmitted, 100);
+    }
+
+    #[test]
+    fn undeliverable_packets_counted() {
+        let (t, a, z) = two_nodes(1_000_000, Dur::from_millis(1), Capacity::Packets(10));
+        let mut sim = Simulator::new(t);
+        sim.add_agent(
+            a,
+            1,
+            Box::new(Blaster {
+                peer: z,
+                peer_port: 99, // nothing bound on port 99
+                port: 1,
+                count: 3,
+                size: 100,
+                gap: Dur::ZERO,
+                sent: 0,
+            }),
+        );
+        sim.run_to_completion();
+        assert_eq!(sim.undeliverable(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "already bound")]
+    fn duplicate_binding_rejected() {
+        let (t, a, _z) = two_nodes(1_000_000, Dur::from_millis(1), Capacity::Packets(1));
+        let mut sim = Simulator::new(t);
+        sim.add_agent(a, 1, Box::<Sink>::default());
+        sim.add_agent(a, 1, Box::<Sink>::default());
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline_and_resumes() {
+        let (t, a, z) = two_nodes(1_000_000, Dur::from_millis(2), Capacity::Packets(50));
+        let mut sim = Simulator::new(t);
+        sim.add_agent(
+            a,
+            1,
+            Box::new(Blaster {
+                peer: z,
+                peer_port: 2,
+                port: 1,
+                count: 10,
+                size: 1000,
+                gap: Dur::from_millis(20),
+                sent: 0,
+            }),
+        );
+        let sink = sim.add_agent(z, 2, Box::<Sink>::default());
+        sim.run_until(Time::from_millis(50));
+        let got_midway = sim.agent_as::<Sink>(sink).unwrap().received.len();
+        assert!(got_midway > 0 && got_midway < 10, "got {got_midway}");
+        sim.run_to_completion();
+        assert_eq!(sim.agent_as::<Sink>(sink).unwrap().received.len(), 10);
+    }
+
+    #[test]
+    fn jitter_reorders_but_delivers_everything() {
+        use crate::topology::LinkSpec;
+        let mut b = TopologyBuilder::new();
+        let a = b.add_node();
+        let z = b.add_node();
+        // Jitter (5 ms) far above the serialization gap (80 us): heavy
+        // reordering is guaranteed, loss is impossible (huge queue).
+        b.add_link(LinkSpec {
+            jitter: Dur::from_millis(5),
+            ..LinkSpec::new(
+                a,
+                z,
+                100_000_000,
+                Dur::from_millis(10),
+                Capacity::Packets(10_000),
+            )
+        });
+        b.add_link(LinkSpec::new(
+            z,
+            a,
+            100_000_000,
+            Dur::from_millis(10),
+            Capacity::Packets(10_000),
+        ));
+        let mut sim = Simulator::new(b.build());
+        sim.add_agent(
+            a,
+            1,
+            Box::new(Blaster {
+                peer: z,
+                peer_port: 2,
+                port: 1,
+                count: 200,
+                size: 1000,
+                gap: Dur::from_micros(80),
+                sent: 0,
+            }),
+        );
+        let sink = sim.add_agent(z, 2, Box::<Sink>::default());
+        sim.run_to_completion();
+        let s = sim.agent_as::<Sink>(sink).unwrap();
+        assert_eq!(s.received.len(), 200, "jitter must not lose packets");
+        let inversions = s.received.windows(2).filter(|w| w[1].0 < w[0].0).count();
+        assert!(
+            inversions > 10,
+            "expected reordering, got {inversions} inversions"
+        );
+        // Determinism: the same run reorders identically.
+        let rerun = {
+            let mut b = TopologyBuilder::new();
+            let a = b.add_node();
+            let z = b.add_node();
+            b.add_link(LinkSpec {
+                jitter: Dur::from_millis(5),
+                ..LinkSpec::new(
+                    a,
+                    z,
+                    100_000_000,
+                    Dur::from_millis(10),
+                    Capacity::Packets(10_000),
+                )
+            });
+            b.add_link(LinkSpec::new(
+                z,
+                a,
+                100_000_000,
+                Dur::from_millis(10),
+                Capacity::Packets(10_000),
+            ));
+            let mut sim2 = Simulator::new(b.build());
+            sim2.add_agent(
+                a,
+                1,
+                Box::new(Blaster {
+                    peer: z,
+                    peer_port: 2,
+                    port: 1,
+                    count: 200,
+                    size: 1000,
+                    gap: Dur::from_micros(80),
+                    sent: 0,
+                }),
+            );
+            let sink2 = sim2.add_agent(z, 2, Box::<Sink>::default());
+            sim2.run_to_completion();
+            sim2.agent_as::<Sink>(sink2).unwrap().received.clone()
+        };
+        assert_eq!(s.received, rerun);
+    }
+
+    #[test]
+    fn custom_disciplines_installed_per_link() {
+        use crate::queue::Red;
+        let (t, a, z) = two_nodes(1_000_000, Dur::from_millis(1), Capacity::Packets(10));
+        // RED with thresholds far below the load: early drops must occur
+        // where plain drop-tail (capacity 10_000) would accept everything.
+        let mut sim = Simulator::with_disciplines(t, |id, spec| {
+            if id.0 == 0 {
+                Box::new(Red::new(Capacity::Packets(10_000), 2.0, 6.0, 1.0))
+            } else {
+                Box::new(DropTail::new(spec.capacity))
+            }
+        });
+        sim.add_agent(
+            a,
+            1,
+            Box::new(Blaster {
+                peer: z,
+                peer_port: 2,
+                port: 1,
+                count: 500,
+                size: 1000,
+                gap: Dur::ZERO,
+                sent: 0,
+            }),
+        );
+        sim.add_agent(z, 2, Box::<Sink>::default());
+        sim.run_to_completion();
+        let stats = sim.link_stats(crate::packet::LinkId(0));
+        assert!(stats.dropped > 0, "RED should have dropped early");
+        assert!(stats.transmitted > 0);
+    }
+
+    #[test]
+    fn tracer_sees_full_packet_lifecycle() {
+        use crate::trace::{SharedTraceCollector, TraceOp};
+        let (t, a, z) = two_nodes(1_000_000, Dur::from_millis(2), Capacity::Packets(2));
+        let mut sim = Simulator::new(t);
+        sim.add_agent(
+            a,
+            1,
+            Box::new(Blaster {
+                peer: z,
+                peer_port: 2,
+                port: 1,
+                count: 6,
+                size: 1000,
+                gap: Dur::from_micros(100), // bursts into the 2-packet queue
+                sent: 0,
+            }),
+        );
+        sim.add_agent(z, 2, Box::<Sink>::default());
+        let (tracer, events) = SharedTraceCollector::new();
+        sim.set_tracer(tracer);
+        sim.run_to_completion();
+        let events = events.borrow();
+        let count = |op: TraceOp| events.iter().filter(|e| e.op == op).count() as u64;
+        let stats = sim.link_stats(crate::packet::LinkId(0));
+        assert_eq!(count(TraceOp::Enqueue), stats.enqueued);
+        assert_eq!(count(TraceOp::Drop), stats.dropped);
+        assert_eq!(count(TraceOp::Transmit), stats.transmitted);
+        assert!(count(TraceOp::Drop) > 0, "queue of 2 must drop under burst");
+        assert_eq!(count(TraceOp::Deliver), stats.transmitted);
+        // Trace is time-ordered.
+        assert!(events.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn deterministic_event_counts() {
+        let run = || {
+            let (t, a, z) = two_nodes(5_000_000, Dur::from_millis(3), Capacity::Packets(7));
+            let mut sim = Simulator::new(t);
+            sim.add_agent(
+                a,
+                1,
+                Box::new(Blaster {
+                    peer: z,
+                    peer_port: 2,
+                    port: 1,
+                    count: 200,
+                    size: 700,
+                    gap: Dur::from_micros(300),
+                    sent: 0,
+                }),
+            );
+            sim.add_agent(z, 2, Box::<Sink>::default());
+            sim.run_to_completion();
+            (
+                sim.events_processed(),
+                sim.link_stats(crate::packet::LinkId(0)).dropped,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

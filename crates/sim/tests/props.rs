@@ -1,0 +1,184 @@
+//! Property-based invariants of the simulator's core data structures.
+
+use proptest::prelude::*;
+
+use phi_sim::packet::{Flags, FlowId, NodeId, Packet, SackBlocks};
+use phi_sim::queue::{Capacity, Discipline, DropTail, Verdict};
+use phi_sim::stats::{OnlineStats, RollingUtil};
+use phi_sim::time::{Dur, Time};
+use phi_sim::topology::TopologyBuilder;
+
+fn pkt(id: u64, size: u32) -> Packet {
+    Packet {
+        id,
+        flow: FlowId(0),
+        src: NodeId(0),
+        dst: NodeId(1),
+        src_port: 0,
+        dst_port: 0,
+        seq: id,
+        ack: 0,
+        flags: Flags::empty(),
+        size,
+        sent_at: Time::ZERO,
+        echo: Time::ZERO,
+        sack: SackBlocks::EMPTY,
+    }
+}
+
+proptest! {
+    #[test]
+    fn time_add_then_sub_roundtrips(base in 0u64..u64::MAX / 2, delta in 0u64..u64::MAX / 4) {
+        let t = Time::from_nanos(base);
+        let d = Dur::from_nanos(delta);
+        prop_assert_eq!((t + d) - d, t);
+        prop_assert_eq!((t + d) - t, d);
+    }
+
+    #[test]
+    fn transmission_time_monotone(
+        size_a in 1u32..100_000,
+        extra in 1u32..100_000,
+        rate in 1_000u64..100_000_000_000,
+    ) {
+        let small = Dur::transmission(size_a, rate);
+        let large = Dur::transmission(size_a.saturating_add(extra), rate);
+        prop_assert!(large >= small);
+        // Faster link, same packet: no slower.
+        let faster = Dur::transmission(size_a, rate.saturating_mul(2));
+        prop_assert!(faster <= small);
+    }
+
+    #[test]
+    fn droptail_never_exceeds_capacity(
+        limit in 1usize..64,
+        sizes in proptest::collection::vec(40u32..2000, 1..200),
+    ) {
+        let mut q = DropTail::new(Capacity::Packets(limit));
+        for (i, &s) in sizes.iter().enumerate() {
+            let _ = q.offer(pkt(i as u64, s), Time::from_nanos(i as u64));
+            prop_assert!(q.len_packets() <= limit);
+        }
+    }
+
+    #[test]
+    fn droptail_byte_accounting_balances(
+        cap_bytes in 1_000u64..100_000,
+        sizes in proptest::collection::vec(40u32..3000, 1..200),
+    ) {
+        let mut q = DropTail::new(Capacity::Bytes(cap_bytes));
+        let mut accepted = 0u64;
+        for (i, &s) in sizes.iter().enumerate() {
+            if q.offer(pkt(i as u64, s), Time::ZERO) == Verdict::Enqueued {
+                accepted += u64::from(s);
+            }
+            prop_assert!(q.len_bytes() <= cap_bytes);
+        }
+        let mut drained = 0u64;
+        while let Some((p, _)) = q.take() {
+            drained += u64::from(p.size);
+        }
+        prop_assert_eq!(accepted, drained);
+        prop_assert_eq!(q.len_bytes(), 0);
+    }
+
+    #[test]
+    fn droptail_preserves_fifo_order(sizes in proptest::collection::vec(40u32..1500, 1..100)) {
+        let mut q = DropTail::new(Capacity::Packets(sizes.len()));
+        for (i, &s) in sizes.iter().enumerate() {
+            prop_assert_eq!(q.offer(pkt(i as u64, s), Time::ZERO), Verdict::Enqueued);
+        }
+        let mut last = None;
+        while let Some((p, _)) = q.take() {
+            if let Some(prev) = last {
+                prop_assert!(p.id > prev);
+            }
+            last = Some(p.id);
+        }
+    }
+
+    #[test]
+    fn rolling_util_stays_in_unit_range(
+        busy_gaps in proptest::collection::vec((1u64..10_000_000, 1u64..10_000_000), 1..50),
+    ) {
+        let mut u = RollingUtil::new(Dur::from_millis(10));
+        let mut now = Time::ZERO;
+        for (busy, idle) in busy_gaps {
+            u.begin_busy(now);
+            now += Dur::from_nanos(busy);
+            u.end_busy(now);
+            let frac = u.utilization(now);
+            prop_assert!((0.0..=1.0).contains(&frac), "frac {frac}");
+            now += Dur::from_nanos(idle);
+            let frac = u.utilization(now);
+            prop_assert!((0.0..=1.0).contains(&frac), "frac {frac}");
+        }
+    }
+
+    #[test]
+    fn online_stats_mean_within_min_max(xs in proptest::collection::vec(-1e12f64..1e12, 1..500)) {
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let mean = s.mean();
+        prop_assert!(mean >= s.min().unwrap() - 1e-6);
+        prop_assert!(mean <= s.max().unwrap() + 1e-6);
+        prop_assert!(s.variance() >= 0.0);
+    }
+
+    /// Routes on a random ring-with-chords topology always reach their
+    /// destination in at most |V| hops.
+    #[test]
+    fn routes_terminate_at_destination(
+        n in 3usize..12,
+        chords in proptest::collection::vec((0usize..12, 0usize..12), 0..8),
+    ) {
+        let mut b = TopologyBuilder::new();
+        let nodes: Vec<NodeId> = (0..n).map(|_| b.add_node()).collect();
+        let cap = Capacity::Packets(4);
+        for i in 0..n {
+            b.add_duplex(nodes[i], nodes[(i + 1) % n], 1_000_000, Dur::from_millis(1), cap);
+        }
+        for (a, z) in chords {
+            let (a, z) = (a % n, z % n);
+            if a != z {
+                b.add_duplex(nodes[a], nodes[z], 1_000_000, Dur::from_millis(1), cap);
+            }
+        }
+        let t = b.build();
+        for &src in &nodes {
+            for &dst in &nodes {
+                if src == dst {
+                    continue;
+                }
+                let mut at = src;
+                let mut hops = 0;
+                while at != dst {
+                    let link = t.next_hop(at, dst).expect("route exists");
+                    at = t.link(link).to;
+                    hops += 1;
+                    prop_assert!(hops <= n, "routing loop from {src} to {dst}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sack_blocks_bounded_and_ordered_iteration(
+        ranges in proptest::collection::vec((0u64..1000, 1u64..50), 0..6),
+    ) {
+        let mut sack = SackBlocks::EMPTY;
+        let mut pushed = 0;
+        for (start, len) in ranges {
+            if sack.push(start, start + len) {
+                pushed += 1;
+            }
+        }
+        prop_assert!(sack.len() <= 3);
+        prop_assert_eq!(sack.len(), pushed.min(3));
+        for (s, e) in sack.iter() {
+            prop_assert!(s < e);
+        }
+    }
+}

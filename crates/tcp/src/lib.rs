@@ -1,0 +1,34 @@
+//! # phi-tcp — transport endpoints for phi-sim
+//!
+//! A window-based TCP-like transport with pluggable congestion control,
+//! faithful to what the paper's ns-2 experiments exercise:
+//!
+//! * [`cubic::Cubic`] — TCP Cubic with the paper's three tunables
+//!   (`windowInit_`, `initial_ssthresh`, β; Tables 1–2),
+//! * [`newreno::NewReno`] — the AIMD baseline (with a weighted-increase
+//!   knob used by Phi's cross-flow prioritizer),
+//! * [`sender::TcpSender`] / [`receiver::TcpReceiver`] — connection
+//!   lifecycle over the paper's on/off workload, fast retransmit after a
+//!   configurable duplicate-ACK threshold, NewReno partial-ACK recovery,
+//!   Jacobson/Karels RTO with exponential backoff and go-back-N restart,
+//! * [`hook::SessionHook`] — the lookup-at-start / report-at-end contact
+//!   points where Phi's context server plugs in (§2.2.2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cc;
+pub mod cubic;
+pub mod hook;
+pub mod newreno;
+pub mod receiver;
+pub mod report;
+pub mod sender;
+
+pub use cc::{AckEvent, CongestionControl, FixedWindow, LossEvent};
+pub use cubic::{Cubic, CubicParams};
+pub use hook::{ContextSnapshot, NoHook, SessionHook};
+pub use newreno::{NewReno, NewRenoParams};
+pub use receiver::TcpReceiver;
+pub use report::{FlowReport, RunMetrics};
+pub use sender::{CcFactory, SenderConfig, TcpSender};

@@ -1,0 +1,918 @@
+//! The sending endpoint: connection lifecycle, loss recovery, and the
+//! on/off workload loop.
+//!
+//! A [`TcpSender`] drives a sequence of connections (the paper's on/off
+//! model: each on-period is a *fresh* connection with reset congestion
+//! state). For each connection it:
+//!
+//! 1. asks its [`SessionHook`] for the shared congestion context (a Phi
+//!    lookup, or nothing for unmodified senders),
+//! 2. builds a congestion controller from its factory — which is where
+//!    Phi-tuned parameters enter,
+//! 3. transfers the planned bytes with SACK-based loss recovery
+//!    (RFC 6675-style scoreboard and pipe accounting, which is what the
+//!    paper's ns-2 Linux-TCP senders run): fast retransmit after
+//!    `dupack_threshold` duplicate ACKs, hole-by-hole retransmission
+//!    bounded by the congestion window, and a Jacobson/Karels RTO with
+//!    exponential backoff and go-back-N restart as the last resort,
+//! 4. reports the completed flow back through the hook (a Phi report).
+//!
+//! Pacing: if the controller supplies [`CongestionControl::intersend`],
+//! sends are additionally spaced by that gap (Remy's rate dimension).
+
+use std::any::Any;
+use std::collections::BTreeSet;
+
+use phi_sim::engine::{packet_to, Agent, Ctx};
+use phi_sim::packet::{wire, Flags, FlowId, NodeId, Packet};
+use phi_sim::time::{Dur, Time};
+use phi_workload::OnOffSource;
+
+use crate::cc::{AckEvent, CongestionControl, LossEvent};
+use crate::hook::{ContextSnapshot, SessionHook};
+use crate::report::FlowReport;
+
+/// Builds a congestion controller for a new connection, optionally using
+/// the shared context returned by the session hook's lookup.
+pub type CcFactory = Box<dyn FnMut(Option<&ContextSnapshot>) -> Box<dyn CongestionControl>>;
+
+/// Static configuration of one sender.
+#[derive(Debug, Clone)]
+pub struct SenderConfig {
+    /// Peer (receiver) node.
+    pub dst: NodeId,
+    /// Peer port.
+    pub dst_port: u16,
+    /// Local port.
+    pub src_port: u16,
+    /// Duplicate ACKs that trigger fast retransmit (classically 3;
+    /// §3.2's informed adaptation tunes this when reordering is common).
+    pub dupack_threshold: u32,
+    /// Lower bound on the retransmission timeout.
+    pub min_rto: Dur,
+    /// Upper bound on the retransmission timeout.
+    pub max_rto: Dur,
+    /// Stop after this many completed flows (`None` = run forever).
+    pub max_flows: Option<u64>,
+    /// Base for flow ids; successive flows get base, base+1, …
+    pub flow_id_base: u64,
+}
+
+impl SenderConfig {
+    /// Sensible defaults for a sender talking to `dst`/`dst_port`.
+    pub fn new(dst: NodeId, dst_port: u16, src_port: u16) -> Self {
+        SenderConfig {
+            dst,
+            dst_port,
+            src_port,
+            dupack_threshold: 3,
+            min_rto: Dur::from_millis(200),
+            max_rto: Dur::from_secs(60),
+            max_flows: None,
+            flow_id_base: 0,
+        }
+    }
+}
+
+// Timer token encoding: kind in the low 2 bits, generation above.
+const TIMER_START: u64 = 0;
+const TIMER_RTO: u64 = 1;
+const TIMER_PACE: u64 = 2;
+
+fn token(kind: u64, gen: u64) -> u64 {
+    kind | (gen << 2)
+}
+
+/// State of the in-progress connection.
+struct Conn {
+    flow: FlowId,
+    cc: Box<dyn CongestionControl>,
+    /// Total segments to transfer.
+    total: u64,
+    /// Application bytes to transfer.
+    bytes: u64,
+    /// Payload bytes of the final segment.
+    last_payload: u32,
+    /// Next new segment to send.
+    next_seq: u64,
+    /// One past the highest segment currently counted in the pipe.
+    /// Reset to the cumulative ack on timeout (go-back-N declares
+    /// everything beyond it lost).
+    pipe_end: u64,
+    /// One past the highest segment *ever* transmitted (monotone; used to
+    /// mark re-sends with the RETX flag for Karn's rule).
+    ever_sent: u64,
+    /// Cumulative acknowledgment (next expected by receiver).
+    highest_acked: u64,
+    dup_acks: u32,
+    /// Recovery point: in recovery until the cumulative ack exceeds it.
+    recovery: Option<u64>,
+    /// SACK scoreboard: segments above `highest_acked` the receiver holds.
+    sacked: BTreeSet<u64>,
+    /// Holes retransmitted during the current recovery episode.
+    retx_sent: BTreeSet<u64>,
+    /// Retransmissions in flight (sent, not yet cumulatively or
+    /// selectively acked).
+    retx_unacked: BTreeSet<u64>,
+    /// Scan pointer for the next unexamined hole in recovery.
+    hole_scan: u64,
+    // RTT estimation (Jacobson/Karels).
+    srtt: Option<Dur>,
+    rttvar: Dur,
+    rto: Dur,
+    min_rtt: Option<Dur>,
+    rtt_sum_ms: f64,
+    rtt_samples: u64,
+    // Accounting.
+    start: Time,
+    retransmits: u64,
+    timeouts: u64,
+    recoveries: u64,
+    // Pacing.
+    pace_next: Time,
+    pace_pending: bool,
+}
+
+impl Conn {
+    fn outstanding(&self) -> bool {
+        self.pipe_end > self.highest_acked || self.next_seq < self.total
+    }
+
+    /// RFC 6675-style pipe estimate: segments believed in flight.
+    ///
+    /// Outstanding segments, minus those the receiver selectively holds,
+    /// minus the holes "known lost" (below the highest SACKed segment),
+    /// plus retransmissions currently in flight. Without SACK information
+    /// it degrades to the classic duplicate-ACK inflation.
+    fn pipe(&self) -> u64 {
+        let outstanding = self.pipe_end.saturating_sub(self.highest_acked);
+        let departed = if self.sacked.is_empty() {
+            u64::from(self.dup_acks)
+        } else {
+            let sacked = self.sacked.len() as u64;
+            let lost = match self.sacked.iter().next_back() {
+                Some(&hs) => {
+                    // Non-SACKed seqs in [highest_acked, hs) are presumed lost.
+                    let span = hs - self.highest_acked;
+                    span.saturating_sub(sacked - 1)
+                }
+                None => 0,
+            };
+            sacked + lost
+        };
+        outstanding.saturating_sub(departed) + self.retx_unacked.len() as u64
+    }
+
+    /// The lowest "known lost" hole not yet retransmitted this episode,
+    /// if recovery is active. A hole is known lost when some higher
+    /// segment has been SACKed.
+    fn next_hole(&mut self) -> Option<u64> {
+        self.recovery?;
+        let &highest_sacked = self.sacked.iter().next_back()?;
+        if self.hole_scan < self.highest_acked {
+            self.hole_scan = self.highest_acked;
+        }
+        while self.hole_scan < highest_sacked {
+            let seq = self.hole_scan;
+            self.hole_scan += 1;
+            if !self.sacked.contains(&seq) && !self.retx_sent.contains(&seq) {
+                return Some(seq);
+            }
+        }
+        None
+    }
+
+    /// Fold an ACK's SACK blocks into the scoreboard.
+    fn absorb_sack(&mut self, pkt: &Packet) {
+        for (s, e) in pkt.sack.iter() {
+            let lo = s.max(self.highest_acked);
+            let hi = e.min(self.ever_sent);
+            for seq in lo..hi {
+                if self.sacked.insert(seq) {
+                    // A retransmission that arrived no longer occupies
+                    // the pipe.
+                    self.retx_unacked.remove(&seq);
+                    // Newly SACKed ground below the scan point may expose
+                    // nothing, but a *fresh* highest block means earlier
+                    // holes may now count as lost; the scan pointer already
+                    // covers them, so no rewind is needed.
+                }
+            }
+        }
+    }
+
+    /// Drop scoreboard state below the new cumulative ack.
+    fn advance_cumack(&mut self, ack: u64) {
+        self.sacked = self.sacked.split_off(&ack);
+        self.retx_sent = self.retx_sent.split_off(&ack);
+        self.retx_unacked = self.retx_unacked.split_off(&ack);
+        if self.hole_scan < ack {
+            self.hole_scan = ack;
+        }
+        // Late ACKs (e.g. for pre-timeout packets still in flight) can
+        // advance past a go-back-N reset point; keep the send pointers
+        // from regressing below delivered data.
+        if self.pipe_end < ack {
+            self.pipe_end = ack;
+        }
+        if self.next_seq < ack {
+            self.next_seq = ack;
+        }
+    }
+
+    fn take_rtt_sample(&mut self, sample: Dur) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(sample);
+                self.rttvar = sample / 2;
+            }
+            Some(srtt) => {
+                let err = if sample > srtt {
+                    sample - srtt
+                } else {
+                    srtt - sample
+                };
+                self.rttvar = Dur::from_nanos(
+                    (3 * self.rttvar.as_nanos() / 4).saturating_add(err.as_nanos() / 4),
+                );
+                self.srtt = Some(Dur::from_nanos(
+                    (7 * srtt.as_nanos() / 8).saturating_add(sample.as_nanos() / 8),
+                ));
+            }
+        }
+        self.min_rtt = Some(match self.min_rtt {
+            None => sample,
+            Some(m) => m.min(sample),
+        });
+        self.rtt_sum_ms += sample.as_millis_f64();
+        self.rtt_samples += 1;
+    }
+
+    fn computed_rto(&self, min_rto: Dur, max_rto: Dur) -> Dur {
+        match self.srtt {
+            None => Dur::from_secs(1),
+            Some(srtt) => (srtt + (self.rttvar * 4).max(Dur::from_millis(1)))
+                .max(min_rto)
+                .min(max_rto),
+        }
+    }
+}
+
+/// A TCP-like sender agent driving an on/off connection sequence.
+pub struct TcpSender {
+    cfg: SenderConfig,
+    source: OnOffSource,
+    cc_factory: CcFactory,
+    hook: Box<dyn SessionHook>,
+    conn: Option<Conn>,
+    /// Completed-flow reports, in completion order.
+    reports: Vec<FlowReport>,
+    flows_started: u64,
+    /// Bytes planned for the flow whose start timer is pending.
+    pending_bytes: u64,
+    /// Generation counter validating the outstanding RTO timer.
+    rto_gen: u64,
+    done: bool,
+}
+
+impl TcpSender {
+    /// A sender with the given workload source, controller factory, and
+    /// session hook.
+    pub fn new(
+        cfg: SenderConfig,
+        source: OnOffSource,
+        cc_factory: CcFactory,
+        hook: Box<dyn SessionHook>,
+    ) -> Self {
+        TcpSender {
+            cfg,
+            source,
+            cc_factory,
+            hook,
+            conn: None,
+            reports: Vec::new(),
+            flows_started: 0,
+            pending_bytes: 0,
+            rto_gen: 0,
+            done: false,
+        }
+    }
+
+    /// Completed-flow reports so far.
+    pub fn reports(&self) -> &[FlowReport] {
+        &self.reports
+    }
+
+    /// Number of flows started.
+    pub fn flows_started(&self) -> u64 {
+        self.flows_started
+    }
+
+    /// True once `max_flows` have completed.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// A synthesized report for the *in-progress* connection, if any,
+    /// covering what it has delivered up to `now`. Long-running flows
+    /// (Figure 2c) never complete, yet their throughput during on-time is
+    /// exactly what the paper measures — this is how the harness sees it.
+    pub fn partial_report(&self, now: Time) -> Option<FlowReport> {
+        let conn = self.conn.as_ref()?;
+        if conn.highest_acked == 0 {
+            return None; // nothing delivered yet
+        }
+        let acked_bytes = if conn.highest_acked >= conn.total {
+            conn.bytes
+        } else {
+            conn.highest_acked * u64::from(wire::MSS)
+        };
+        Some(FlowReport {
+            flow: conn.flow,
+            bytes: acked_bytes.min(conn.bytes),
+            segments: conn.highest_acked,
+            start: conn.start,
+            end: now.max(conn.start),
+            min_rtt: conn.min_rtt,
+            mean_rtt_ms: if conn.rtt_samples > 0 {
+                conn.rtt_sum_ms / conn.rtt_samples as f64
+            } else {
+                0.0
+            },
+            rtt_samples: conn.rtt_samples,
+            retransmits: conn.retransmits,
+            timeouts: conn.timeouts,
+            recoveries: conn.recoveries,
+        })
+    }
+
+    fn schedule_next_flow(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(max) = self.cfg.max_flows {
+            if self.flows_started >= max {
+                self.done = true;
+                return;
+            }
+        }
+        let plan = self.source.next_flow();
+        self.pending_bytes = plan.bytes;
+        ctx.set_timer_after(Dur::from_nanos(plan.off_ns), token(TIMER_START, 0));
+    }
+
+    fn begin_flow(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let snapshot = self.hook.lookup(now, ctx);
+        let mut cc = (self.cc_factory)(snapshot.as_ref());
+        cc.on_flow_start(now);
+
+        let bytes = self.pending_bytes.max(1);
+        let total = bytes.div_ceil(u64::from(wire::MSS));
+        let last_payload = (bytes - (total - 1) * u64::from(wire::MSS)) as u32;
+        let flow = FlowId(self.cfg.flow_id_base + self.flows_started);
+        self.flows_started += 1;
+
+        self.conn = Some(Conn {
+            flow,
+            cc,
+            total,
+            bytes,
+            last_payload,
+            next_seq: 0,
+            pipe_end: 0,
+            ever_sent: 0,
+            highest_acked: 0,
+            dup_acks: 0,
+            recovery: None,
+            sacked: BTreeSet::new(),
+            retx_sent: BTreeSet::new(),
+            retx_unacked: BTreeSet::new(),
+            hole_scan: 0,
+            srtt: None,
+            rttvar: Dur::ZERO,
+            rto: Dur::from_secs(1),
+            min_rtt: None,
+            rtt_sum_ms: 0.0,
+            rtt_samples: 0,
+            start: now,
+            retransmits: 0,
+            timeouts: 0,
+            recoveries: 0,
+            pace_next: now,
+            pace_pending: false,
+        });
+        self.try_send(ctx);
+        self.restart_rto(ctx);
+    }
+
+    fn finish_flow(&mut self, ctx: &mut Ctx<'_>) {
+        let conn = self.conn.take().expect("finish_flow with no connection");
+        self.rto_gen += 1; // invalidate any outstanding RTO timer
+        let report = FlowReport {
+            flow: conn.flow,
+            bytes: conn.bytes,
+            segments: conn.total,
+            start: conn.start,
+            end: ctx.now(),
+            min_rtt: conn.min_rtt,
+            mean_rtt_ms: if conn.rtt_samples > 0 {
+                conn.rtt_sum_ms / conn.rtt_samples as f64
+            } else {
+                0.0
+            },
+            rtt_samples: conn.rtt_samples,
+            retransmits: conn.retransmits,
+            timeouts: conn.timeouts,
+            recoveries: conn.recoveries,
+        };
+        self.hook.report(&report, ctx);
+        self.reports.push(report);
+        self.schedule_next_flow(ctx);
+    }
+
+    fn segment(&self, conn: &Conn, seq: u64, retx: bool) -> Packet {
+        let payload = if seq + 1 == conn.total {
+            conn.last_payload
+        } else {
+            wire::MSS
+        };
+        let mut pkt = packet_to(
+            self.cfg.dst,
+            self.cfg.dst_port,
+            self.cfg.src_port,
+            conn.flow,
+            payload + wire::HEADER_BYTES,
+        );
+        pkt.seq = seq;
+        let mut flags = Flags::empty();
+        if seq + 1 == conn.total {
+            flags = flags.union(Flags::FIN);
+        }
+        if retx {
+            flags = flags.union(Flags::RETX);
+        }
+        pkt.flags = flags;
+        pkt
+    }
+
+    /// Retransmit a known-lost hole: marks the scoreboard and sends
+    /// immediately (bypasses pacing; counted in the pipe).
+    fn retransmit_hole(&mut self, seq: u64, ctx: &mut Ctx<'_>) {
+        let pkt = {
+            let conn = self.conn.as_mut().expect("retransmit without connection");
+            conn.retransmits += 1;
+            conn.retx_sent.insert(seq);
+            conn.retx_unacked.insert(seq);
+            let conn = self.conn.as_ref().expect("just updated");
+            self.segment(conn, seq, true)
+        };
+        ctx.send(pkt);
+    }
+
+    /// Send retransmissions and new data as the window, the SACK
+    /// scoreboard, and pacing allow.
+    fn try_send(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        loop {
+            let Some(conn) = self.conn.as_ref() else {
+                return;
+            };
+            let window = conn.cc.window().floor().max(1.0) as u64;
+            if conn.pipe() >= window {
+                return;
+            }
+            // Priority 1: fill known-lost holes during recovery.
+            let hole = {
+                let conn = self.conn.as_mut().expect("checked above");
+                conn.next_hole()
+            };
+            if let Some(seq) = hole {
+                self.retransmit_hole(seq, ctx);
+                continue;
+            }
+            // Priority 2: new data.
+            let conn = self.conn.as_ref().expect("checked above");
+            if conn.next_seq >= conn.total {
+                return;
+            }
+            // Pacing gate applies to new data.
+            if let Some(gap) = conn.cc.intersend() {
+                if conn.pace_next > now {
+                    let at = conn.pace_next;
+                    let pending = conn.pace_pending;
+                    let gen = self.flows_started; // current flow's generation
+                    let conn = self.conn.as_mut().expect("checked above");
+                    if !pending {
+                        conn.pace_pending = true;
+                        ctx.set_timer_at(at, token(TIMER_PACE, gen));
+                    }
+                    return;
+                }
+                let conn = self.conn.as_mut().expect("checked above");
+                conn.pace_next = now + gap;
+            }
+            let conn = self.conn.as_mut().expect("checked above");
+            // Skip segments the receiver already holds (SACKed survivors
+            // of a go-back-N restart).
+            while conn.next_seq < conn.total && conn.sacked.contains(&conn.next_seq) {
+                conn.next_seq += 1;
+                conn.pipe_end = conn.pipe_end.max(conn.next_seq);
+            }
+            if conn.next_seq >= conn.total {
+                return;
+            }
+            let seq = conn.next_seq;
+            let retx = seq < conn.ever_sent;
+            conn.next_seq += 1;
+            conn.pipe_end = conn.pipe_end.max(conn.next_seq);
+            conn.ever_sent = conn.ever_sent.max(conn.next_seq);
+            if retx {
+                conn.retransmits += 1;
+            }
+            let pkt = {
+                let conn = self.conn.as_ref().expect("checked above");
+                self.segment(conn, seq, retx)
+            };
+            ctx.send(pkt);
+        }
+    }
+
+    fn restart_rto(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(conn) = self.conn.as_mut() else {
+            return;
+        };
+        if !conn.outstanding() {
+            return;
+        }
+        conn.rto = conn.computed_rto(self.cfg.min_rto, self.cfg.max_rto);
+        self.rto_gen += 1;
+        let rto = conn.rto;
+        ctx.set_timer_after(rto, token(TIMER_RTO, self.rto_gen));
+    }
+
+    fn on_ack(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let live_util = self.hook.live_util(ctx);
+        let Some(conn) = self.conn.as_mut() else {
+            return; // stale ack from a finished flow
+        };
+        if pkt.flow != conn.flow {
+            return; // stale ack from a previous flow
+        }
+
+        conn.absorb_sack(&pkt);
+
+        if pkt.ack > conn.highest_acked {
+            let newly = pkt.ack - conn.highest_acked;
+            conn.highest_acked = pkt.ack;
+            conn.dup_acks = 0;
+            conn.advance_cumack(pkt.ack);
+
+            // Karn's rule: only sample RTT for segments never retransmitted.
+            let rtt = if !pkt.is_retx() && pkt.echo <= now && pkt.echo > Time::ZERO {
+                let sample = now - pkt.echo;
+                conn.take_rtt_sample(sample);
+                Some(sample)
+            } else {
+                None
+            };
+
+            // Recovery exit check.
+            if let Some(recover) = conn.recovery {
+                if conn.highest_acked > recover {
+                    conn.recovery = None;
+                    conn.retx_sent.clear();
+                    conn.retx_unacked.clear();
+                }
+            }
+
+            let ev = AckEvent {
+                now,
+                rtt,
+                min_rtt: conn.min_rtt,
+                newly_acked: newly,
+                sent_at: pkt.echo,
+                shared_util: live_util,
+            };
+            conn.cc.on_ack(&ev);
+
+            if conn.highest_acked >= conn.total {
+                self.finish_flow(ctx);
+                return;
+            }
+            self.restart_rto(ctx);
+        } else if pkt.ack == conn.highest_acked && conn.outstanding() {
+            conn.dup_acks += 1;
+            if conn.recovery.is_none() && conn.dup_acks >= self.cfg.dupack_threshold {
+                conn.recoveries += 1;
+                conn.recovery = Some(conn.pipe_end.saturating_sub(1));
+                conn.hole_scan = conn.highest_acked;
+                conn.cc.on_loss(&LossEvent { now });
+                // Fast retransmit of the first hole, unconditionally.
+                let hole = conn.highest_acked;
+                let already = conn.retx_sent.contains(&hole);
+                if !already {
+                    self.retransmit_hole(hole, ctx);
+                }
+                self.restart_rto(ctx);
+            }
+        }
+        self.try_send(ctx);
+    }
+
+    fn on_rto_fire(&mut self, gen: u64, ctx: &mut Ctx<'_>) {
+        if gen != self.rto_gen {
+            return; // stale timer
+        }
+        let now = ctx.now();
+        let Some(conn) = self.conn.as_mut() else {
+            return;
+        };
+        if !conn.outstanding() {
+            return;
+        }
+        conn.timeouts += 1;
+        conn.cc.on_rto(now);
+        conn.dup_acks = 0;
+        conn.recovery = None;
+        // Keep `sacked`: the receiver still holds those segments, so the
+        // go-back-N resend below skips them instead of wasting the pipe.
+        conn.retx_sent.clear();
+        conn.retx_unacked.clear();
+        conn.hole_scan = conn.highest_acked;
+        // Go-back-N: everything beyond the cumulative ack is presumed
+        // lost; drain the pipe and resume from the ack point.
+        conn.next_seq = conn.highest_acked;
+        conn.pipe_end = conn.highest_acked;
+        // Exponential backoff until the next valid RTT sample.
+        conn.rto = (conn.rto * 2).min(self.cfg.max_rto);
+        let rto = conn.rto;
+        self.rto_gen += 1;
+        ctx.set_timer_after(rto, token(TIMER_RTO, self.rto_gen));
+        self.try_send(ctx);
+    }
+}
+
+impl Agent for TcpSender {
+    fn start(&mut self, ctx: &mut Ctx<'_>) {
+        self.schedule_next_flow(ctx);
+    }
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        if pkt.is_ack() {
+            self.on_ack(pkt, ctx);
+        }
+    }
+
+    fn on_timer(&mut self, tok: u64, ctx: &mut Ctx<'_>) {
+        let kind = tok & 0b11;
+        let gen = tok >> 2;
+        match kind {
+            TIMER_START => {
+                if self.conn.is_none() && !self.done {
+                    self.begin_flow(ctx);
+                }
+            }
+            TIMER_RTO => self.on_rto_fire(gen, ctx),
+            TIMER_PACE => {
+                if gen == self.flows_started {
+                    if let Some(conn) = self.conn.as_mut() {
+                        conn.pace_pending = false;
+                    }
+                    self.try_send(ctx);
+                }
+            }
+            _ => unreachable!("unknown timer kind {kind}"),
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::FixedWindow;
+    use crate::cubic::{Cubic, CubicParams};
+    use crate::hook::NoHook;
+    use crate::receiver::TcpReceiver;
+    use phi_sim::engine::Simulator;
+    use phi_sim::queue::Capacity;
+    use phi_sim::topology::TopologyBuilder;
+    use phi_workload::{OnOffConfig, SeedRng};
+
+    /// One sender/receiver pair over a configurable single link.
+    fn pair_sim(
+        rate_bps: u64,
+        delay: Dur,
+        cap: Capacity,
+        bytes: f64,
+        flows: u64,
+        factory: CcFactory,
+    ) -> (Simulator, phi_sim::packet::AgentId, phi_sim::packet::LinkId) {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_node();
+        let z = b.add_node();
+        let (fwd, _rev) = b.add_duplex(a, z, rate_bps, delay, cap);
+        let mut sim = Simulator::new(b.build());
+        let mut cfg = SenderConfig::new(z, 80, 10);
+        cfg.max_flows = Some(flows);
+        let source = OnOffSource::new(
+            OnOffConfig {
+                mean_on_bytes: bytes,
+                mean_off_secs: 0.05,
+                deterministic: true,
+            },
+            SeedRng::new(1),
+        );
+        let s = sim.add_agent(
+            a,
+            10,
+            Box::new(TcpSender::new(cfg, source, factory, Box::new(NoHook))),
+        );
+        sim.add_agent(z, 80, Box::new(TcpReceiver::new()));
+        (sim, s, fwd)
+    }
+
+    #[test]
+    fn clean_transfer_completes_without_retransmits() {
+        let (mut sim, s, _l) = pair_sim(
+            10_000_000,
+            Dur::from_millis(10),
+            Capacity::Packets(1000),
+            100_000.0,
+            1,
+            Box::new(|_| Box::new(Cubic::new(CubicParams::default()))),
+        );
+        sim.run_until(Time::from_secs(30));
+        let sender = sim.agent_as::<TcpSender>(s).unwrap();
+        assert!(sender.is_done());
+        assert_eq!(sender.reports().len(), 1);
+        let r = &sender.reports()[0];
+        assert_eq!(r.bytes, 100_000);
+        assert_eq!(r.retransmits, 0);
+        assert_eq!(r.timeouts, 0);
+        assert!(r.rtt_samples > 0);
+        // Base RTT 20ms + serialization; min RTT should be close to that.
+        let min = r.min_rtt.unwrap();
+        assert!(min >= Dur::from_millis(20), "min rtt {min}");
+        assert!(min < Dur::from_millis(30), "min rtt {min}");
+    }
+
+    #[test]
+    fn lossy_bottleneck_recovers_and_completes() {
+        // Tiny queue forces drops during slow start with the huge default
+        // ssthresh; the transfer must still complete via fast retransmit.
+        let (mut sim, s, l) = pair_sim(
+            2_000_000,
+            Dur::from_millis(20),
+            Capacity::Packets(10),
+            400_000.0,
+            1,
+            Box::new(|_| Box::new(Cubic::new(CubicParams::default()))),
+        );
+        sim.run_until(Time::from_secs(60));
+        let sender = sim.agent_as::<TcpSender>(s).unwrap();
+        assert!(sender.is_done(), "transfer did not complete");
+        let r = &sender.reports()[0];
+        assert!(r.retransmits > 0, "expected retransmissions");
+        assert!(r.recoveries > 0, "expected fast recovery episodes");
+        assert!(sim.link_stats(l).dropped > 0);
+        assert_eq!(r.bytes, 400_000);
+    }
+
+    #[test]
+    fn sack_recovery_fills_many_holes_quickly() {
+        // Cubic's default huge ssthresh overshoots a 20-packet queue during
+        // slow start, dropping a burst of segments at once. With the SACK
+        // scoreboard, recovery repairs many holes per RTT, so the 400 KB
+        // transfer finishes promptly; one-hole-per-RTT recovery would need
+        // retransmits x RTT ≈ several seconds.
+        let (mut sim, s, _l) = pair_sim(
+            20_000_000,
+            Dur::from_millis(12), // 24 ms base RTT
+            Capacity::Packets(20),
+            400_000.0,
+            1,
+            Box::new(|_| Box::new(Cubic::new(CubicParams::default()))),
+        );
+        sim.run_until(Time::from_secs(30));
+        let sender = sim.agent_as::<TcpSender>(s).unwrap();
+        assert!(sender.is_done(), "transfer did not complete");
+        let r = &sender.reports()[0];
+        assert!(r.retransmits > 10, "mass loss expected: {}", r.retransmits);
+        let dur = r.duration();
+        let one_per_rtt = Dur::from_millis(24 * r.retransmits);
+        assert!(
+            dur < Dur::from_millis(1500) && dur < one_per_rtt / 2,
+            "SACK recovery too slow: {dur} for {} retx",
+            r.retransmits
+        );
+    }
+
+    #[test]
+    fn sequential_flows_reset_congestion_state() {
+        let (mut sim, s, _l) = pair_sim(
+            10_000_000,
+            Dur::from_millis(10),
+            Capacity::Packets(1000),
+            50_000.0,
+            3,
+            Box::new(|_| Box::new(Cubic::new(CubicParams::default()))),
+        );
+        sim.run_until(Time::from_secs(60));
+        let sender = sim.agent_as::<TcpSender>(s).unwrap();
+        assert_eq!(sender.reports().len(), 3);
+        // Flow ids are sequential.
+        let ids: Vec<u64> = sender.reports().iter().map(|r| r.flow.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        // Flows don't overlap in time.
+        for w in sender.reports().windows(2) {
+            assert!(w[1].start >= w[0].end);
+        }
+    }
+
+    #[test]
+    fn fixed_window_saturates_link() {
+        // Window far above the BDP and more data than fits in the run:
+        // the link should stay busy nearly the whole time.
+        let (mut sim, _s, l) = pair_sim(
+            5_000_000,
+            Dur::from_millis(10),
+            Capacity::Bytes(200_000),
+            100_000_000.0, // never finishes within the deadline
+            1,
+            Box::new(|_| Box::new(FixedWindow::new(100.0))),
+        );
+        let end = sim.run_until(Time::from_secs(10));
+        let elapsed = end.saturating_since(Time::ZERO);
+        let util = sim.link_stats(l).utilization(elapsed);
+        assert!(util > 0.9, "utilization {util}");
+    }
+
+    #[test]
+    fn extreme_queue_still_completes() {
+        let (mut sim, s, _l) = pair_sim(
+            500_000,
+            Dur::from_millis(50),
+            Capacity::Packets(1),
+            200_000.0,
+            1,
+            Box::new(|_| Box::new(FixedWindow::new(64.0))),
+        );
+        sim.run_until(Time::from_secs(300));
+        let sender = sim.agent_as::<TcpSender>(s).unwrap();
+        assert!(sender.is_done(), "transfer did not complete");
+        let r = &sender.reports()[0];
+        assert!(
+            r.timeouts > 0 || r.recoveries > 0,
+            "expected loss recovery (retransmits {})",
+            r.retransmits
+        );
+    }
+
+    #[test]
+    fn partial_report_tracks_in_progress_flow() {
+        let (mut sim, s, _l) = pair_sim(
+            5_000_000,
+            Dur::from_millis(10),
+            Capacity::Packets(1000),
+            100_000_000.0, // will not finish
+            1,
+            Box::new(|_| Box::new(FixedWindow::new(50.0))),
+        );
+        sim.run_until(Time::from_secs(5));
+        let sender = sim.agent_as::<TcpSender>(s).unwrap();
+        assert!(!sender.is_done());
+        assert!(sender.reports().is_empty());
+        let p = sender.partial_report(Time::from_secs(5)).unwrap();
+        assert!(p.bytes > 1_000_000, "partial bytes {}", p.bytes);
+        assert!(p.bytes < 100_000_000);
+        assert!(p.rtt_samples > 0);
+        // Roughly link rate over the window.
+        let mbps = p.throughput_bps() / 1e6;
+        assert!(mbps > 3.0 && mbps <= 5.2, "partial throughput {mbps}");
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let run = || {
+            let (mut sim, s, l) = pair_sim(
+                2_000_000,
+                Dur::from_millis(20),
+                Capacity::Packets(20),
+                300_000.0,
+                2,
+                Box::new(|_| Box::new(Cubic::new(CubicParams::default()))),
+            );
+            sim.run_until(Time::from_secs(120));
+            let sender = sim.agent_as::<TcpSender>(s).unwrap();
+            let ends: Vec<Time> = sender.reports().iter().map(|r| r.end).collect();
+            (ends, sim.link_stats(l).dropped, sim.events_processed())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,265 @@
+//! Surgical loss-recovery tests: exact drop scripts, exact expectations.
+//!
+//! The `ScriptedDrop` discipline kills precisely chosen segments, so each
+//! test isolates one recovery behaviour: a single loss repaired by one
+//! fast retransmit, a lost retransmission forcing the RTO fallback, a
+//! lost final (FIN) segment, and a multi-hole burst repaired by SACK in
+//! about one round trip.
+
+use phi_sim::engine::Simulator;
+use phi_sim::packet::LinkId;
+use phi_sim::queue::{Capacity, DropTail, ScriptedDrop};
+use phi_sim::time::{Dur, Time};
+use phi_sim::topology::TopologyBuilder;
+use phi_tcp::cc::FixedWindow;
+use phi_tcp::cubic::{Cubic, CubicParams};
+use phi_tcp::hook::NoHook;
+use phi_tcp::receiver::TcpReceiver;
+use phi_tcp::report::FlowReport;
+use phi_tcp::sender::{SenderConfig, TcpSender};
+use phi_workload::{OnOffConfig, OnOffSource, SeedRng};
+
+/// One 50-segment transfer over a clean 10 Mbit/s / 40 ms-RTT link whose
+/// forward queue drops exactly `script`. Returns the flow report.
+fn run_with_script(script: &[(u64, u64, u32)], window: f64) -> FlowReport {
+    let mut b = TopologyBuilder::new();
+    let a = b.add_node();
+    let z = b.add_node();
+    b.add_duplex(
+        a,
+        z,
+        10_000_000,
+        Dur::from_millis(20),
+        Capacity::Packets(10_000),
+    );
+    let script = script.to_vec();
+    let mut sim = Simulator::with_disciplines(b.build(), move |id, spec| {
+        if id == LinkId(0) {
+            Box::new(ScriptedDrop::new(DropTail::new(spec.capacity), &script))
+        } else {
+            Box::new(DropTail::new(spec.capacity))
+        }
+    });
+    let mut cfg = SenderConfig::new(z, 80, 10);
+    cfg.max_flows = Some(1);
+    let source = OnOffSource::new(
+        OnOffConfig {
+            mean_on_bytes: 50.0 * 1448.0, // exactly 50 segments
+            mean_off_secs: 0.0,
+            deterministic: true,
+        },
+        SeedRng::new(1),
+    );
+    let s = sim.add_agent(
+        a,
+        10,
+        Box::new(TcpSender::new(
+            cfg,
+            source,
+            Box::new(move |_| Box::new(FixedWindow::new(window))),
+            Box::new(NoHook),
+        )),
+    );
+    sim.add_agent(z, 80, Box::new(TcpReceiver::new()));
+    sim.run_until(Time::from_secs(120));
+    let sender = sim.agent_as::<TcpSender>(s).unwrap();
+    assert!(sender.is_done(), "transfer must complete");
+    sender.reports()[0].clone()
+}
+
+#[test]
+fn clean_run_has_no_recovery_activity() {
+    let r = run_with_script(&[], 16.0);
+    assert_eq!(r.retransmits, 0);
+    assert_eq!(r.recoveries, 0);
+    assert_eq!(r.timeouts, 0);
+    assert_eq!(r.segments, 50);
+}
+
+#[test]
+fn single_loss_costs_exactly_one_fast_retransmit() {
+    let r = run_with_script(&[(0, 5, 1)], 16.0);
+    assert_eq!(r.recoveries, 1, "one recovery episode");
+    assert_eq!(r.retransmits, 1, "one retransmission, no collateral");
+    assert_eq!(r.timeouts, 0, "fast retransmit must beat the RTO");
+    // Cost: roughly one extra RTT over the clean run.
+    let clean = run_with_script(&[], 16.0);
+    let penalty = r.duration().saturating_sub(clean.duration());
+    assert!(
+        penalty < Dur::from_millis(150),
+        "single-loss penalty too high: {penalty}"
+    );
+}
+
+#[test]
+fn lost_retransmission_falls_back_to_rto() {
+    // Drop seq 5 twice: the fast retransmit also dies; only the
+    // retransmission timer can save the flow.
+    let r = run_with_script(&[(0, 5, 2)], 16.0);
+    assert!(r.timeouts >= 1, "RTO fallback expected: {r:?}");
+    assert!(r.retransmits >= 2);
+}
+
+#[test]
+fn lost_final_segment_recovers_via_timeout() {
+    // The last segment (49) has nothing after it: no dup ACKs are
+    // possible, so only the RTO can detect the loss.
+    let r = run_with_script(&[(0, 49, 1)], 16.0);
+    assert!(r.timeouts >= 1, "tail loss needs the timer: {r:?}");
+    assert_eq!(r.segments, 50);
+}
+
+#[test]
+fn burst_of_holes_repaired_in_about_one_rtt() {
+    // Five scattered losses from one window; SACK recovery should repair
+    // them together, not one per RTT.
+    let script: Vec<(u64, u64, u32)> = [3u64, 6, 9, 12, 15]
+        .iter()
+        .map(|&s| (0u64, s, 1u32))
+        .collect();
+    let r = run_with_script(&script, 20.0);
+    assert_eq!(r.retransmits, 5);
+    assert_eq!(r.timeouts, 0, "no timeout needed with SACK: {r:?}");
+    let clean = run_with_script(&[], 20.0);
+    let penalty = r.duration().saturating_sub(clean.duration());
+    assert!(
+        penalty < Dur::from_millis(200),
+        "five holes should cost ~1-2 RTTs, not {penalty}"
+    );
+}
+
+#[test]
+fn recovery_under_cubic_backs_off_once_per_episode() {
+    // Same single loss under Cubic: exactly one window reduction.
+    let mut b = TopologyBuilder::new();
+    let a = b.add_node();
+    let z = b.add_node();
+    b.add_duplex(
+        a,
+        z,
+        10_000_000,
+        Dur::from_millis(20),
+        Capacity::Packets(10_000),
+    );
+    let mut sim = Simulator::with_disciplines(b.build(), move |id, spec| {
+        if id == LinkId(0) {
+            Box::new(ScriptedDrop::new(
+                DropTail::new(spec.capacity),
+                &[(0, 10, 1)],
+            ))
+        } else {
+            Box::new(DropTail::new(spec.capacity))
+        }
+    });
+    let mut cfg = SenderConfig::new(z, 80, 10);
+    cfg.max_flows = Some(1);
+    let source = OnOffSource::new(
+        OnOffConfig {
+            mean_on_bytes: 100.0 * 1448.0,
+            mean_off_secs: 0.0,
+            deterministic: true,
+        },
+        SeedRng::new(2),
+    );
+    let s = sim.add_agent(
+        a,
+        10,
+        Box::new(TcpSender::new(
+            cfg,
+            source,
+            Box::new(|_| Box::new(Cubic::new(CubicParams::tuned(8.0, 64.0, 0.3)))),
+            Box::new(NoHook),
+        )),
+    );
+    sim.add_agent(z, 80, Box::new(TcpReceiver::new()));
+    sim.run_until(Time::from_secs(60));
+    let sender = sim.agent_as::<TcpSender>(s).unwrap();
+    assert!(sender.is_done());
+    let r = &sender.reports()[0];
+    assert_eq!(r.recoveries, 1, "one loss, one episode: {r:?}");
+    assert_eq!(r.timeouts, 0);
+}
+
+mod pacing {
+    use super::*;
+    use phi_sim::packet::AgentId;
+    use phi_tcp::cc::{AckEvent, CongestionControl, LossEvent};
+
+    /// A window-based controller that also paces: big window, fixed gap.
+    struct Paced {
+        gap: Dur,
+    }
+    impl CongestionControl for Paced {
+        fn on_flow_start(&mut self, _now: Time) {}
+        fn window(&self) -> f64 {
+            1_000.0
+        }
+        fn intersend(&self) -> Option<Dur> {
+            Some(self.gap)
+        }
+        fn on_ack(&mut self, _ev: &AckEvent) {}
+        fn on_loss(&mut self, _ev: &LossEvent) {}
+        fn on_rto(&mut self, _now: Time) {}
+        fn name(&self) -> &'static str {
+            "paced"
+        }
+    }
+
+    fn run_paced(gap: Dur, secs: u64) -> (f64, AgentId) {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_node();
+        let z = b.add_node();
+        b.add_duplex(
+            a,
+            z,
+            100_000_000,
+            Dur::from_millis(5),
+            Capacity::Packets(100_000),
+        );
+        let mut sim = Simulator::new(b.build());
+        let mut cfg = SenderConfig::new(z, 80, 10);
+        cfg.max_flows = Some(1);
+        let source = OnOffSource::new(
+            OnOffConfig {
+                mean_on_bytes: 1e12, // never finishes
+                mean_off_secs: 0.0,
+                deterministic: true,
+            },
+            SeedRng::new(9),
+        );
+        let s = sim.add_agent(
+            a,
+            10,
+            Box::new(TcpSender::new(
+                cfg,
+                source,
+                Box::new(move |_| Box::new(Paced { gap })),
+                Box::new(NoHook),
+            )),
+        );
+        sim.add_agent(z, 80, Box::new(TcpReceiver::new()));
+        sim.run_until(Time::from_secs(secs));
+        let sender = sim.agent_as::<TcpSender>(s).unwrap();
+        let p = sender
+            .partial_report(Time::from_secs(secs))
+            .expect("progress");
+        (p.throughput_bps() / 1e6, s)
+    }
+
+    #[test]
+    fn pacing_caps_throughput_independent_of_window() {
+        // 10 ms gap => ~1448 B / 10 ms = 1.16 Mbit/s goodput, despite a
+        // 1000-segment window on a 100 Mbit/s link.
+        let (slow, _) = run_paced(Dur::from_millis(10), 10);
+        assert!(
+            (slow - 1.16).abs() < 0.2,
+            "10 ms pacing should yield ~1.16 Mbit/s, got {slow:.2}"
+        );
+        // Halving the gap doubles the rate.
+        let (fast, _) = run_paced(Dur::from_millis(5), 10);
+        assert!(
+            (fast / slow - 2.0).abs() < 0.2,
+            "5 ms pacing should double 10 ms pacing: {fast:.2} vs {slow:.2}"
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! Binary export format for flow records.
+//!
+//! Exporters ship records to the collector in fixed-layout 25-byte
+//! entries inside length-counted batches:
+//!
+//! ```text
+//! batch  := u16 count, count × record
+//! record := u32 src_ip, u32 dst_ip, u16 src_port, u16 dst_port, u8 proto,
+//!           u64 ts_ms, u32 bytes  (packets is implicitly 1)
+//! ```
+//!
+//! This mirrors an IPFIX data set with a fixed template, without the
+//! template-negotiation machinery the experiments don't need.
+
+use std::net::Ipv4Addr;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::record::{FlowKey, IpfixRecord};
+
+/// Encoded size of one record.
+pub const RECORD_SIZE: usize = 4 + 4 + 2 + 2 + 1 + 8 + 4;
+
+/// Maximum records per batch (fits the u16 count).
+pub const MAX_BATCH: usize = u16::MAX as usize;
+
+/// Codec errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Batch declared more records than bytes present.
+    Truncated,
+    /// Too many records for one batch.
+    BatchTooLarge(usize),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "batch truncated"),
+            CodecError::BatchTooLarge(n) => write!(f, "batch of {n} exceeds {MAX_BATCH}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Encode a batch of records.
+pub fn encode_batch(records: &[IpfixRecord]) -> Result<Bytes, CodecError> {
+    if records.len() > MAX_BATCH {
+        return Err(CodecError::BatchTooLarge(records.len()));
+    }
+    let mut out = BytesMut::with_capacity(2 + records.len() * RECORD_SIZE);
+    out.put_u16(records.len() as u16);
+    for r in records {
+        out.put_u32(r.key.src_ip.into());
+        out.put_u32(r.key.dst_ip.into());
+        out.put_u16(r.key.src_port);
+        out.put_u16(r.key.dst_port);
+        out.put_u8(r.key.proto);
+        out.put_u64(r.ts_ms);
+        out.put_u32(r.bytes);
+    }
+    Ok(out.freeze())
+}
+
+/// Decode one batch.
+pub fn decode_batch(mut buf: &[u8]) -> Result<Vec<IpfixRecord>, CodecError> {
+    if buf.len() < 2 {
+        return Err(CodecError::Truncated);
+    }
+    let count = buf.get_u16() as usize;
+    if buf.len() < count * RECORD_SIZE {
+        return Err(CodecError::Truncated);
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push(IpfixRecord {
+            key: FlowKey {
+                src_ip: Ipv4Addr::from(buf.get_u32()),
+                dst_ip: Ipv4Addr::from(buf.get_u32()),
+                src_port: buf.get_u16(),
+                dst_port: buf.get_u16(),
+                proto: buf.get_u8(),
+            },
+            ts_ms: buf.get_u64(),
+            bytes: buf.get_u32(),
+            packets: 1,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(i: u8) -> IpfixRecord {
+        IpfixRecord {
+            key: FlowKey {
+                src_ip: Ipv4Addr::new(10, 0, 0, i),
+                dst_ip: Ipv4Addr::new(93, 184, i, 34),
+                src_port: 443,
+                dst_port: 50_000 + u16::from(i),
+                proto: 6,
+            },
+            ts_ms: 1_234_567 + u64::from(i),
+            bytes: 1500,
+            packets: 1,
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_records() {
+        let records: Vec<IpfixRecord> = (0..50).map(record).collect();
+        let bytes = encode_batch(&records).unwrap();
+        assert_eq!(bytes.len(), 2 + 50 * RECORD_SIZE);
+        let back = decode_batch(&bytes).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn empty_batch_roundtrips() {
+        let bytes = encode_batch(&[]).unwrap();
+        assert_eq!(decode_batch(&bytes).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn truncated_batch_detected() {
+        let records: Vec<IpfixRecord> = (0..3).map(record).collect();
+        let bytes = encode_batch(&records).unwrap();
+        assert_eq!(
+            decode_batch(&bytes[..bytes.len() - 1]),
+            Err(CodecError::Truncated)
+        );
+        assert_eq!(decode_batch(&[1]), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn oversized_batch_rejected() {
+        let records = vec![record(0); MAX_BATCH + 1];
+        assert_eq!(
+            encode_batch(&records),
+            Err(CodecError::BatchTooLarge(MAX_BATCH + 1))
+        );
+    }
+}

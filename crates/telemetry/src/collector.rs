@@ -1,0 +1,171 @@
+//! The centralized collector: spatio-temporal aggregation of sampled flows.
+//!
+//! §2.1 of the paper: "we … calculate the number of TCP flows … per minute
+//! for each /24 subnet that the provider sends traffic to. Given this
+//! compact spatio-temporal granularity (/24 subnet and 1-minute time
+//! slice), we can reasonably expect all the flows to follow the same WAN
+//! path." The collector builds exactly those buckets: distinct flow keys
+//! per (destination /24, minute).
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::record::{FlowKey, IpfixRecord, Subnet24};
+
+/// A spatio-temporal bucket id: (destination /24, minute index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BucketId {
+    /// Destination subnet.
+    pub subnet: Subnet24,
+    /// Minute since collection start.
+    pub minute: u64,
+}
+
+/// Aggregated contents of one bucket.
+#[derive(Debug, Clone, Default)]
+pub struct Bucket {
+    flows: HashSet<FlowKey>,
+    /// Sampled packets that fell into the bucket.
+    pub packets: u64,
+    /// Sampled bytes.
+    pub bytes: u64,
+}
+
+impl Bucket {
+    /// Distinct flows observed in this bucket.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// The distinct flow keys.
+    pub fn flows(&self) -> impl Iterator<Item = &FlowKey> {
+        self.flows.iter()
+    }
+}
+
+/// The collector.
+#[derive(Debug, Default)]
+pub struct Collector {
+    buckets: HashMap<BucketId, Bucket>,
+    records: u64,
+}
+
+impl Collector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Collector::default()
+    }
+
+    /// Ingest one exported record.
+    pub fn ingest(&mut self, record: &IpfixRecord) {
+        self.records += 1;
+        let id = BucketId {
+            subnet: record.key.dst_subnet(),
+            minute: record.ts_ms / 60_000,
+        };
+        let b = self.buckets.entry(id).or_default();
+        b.flows.insert(record.key);
+        b.packets += u64::from(record.packets);
+        b.bytes += u64::from(record.bytes);
+    }
+
+    /// Ingest a whole batch.
+    pub fn ingest_batch(&mut self, records: &[IpfixRecord]) {
+        for r in records {
+            self.ingest(r);
+        }
+    }
+
+    /// Records ingested.
+    pub fn record_count(&self) -> u64 {
+        self.records
+    }
+
+    /// Number of non-empty buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Iterate over buckets.
+    pub fn buckets(&self) -> impl Iterator<Item = (&BucketId, &Bucket)> {
+        self.buckets.iter()
+    }
+
+    /// A specific bucket.
+    pub fn bucket(&self, id: &BucketId) -> Option<&Bucket> {
+        self.buckets.get(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn rec(dst: Ipv4Addr, src_port: u16, ts_ms: u64) -> IpfixRecord {
+        IpfixRecord {
+            key: FlowKey {
+                src_ip: Ipv4Addr::new(10, 0, 0, 1),
+                dst_ip: dst,
+                src_port,
+                dst_port: 50_000,
+                proto: 6,
+            },
+            ts_ms,
+            bytes: 1500,
+            packets: 1,
+        }
+    }
+
+    #[test]
+    fn buckets_split_by_subnet_and_minute() {
+        let mut c = Collector::new();
+        let a = Ipv4Addr::new(93, 184, 1, 5);
+        let b = Ipv4Addr::new(93, 184, 2, 5);
+        c.ingest(&rec(a, 1, 0)); // subnet A, minute 0
+        c.ingest(&rec(a, 2, 59_999)); // subnet A, minute 0
+        c.ingest(&rec(a, 3, 60_000)); // subnet A, minute 1
+        c.ingest(&rec(b, 4, 0)); // subnet B, minute 0
+        assert_eq!(c.bucket_count(), 3);
+        let id = BucketId {
+            subnet: Subnet24::of(a),
+            minute: 0,
+        };
+        assert_eq!(c.bucket(&id).unwrap().flow_count(), 2);
+    }
+
+    #[test]
+    fn duplicate_flow_counted_once() {
+        let mut c = Collector::new();
+        let dst = Ipv4Addr::new(93, 184, 1, 5);
+        // Same 4-tuple sampled three times in the same minute.
+        c.ingest(&rec(dst, 1, 100));
+        c.ingest(&rec(dst, 1, 200));
+        c.ingest(&rec(dst, 1, 300));
+        let id = BucketId {
+            subnet: Subnet24::of(dst),
+            minute: 0,
+        };
+        let b = c.bucket(&id).unwrap();
+        assert_eq!(b.flow_count(), 1);
+        assert_eq!(b.packets, 3);
+        assert_eq!(b.bytes, 4500);
+        assert_eq!(c.record_count(), 3);
+    }
+
+    #[test]
+    fn batch_equals_sequential() {
+        let records: Vec<IpfixRecord> = (0..20)
+            .map(|i| rec(Ipv4Addr::new(93, 184, 1, 5), i, u64::from(i) * 1000))
+            .collect();
+        let mut a = Collector::new();
+        a.ingest_batch(&records);
+        let mut b = Collector::new();
+        for r in &records {
+            b.ingest(r);
+        }
+        assert_eq!(a.record_count(), b.record_count());
+        assert_eq!(a.bucket_count(), b.bucket_count());
+    }
+}

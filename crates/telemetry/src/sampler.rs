@@ -1,0 +1,152 @@
+//! Packet sampling, router style.
+//!
+//! The paper's IPFIX deployment samples **one in 4096 packets** at each
+//! router. Routers implement this either deterministically (every 4096th
+//! packet) or probabilistically; we provide both — the deterministic mode
+//! matches count-based router samplers, the probabilistic mode is useful
+//! for sensitivity checks. Sampled packet headers become
+//! [`crate::record::IpfixRecord`]s bound for the collector.
+
+use phi_workload::SeedRng;
+
+use crate::record::{FlowKey, IpfixRecord};
+
+/// The paper's sampling rate: 1 in 4096.
+pub const PAPER_RATE: u32 = 4096;
+
+/// Sampling strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Every `rate`-th packet exactly (count-based).
+    Deterministic,
+    /// Each packet independently with probability `1/rate`.
+    Probabilistic,
+}
+
+/// A 1-in-N packet sampler.
+#[derive(Debug)]
+pub struct Sampler {
+    rate: u32,
+    mode: Mode,
+    counter: u64,
+    rng: SeedRng,
+    observed: u64,
+    sampled: u64,
+}
+
+impl Sampler {
+    /// A sampler taking one in `rate` packets.
+    pub fn new(rate: u32, mode: Mode, rng: SeedRng) -> Self {
+        assert!(rate >= 1, "rate must be at least 1");
+        Sampler {
+            rate,
+            mode,
+            counter: 0,
+            rng,
+            observed: 0,
+            sampled: 0,
+        }
+    }
+
+    /// The paper's configuration: deterministic 1-in-4096.
+    pub fn paper(rng: SeedRng) -> Self {
+        Sampler::new(PAPER_RATE, Mode::Deterministic, rng)
+    }
+
+    /// Offer one packet; returns its export record if sampled.
+    pub fn observe(&mut self, key: FlowKey, ts_ms: u64, bytes: u32) -> Option<IpfixRecord> {
+        self.observed += 1;
+        let take = match self.mode {
+            Mode::Deterministic => {
+                self.counter += 1;
+                if self.counter == u64::from(self.rate) {
+                    self.counter = 0;
+                    true
+                } else {
+                    false
+                }
+            }
+            Mode::Probabilistic => self.rng.chance(1.0 / f64::from(self.rate)),
+        };
+        if take {
+            self.sampled += 1;
+            Some(IpfixRecord {
+                key,
+                ts_ms,
+                bytes,
+                packets: 1,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// (observed, sampled) counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.observed, self.sampled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn key(i: u32) -> FlowKey {
+        FlowKey {
+            src_ip: Ipv4Addr::new(10, 0, 0, 1),
+            dst_ip: Ipv4Addr::from(0x5db8_0000 + i),
+            src_port: 443,
+            dst_port: 50_000,
+            proto: 6,
+        }
+    }
+
+    #[test]
+    fn deterministic_takes_exactly_one_in_n() {
+        let mut s = Sampler::new(100, Mode::Deterministic, SeedRng::new(1));
+        let mut taken = 0;
+        for i in 0..10_000 {
+            if s.observe(key(i), u64::from(i), 1500).is_some() {
+                taken += 1;
+            }
+        }
+        assert_eq!(taken, 100);
+        assert_eq!(s.counters(), (10_000, 100));
+    }
+
+    #[test]
+    fn probabilistic_close_to_rate() {
+        let mut s = Sampler::new(100, Mode::Probabilistic, SeedRng::new(2));
+        let mut taken = 0u32;
+        let n = 200_000;
+        for i in 0..n {
+            if s.observe(key(i), u64::from(i), 1500).is_some() {
+                taken += 1;
+            }
+        }
+        let expect = n / 100;
+        assert!(
+            (i64::from(taken) - i64::from(expect)).abs() < i64::from(expect) / 5,
+            "taken {taken}, expected ≈{expect}"
+        );
+    }
+
+    #[test]
+    fn rate_one_takes_everything() {
+        let mut s = Sampler::new(1, Mode::Deterministic, SeedRng::new(3));
+        for i in 0..10 {
+            assert!(s.observe(key(i), 0, 100).is_some());
+        }
+    }
+
+    #[test]
+    fn record_carries_packet_metadata() {
+        let mut s = Sampler::new(1, Mode::Deterministic, SeedRng::new(4));
+        let r = s.observe(key(7), 555, 1234).unwrap();
+        assert_eq!(r.ts_ms, 555);
+        assert_eq!(r.bytes, 1234);
+        assert_eq!(r.packets, 1);
+        assert_eq!(r.key, key(7));
+    }
+}

@@ -1,0 +1,87 @@
+//! A real Phi context server over TCP.
+//!
+//! Starts the threaded [`phi::core::ContextServer`] on a loopback port,
+//! then runs a fleet of client "senders" (threads) that follow the
+//! §2.2.2 protocol — look up the congestion context when a connection
+//! starts, report the experience when it ends — and shows the shared
+//! picture converging: utilization, queueing, and competing-sender counts
+//! that no individual sender could see alone.
+//!
+//! Run with: `cargo run --release --example context_server`
+
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use phi::core::{ContextClient, ContextServer, ContextStore, FlowSummary, PathKey, StoreConfig};
+
+fn main() {
+    // One path (think: one busy destination /24), capacity 100 Mbit/s.
+    let path = PathKey(0xC0FFEE);
+    let store = phi::core::sync_store(ContextStore::new(StoreConfig {
+        window_ns: 2_000_000_000, // 2 s sliding window (demo timescale)
+        capacity_bps: Some(100_000_000.0),
+        queue_alpha: 0.3,
+    }));
+    let server = ContextServer::start("127.0.0.1:0", store).expect("bind context server");
+    let addr = server.addr();
+    println!("context server listening on {addr}\n");
+
+    // A fleet of sender threads, each running a few "connections".
+    let fleet: Vec<_> = (0..6)
+        .map(|i: u64| {
+            std::thread::spawn(move || {
+                let mut client = ContextClient::connect(addr).expect("connect");
+                for conn in 0..4u64 {
+                    let ctx = client.lookup(path).expect("lookup");
+                    // Pick aggressiveness from the shared context, like a
+                    // Phi sender chooses Cubic parameters.
+                    let aggressive = ctx.utilization < 0.5;
+                    // "Transfer": pretend the connection ran for 150-400 ms
+                    // moving 0.5-2 MB, busier when aggressive.
+                    let bytes = if aggressive { 2_000_000 } else { 500_000 };
+                    let dur_ms = 150 + 50 * i + 20 * conn;
+                    std::thread::sleep(Duration::from_millis(dur_ms / 10)); // sped up
+                    client
+                        .report(
+                            path,
+                            FlowSummary {
+                                bytes,
+                                duration_ns: dur_ms * 1_000_000,
+                                mean_rtt_ms: 150.0 + 8.0 * i as f64,
+                                min_rtt_ms: 150.0,
+                                retransmits: u32::from(!aggressive),
+                                timeouts: 0,
+                            },
+                        )
+                        .expect("report");
+                }
+            })
+        })
+        .collect();
+    for t in fleet {
+        t.join().expect("sender thread");
+    }
+
+    // An observer asks for the final "network weather".
+    let mut observer = ContextClient::connect(addr).expect("connect");
+    let ctx = observer.lookup(path).expect("lookup");
+    println!("shared congestion context after the fleet ran:");
+    println!("  utilization u  = {:.2}", ctx.utilization);
+    println!("  queueing q     = {:.1} ms (RTT inflation)", ctx.queue_ms);
+    println!(
+        "  competing n    = {} (the observer's own lookup registered it)",
+        ctx.competing
+    );
+
+    let stats = server.stats();
+    println!(
+        "\nserver counters: {} connections, {} lookups, {} reports, {} protocol errors",
+        stats.connections.load(Ordering::Relaxed),
+        stats.lookups.load(Ordering::Relaxed),
+        stats.reports.load(Ordering::Relaxed),
+        stats.protocol_errors.load(Ordering::Relaxed),
+    );
+
+    server.shutdown();
+    println!("server shut down cleanly");
+}

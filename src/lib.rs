@@ -1,0 +1,54 @@
+//! # Phi — rethinking networking for "five computers"
+//!
+//! A complete Rust reproduction of *Rethinking Networking for "Five
+//! Computers"* (Renganathan, Padmanabhan & Nambi, HotNets-XVII 2018):
+//! information sharing and coordination across the senders of a large
+//! cloud provider, together with every substrate the paper's evaluation
+//! rests on.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`sim`] | deterministic packet-level network simulator (the ns-2 stand-in) |
+//! | [`workload`] | seeded RNG streams, distributions, the on/off traffic model |
+//! | [`tcp`] | TCP transport: Cubic, NewReno, sender/receiver agents, loss recovery |
+//! | [`remy`] | learned congestion control (TCP ex Machina) + offline trainer + Phi's shared-utilization extension |
+//! | [`core`] | the Phi system: congestion context, context server (in-proc and over TCP), parameter optimizer, prioritization, informed adaptation |
+//! | [`telemetry`] | IPFIX-style sampled flow export and the §2.1 path-sharing analysis |
+//! | [`diagnosis`] | request-volume anomaly detection and outage localization (Figure 5) |
+//! | [`predict`] | per-path performance prediction: download times and VoIP MOS (§3.5) |
+//!
+//! ## Quickstart
+//!
+//! Run default Cubic and Phi-tuned Cubic over the paper's dumbbell and
+//! compare the power metric:
+//!
+//! ```
+//! use phi::core::{provision_cubic, run_experiment, score, ExperimentSpec, Objective};
+//! use phi::sim::time::Dur;
+//! use phi::tcp::CubicParams;
+//! use phi::workload::OnOffConfig;
+//!
+//! let spec = ExperimentSpec::new(4, OnOffConfig::fig2(), Dur::from_secs(10), 42);
+//! let default = run_experiment(&spec, provision_cubic(CubicParams::default()));
+//! let tuned = run_experiment(&spec, provision_cubic(CubicParams::tuned(32.0, 64.0, 0.2)));
+//! let s = |r: &phi::core::RunResult| score(Objective::PowerLoss, &r.metrics, spec.base_rtt_ms());
+//! // Both runs saw the identical workload; only the parameters differ.
+//! assert!(s(&tuned).is_finite() && s(&default).is_finite());
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! harnesses that regenerate every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use phi_core as core;
+pub use phi_diagnosis as diagnosis;
+pub use phi_predict as predict;
+pub use phi_remy as remy;
+pub use phi_sim as sim;
+pub use phi_tcp as tcp;
+pub use phi_telemetry as telemetry;
+pub use phi_workload as workload;

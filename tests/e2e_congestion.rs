@@ -1,0 +1,141 @@
+//! End-to-end congestion-control pipeline: sweep → policy → Phi senders.
+//!
+//! Exercises the whole §2.2 loop across crates: the optimizer finds good
+//! parameters on the simulator, a policy table is built from them, and
+//! Phi-provisioned senders (context store + practical hooks) then beat
+//! the unmodified defaults on the paper's metric under a fresh workload.
+
+use phi::core::{
+    policy_from_sweeps, provision_cubic, provision_cubic_phi, run_experiment, run_repeated, score,
+    sweep_cubic, ExperimentSpec, Objective, SweepSpec, DUMBBELL_PATH,
+};
+use phi::sim::time::Dur;
+use phi::tcp::report::RunMetrics;
+use phi::tcp::CubicParams;
+use phi::workload::OnOffConfig;
+
+fn quick_spec(pairs: usize, seed: u64) -> ExperimentSpec {
+    let mut spec = ExperimentSpec::new(
+        pairs,
+        OnOffConfig {
+            mean_on_bytes: 300_000.0,
+            mean_off_secs: 1.0,
+            deterministic: false,
+        },
+        Dur::from_secs(20),
+        seed,
+    );
+    spec.dumbbell.bottleneck_bps = 10_000_000;
+    spec.dumbbell.rtt = Dur::from_millis(80);
+    spec
+}
+
+#[test]
+fn sweep_then_policy_then_phi_beats_default() {
+    // 1. Sweep at two load levels.
+    let grid = SweepSpec {
+        init_window: vec![2.0, 16.0, 64.0],
+        init_ssthresh: vec![16.0, 64.0],
+        beta: vec![0.2],
+    };
+    let low = sweep_cubic(&quick_spec(3, 10), &grid, 2, Objective::PowerLoss);
+    let high = sweep_cubic(&quick_spec(8, 20), &grid, 2, Objective::PowerLoss);
+
+    // 2. Build the policy from the sweep winners.
+    let policy = policy_from_sweeps(vec![
+        (low.best().mean.utilization, low.best().params),
+        (high.best().mean.utilization, high.best().params),
+    ]);
+
+    // 3. Evaluate Phi senders vs defaults on a fresh seed and mid load.
+    let eval_spec = quick_spec(6, 99);
+    let runs = 3;
+    let default_runs = run_repeated(&eval_spec, runs, provision_cubic(CubicParams::default()));
+    let phi_runs = run_repeated(&eval_spec, runs, provision_cubic_phi(policy));
+    let base = eval_spec.base_rtt_ms();
+    let s = |rs: &[phi::core::RunResult]| {
+        let ms: Vec<RunMetrics> = rs.iter().map(|r| r.metrics.clone()).collect();
+        score(Objective::PowerLoss, &RunMetrics::mean_of(&ms), base)
+    };
+    let d = s(&default_runs);
+    let p = s(&phi_runs);
+    assert!(
+        p > d,
+        "Phi-provisioned senders should beat defaults: {p:.4} vs {d:.4}"
+    );
+
+    // 4. The Phi run actually used the shared state.
+    let (lookups, reports) = phi_runs[0].store.traffic_counters(DUMBBELL_PATH);
+    assert!(
+        lookups > 0 && reports > 0,
+        "context store was not consulted"
+    );
+}
+
+#[test]
+fn identical_seeds_reproduce_exactly_across_provisioners() {
+    let spec = quick_spec(4, 7);
+    let a = run_experiment(&spec, provision_cubic(CubicParams::default()));
+    let b = run_experiment(&spec, provision_cubic(CubicParams::default()));
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.metrics.bytes, b.metrics.bytes);
+    assert_eq!(a.metrics.flows_completed, b.metrics.flows_completed);
+    // Byte-identical flow histories.
+    for (ra, rb) in a.per_sender.iter().zip(&b.per_sender) {
+        assert_eq!(ra.len(), rb.len());
+        for (fa, fb) in ra.iter().zip(rb) {
+            assert_eq!(fa.bytes, fb.bytes);
+            assert_eq!(fa.start, fb.start);
+            assert_eq!(fa.end, fb.end);
+            assert_eq!(fa.retransmits, fb.retransmits);
+        }
+    }
+}
+
+#[test]
+fn congestion_actually_degrades_the_uncoordinated_network() {
+    // The premise of the paper: more blind senders => more queueing.
+    let light = run_experiment(&quick_spec(2, 31), provision_cubic(CubicParams::default()));
+    let heavy = run_experiment(&quick_spec(10, 31), provision_cubic(CubicParams::default()));
+    assert!(
+        heavy.metrics.queueing_delay_ms > light.metrics.queueing_delay_ms,
+        "queueing should grow with offered load: {} vs {}",
+        heavy.metrics.queueing_delay_ms,
+        light.metrics.queueing_delay_ms
+    );
+    assert!(heavy.metrics.utilization > light.metrics.utilization);
+}
+
+#[test]
+fn fifo_non_insulation_holds() {
+    // §3.1/§3.2: with FIFO queueing a well-behaved flow is not insulated
+    // from aggressive ones. A lone gentle sender sees low RTT; the same
+    // sender next to aggressive defaults sees inflated RTT.
+    let gentle_params = CubicParams::tuned(2.0, 8.0, 0.2);
+    let alone = run_experiment(&quick_spec(1, 55), provision_cubic(gentle_params));
+    let crowded_spec = quick_spec(8, 55);
+    let crowded = run_experiment(&crowded_spec, move |ctx| {
+        let params = if ctx.index == 0 {
+            gentle_params
+        } else {
+            CubicParams::default()
+        };
+        phi::core::Provisioned {
+            factory: Box::new(move |_| Box::new(phi::tcp::Cubic::new(params))),
+            hook: Box::new(phi::tcp::NoHook),
+        }
+    });
+    let gentle_alone = &alone.per_sender[0];
+    let gentle_crowded = &crowded.per_sender[0];
+    let mean_rtt = |rs: &[phi::tcp::FlowReport]| {
+        let with_samples: Vec<&phi::tcp::FlowReport> =
+            rs.iter().filter(|r| r.rtt_samples > 0).collect();
+        with_samples.iter().map(|r| r.mean_rtt_ms).sum::<f64>() / with_samples.len().max(1) as f64
+    };
+    let solo = mean_rtt(gentle_alone);
+    let shared = mean_rtt(gentle_crowded);
+    assert!(
+        shared > solo + 5.0,
+        "FIFO should expose the gentle flow to others' queue: {solo:.1} vs {shared:.1} ms"
+    );
+}

@@ -1,0 +1,151 @@
+//! Multi-bottleneck ("parking lot") topologies: the simulator and
+//! transport must behave sensibly beyond the dumbbell.
+//!
+//! Topology: A --10M-- B --10M-- C --10M-- D with hosts hanging off each
+//! router. A long path (via all three backbone links) competes with
+//! short one-hop cross traffic on each link — the classic setting where
+//! the long flow gets squeezed at every hop.
+
+use phi::sim::engine::Simulator;
+use phi::sim::queue::Capacity;
+use phi::sim::time::{Dur, Time};
+use phi::sim::topology::{parking_lot, ParkingLotSpec};
+use phi::tcp::cubic::{Cubic, CubicParams};
+use phi::tcp::hook::NoHook;
+use phi::tcp::receiver::TcpReceiver;
+use phi::tcp::sender::{SenderConfig, TcpSender};
+use phi::workload::{OnOffConfig, OnOffSource, SeedRng};
+
+struct Lot {
+    sim: Simulator,
+    senders: Vec<phi::sim::packet::AgentId>,
+    backbone: Vec<phi::sim::packet::LinkId>,
+}
+
+/// Build the parking lot with one long flow (hop 0 -> hop 3) and one
+/// short cross flow per backbone link.
+fn build(seconds_of_data: f64) -> Lot {
+    let lot = parking_lot(&ParkingLotSpec {
+        hops: 3,
+        backbone_bps: 10_000_000,
+        hop_delay: Dur::from_millis(10),
+        capacity: Capacity::Bytes(150_000), // ~1.2 x BDP per link
+        access_bps: 1_000_000_000,
+    });
+    let mut sim = Simulator::new(lot.topology.clone());
+
+    let bytes = 10_000_000.0 / 8.0 * seconds_of_data; // enough to stay busy
+    let add_sender = |sim: &mut Simulator,
+                      src: phi::sim::packet::NodeId,
+                      dst: phi::sim::packet::NodeId,
+                      seed: u64| {
+        let mut cfg = SenderConfig::new(dst, 80, 10);
+        cfg.max_flows = Some(1);
+        let source = OnOffSource::new(
+            OnOffConfig {
+                mean_on_bytes: bytes,
+                mean_off_secs: 0.0,
+                deterministic: true,
+            },
+            SeedRng::new(seed),
+        );
+        let id = sim.add_agent(
+            src,
+            10,
+            Box::new(TcpSender::new(
+                cfg,
+                source,
+                Box::new(|_| Box::new(Cubic::new(CubicParams::tuned(8.0, 64.0, 0.2)))),
+                Box::new(NoHook),
+            )),
+        );
+        sim.add_agent(dst, 80, Box::new(TcpReceiver::new()));
+        id
+    };
+
+    let (long_src, long_dst) = lot.long_path;
+    let mut senders = vec![add_sender(&mut sim, long_src, long_dst, 1)];
+    for (i, &(src, dst)) in lot.cross.iter().enumerate() {
+        senders.push(add_sender(&mut sim, src, dst, 10 + i as u64));
+    }
+    Lot {
+        sim,
+        senders,
+        backbone: lot.backbone,
+    }
+}
+
+fn goodput_mbps(sim: &Simulator, id: phi::sim::packet::AgentId, secs: f64) -> f64 {
+    let s = sim.agent_as::<TcpSender>(id).unwrap();
+    let done: u64 = s.reports().iter().map(|r| r.bytes).sum();
+    let partial = s
+        .partial_report(Time::from_secs_f64(secs))
+        .map(|p| p.bytes)
+        .unwrap_or(0);
+    (done + partial) as f64 * 8.0 / secs / 1e6
+}
+
+#[test]
+fn long_flow_is_squeezed_at_every_hop() {
+    let secs = 40.0;
+    let mut lot = build(secs * 2.0);
+    lot.sim.run_until(Time::from_secs_f64(secs));
+
+    let long = goodput_mbps(&lot.sim, lot.senders[0], secs);
+    let crosses: Vec<f64> = (1..4)
+        .map(|i| goodput_mbps(&lot.sim, lot.senders[i], secs))
+        .collect();
+    let mean_cross = crosses.iter().sum::<f64>() / 3.0;
+
+    // Everyone makes real progress...
+    assert!(long > 0.5, "long flow starved: {long:.2} Mbit/s");
+    for (i, c) in crosses.iter().enumerate() {
+        assert!(*c > 1.0, "cross flow {i} starved: {c:.2}");
+    }
+    // ...but the long flow, paying loss probability at three hops, gets
+    // less than the single-hop cross traffic (the parking-lot effect).
+    assert!(
+        long < mean_cross,
+        "long flow ({long:.2}) should underperform one-hop cross traffic ({mean_cross:.2})"
+    );
+    // Links are all busy: each carries its cross flow + the long flow.
+    for (i, l) in lot.backbone.iter().enumerate() {
+        let util = lot.sim.link_stats(*l).utilization(Dur::from_secs_f64(secs));
+        assert!(util > 0.7, "backbone link {i} underutilized: {util:.2}");
+    }
+    // Conservation: each backbone link carries at most its capacity.
+    for l in &lot.backbone {
+        let tput = lot
+            .sim
+            .link_stats(*l)
+            .throughput_bps(Dur::from_secs_f64(secs));
+        assert!(tput <= 10_000_000.0 * 1.001, "link over capacity: {tput}");
+    }
+}
+
+#[test]
+fn multihop_rtt_reflects_path_length() {
+    let secs = 20.0;
+    let mut lot = build(secs * 2.0);
+    lot.sim.run_until(Time::from_secs_f64(secs));
+    let long = lot
+        .sim
+        .agent_as::<TcpSender>(lot.senders[0])
+        .unwrap()
+        .partial_report(Time::from_secs_f64(secs))
+        .expect("long flow progressed");
+    let cross = lot
+        .sim
+        .agent_as::<TcpSender>(lot.senders[1])
+        .unwrap()
+        .partial_report(Time::from_secs_f64(secs))
+        .expect("cross flow progressed");
+    // Base path: 3 hops of 10 ms vs 1 hop of 10 ms (plus access).
+    let long_min = long.min_rtt.unwrap();
+    let cross_min = cross.min_rtt.unwrap();
+    assert!(
+        long_min > cross_min * 2,
+        "3-hop min RTT {long_min} should be ~3x the 1-hop {cross_min}"
+    );
+    assert!(long_min >= Dur::from_millis(60), "got {long_min}");
+}

@@ -1,0 +1,144 @@
+//! Cross-crate pipelines: telemetry→analysis, telemetry→diagnosis, and
+//! simulation→prediction.
+
+use phi::diagnosis::{
+    detect, generate, localize, DetectorConfig, Dimension, LocalizerConfig, Outage, SeasonalModel,
+    TelemetryConfig,
+};
+use phi::predict::{predict_download, predict_voip, PathId, PerfDb, PerfObservation};
+use phi::sim::time::Dur;
+use phi::telemetry::{
+    decode_batch, encode_batch, generate_flows, Collector, EgressConfig, Sampler, SharingCdf,
+};
+use phi::workload::SeedRng;
+
+#[test]
+fn sampled_egress_pipeline_shows_sharing() {
+    let cfg = EgressConfig {
+        subnets: 100,
+        flows: 30_000,
+        minutes: 5,
+        ..EgressConfig::default()
+    };
+    let mut rng = SeedRng::new(11);
+    let flows = generate_flows(&cfg, &mut rng);
+    let mut sampler = Sampler::paper(rng.fork("s"));
+    let mut collector = Collector::new();
+    let mut batch = Vec::new();
+    for f in &flows {
+        for ts in f.packet_times() {
+            if let Some(rec) = sampler.observe(f.key, ts, 1500) {
+                batch.push(rec);
+            }
+        }
+    }
+    // Wire round-trip, like a real exporter→collector hop.
+    for chunk in batch.chunks(500) {
+        let bytes = encode_batch(chunk).expect("encode");
+        collector.ingest_batch(&decode_batch(&bytes).expect("decode"));
+    }
+    let cdf = SharingCdf::from_collector(&collector);
+    assert!(!cdf.is_empty(), "sampling produced nothing");
+    let (p5, _p100) = cdf.paper_rows();
+    assert!(p5 > 0.1, "sharing should be visible even sampled: {p5}");
+    // CCDF is monotone.
+    let series = cdf.ccdf_series(&[0, 1, 5, 25, 125]);
+    for w in series.windows(2) {
+        assert!(w[1].1 <= w[0].1 + 1e-12);
+    }
+}
+
+#[test]
+fn outage_pipeline_detects_and_localizes() {
+    let cfg = TelemetryConfig {
+        services: 2,
+        asns: 4,
+        metros: 3,
+        bins_per_day: 96, // 15-min bins
+        days: 4,
+        ..TelemetryConfig::default()
+    };
+    let period = cfg.bins_per_day;
+    let outage = Outage {
+        asn: 2,
+        metro: 1,
+        start_bin: 3 * period + 40,
+        end_bin: 3 * period + 48, // 2 hours of 15-min bins
+        severity: 0.9,
+    };
+    let data = generate(&cfg, Some(&outage), &mut SeedRng::new(77));
+    let total = data.total();
+    let model = SeasonalModel::fit(&total, period, 3 * period);
+    let events = detect(&total, &model, &DetectorConfig::default());
+    assert_eq!(events.len(), 1, "exactly one event expected: {events:?}");
+    let e = events[0];
+    assert!((e.duration_bins() as i64 - 8).abs() <= 2, "{e:?}");
+    let loc =
+        localize(&data, &e, period, 3 * period, &LocalizerConfig::default()).expect("localize");
+    assert!(loc.constraints.contains(&(Dimension::Asn, 2)));
+    assert!(loc.constraints.contains(&(Dimension::Metro, 1)));
+}
+
+#[test]
+fn simulation_feeds_prediction_that_matches_reality() {
+    use phi::core::{provision_cubic, run_experiment, ExperimentSpec};
+    use phi::tcp::CubicParams;
+    use phi::workload::OnOffConfig;
+
+    // 1. Run a sim whose flows all transfer ~the same number of bytes.
+    let bytes_per_flow = 500_000u64;
+    let mut spec = ExperimentSpec::new(
+        4,
+        OnOffConfig {
+            mean_on_bytes: bytes_per_flow as f64,
+            mean_off_secs: 0.5,
+            deterministic: true,
+        },
+        Dur::from_secs(30),
+        2024,
+    );
+    spec.dumbbell.bottleneck_bps = 10_000_000;
+    spec.dumbbell.rtt = Dur::from_millis(100);
+    let result = run_experiment(&spec, provision_cubic(CubicParams::tuned(8.0, 32.0, 0.2)));
+
+    // 2. Feed observed per-flow performance into the prediction DB.
+    let mut db = PerfDb::new(3_600_000_000_000);
+    let path = PathId(1);
+    let mut actual_durations = Vec::new();
+    for r in result.per_sender.iter().flatten() {
+        db.record(
+            path,
+            r.end.as_nanos(),
+            &PerfObservation {
+                throughput_mbps: r.throughput_bps() / 1e6,
+                rtt_ms: r.mean_rtt_ms,
+                loss: 0.0,
+                jitter_ms: r.rtt_inflation_ms(spec.dumbbell.rtt),
+            },
+        );
+        actual_durations.push(r.duration().as_secs_f64());
+    }
+    assert!(actual_durations.len() >= 10, "need flows to learn from");
+
+    // 3. Predict the completion time of the same-size download.
+    let view = db
+        .view(path, spec.duration.as_nanos())
+        .expect("view after feeding");
+    let pred = predict_download(&view, bytes_per_flow).expect("prediction");
+    actual_durations.sort_by(f64::total_cmp);
+    let actual_median = actual_durations[actual_durations.len() / 2];
+    // The predictor must land in the right ballpark (2x band): it is a
+    // distribution estimate, not a simulator.
+    assert!(
+        pred.p50_secs > actual_median * 0.5 && pred.p50_secs < actual_median * 2.0,
+        "predicted {:.2}s vs actual median {:.2}s",
+        pred.p50_secs,
+        actual_median
+    );
+    assert!(pred.p95_secs >= pred.p50_secs);
+
+    // 4. VoIP prediction on the same path is consistent: moderate RTT and
+    // no loss => acceptable call quality.
+    let voip = predict_voip(&view).expect("voip");
+    assert!(voip.mos > 3.0, "mos {}", voip.mos);
+}

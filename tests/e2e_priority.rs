@@ -1,0 +1,88 @@
+//! §3.3 prioritization, asserted: the weighted ensemble must stay
+//! TCP-friendly in aggregate while ordering bandwidth by importance.
+
+use phi::core::harness::{run_experiment, ExperimentSpec, Provisioned};
+use phi::core::priority::{multcp_params, EnsembleAllocator, Importance};
+use phi::sim::time::{Dur, Time};
+use phi::tcp::hook::NoHook;
+use phi::tcp::{NewReno, NewRenoParams};
+use phi::workload::OnOffConfig;
+
+/// Run 4 ensemble flows (weighted) against 4 standard cross flows for
+/// `secs`; returns per-flow goodput in Mbit/s.
+fn run_ensemble(weights: &[f64], secs: u64) -> Vec<f64> {
+    let mut spec = ExperimentSpec::new(8, OnOffConfig::long_running(), Dur::from_secs(secs), 7);
+    spec.dumbbell.bottleneck_bps = 40_000_000;
+    spec.dumbbell.rtt = Dur::from_millis(80);
+    let w: Vec<f64> = weights.to_vec();
+    let result = run_experiment(&spec, move |ctx| {
+        let params = if ctx.index < 4 {
+            multcp_params(w[ctx.index])
+        } else {
+            NewRenoParams::default()
+        };
+        Provisioned {
+            factory: Box::new(move |_| Box::new(NewReno::new(params))),
+            hook: Box::new(NoHook),
+        }
+    });
+    (0..8)
+        .map(|i| {
+            let done: u64 = result.per_sender[i].iter().map(|r| r.bytes).sum();
+            let partial = result.partials[i].as_ref().map(|p| p.bytes).unwrap_or(0);
+            (done + partial) as f64 * 8.0 / secs as f64 / 1e6
+        })
+        .collect()
+}
+
+#[test]
+fn weighted_ensemble_is_tcp_friendly_and_ordered() {
+    let classes = [
+        Importance::Premium,
+        Importance::Normal,
+        Importance::Normal,
+        Importance::Bulk,
+    ];
+    let weights = EnsembleAllocator.weights_for(&classes);
+    let shares = run_ensemble(&weights, 120);
+
+    let ensemble: f64 = shares[..4].iter().sum();
+    let cross: f64 = shares[4..].iter().sum();
+    let ensemble_frac = ensemble / (ensemble + cross);
+
+    // TCP-friendliness: the bundle takes roughly the share of 4 standard
+    // flows among 8 (50%), within a generous band.
+    assert!(
+        (0.38..=0.62).contains(&ensemble_frac),
+        "ensemble share {ensemble_frac:.2} should be near 0.5 \
+         (ensemble {ensemble:.1} vs cross {cross:.1} Mbit/s)"
+    );
+
+    // Importance ordering inside the bundle.
+    assert!(
+        shares[0] > shares[1] && shares[0] > shares[2],
+        "premium must beat normal: {shares:?}"
+    );
+    assert!(
+        shares[1] > shares[3] && shares[2] > shares[3],
+        "normal must beat bulk: {shares:?}"
+    );
+    // Premium gets a meaningfully larger slice, not a rounding artifact.
+    assert!(
+        shares[0] > shares[3] * 1.5,
+        "premium should clearly dominate bulk: {shares:?}"
+    );
+}
+
+#[test]
+fn equal_weights_recover_plain_fair_sharing() {
+    let shares = run_ensemble(&[1.0, 1.0, 1.0, 1.0], 90);
+    let mean: f64 = shares.iter().sum::<f64>() / 8.0;
+    for (i, s) in shares.iter().enumerate() {
+        assert!(
+            *s > mean * 0.4 && *s < mean * 1.9,
+            "flow {i} far from fair share: {s:.2} vs mean {mean:.2} ({shares:?})"
+        );
+    }
+    let _ = Time::ZERO; // keep the import honest if assertions change
+}

@@ -1,0 +1,219 @@
+//! §3.2 — informed adaptation without cooperation: tuning the duplicate-ACK
+//! threshold from shared reordering experience.
+//!
+//! A path with heavy per-packet delay jitter reorders segments; classic
+//! TCP's 3-duplicate-ACK rule then fires *spurious* fast retransmits for
+//! segments that were merely late. Phi's shared view (spurious-recovery
+//! prevalence across many connections) lets the [`ReorderingAdvisor`]
+//! recommend a higher threshold, which removes most of the waste. This
+//! test builds exactly that world and measures both settings.
+
+use phi::core::adapt::{JitterBufferAdvisor, ReorderingAdvisor, ReorderingStats};
+use phi::sim::engine::Simulator;
+use phi::sim::packet::FlowId;
+use phi::sim::queue::Capacity;
+use phi::sim::time::{Dur, Time};
+use phi::sim::topology::{LinkSpec, TopologyBuilder};
+use phi::tcp::cubic::{Cubic, CubicParams};
+use phi::tcp::hook::NoHook;
+use phi::tcp::receiver::TcpReceiver;
+use phi::tcp::sender::{SenderConfig, TcpSender};
+use phi::workload::{OnOffConfig, OnOffSource, SeedRng};
+
+/// Run one 2 MB transfer over a jittery 20 Mbit/s link and report
+/// (spurious deliveries seen by the receiver, retransmits, duration).
+fn run_with_threshold(dupack_threshold: u32) -> (u64, u64, f64) {
+    let mut b = TopologyBuilder::new();
+    let a = b.add_node();
+    let z = b.add_node();
+    // Forward path with jitter: up to 2.5 ms of extra per-packet delay
+    // versus a ~0.6 ms serialization gap reorders packets by up to ~4
+    // positions — enough to trip the classic 3-dup-ACK rule, and within
+    // reach of the advisor's raised threshold.
+    let jitter = Dur::from_micros(2_500);
+    b.add_link(LinkSpec {
+        jitter,
+        ..LinkSpec::new(
+            a,
+            z,
+            20_000_000,
+            Dur::from_millis(20),
+            Capacity::Packets(4096),
+        )
+    });
+    // Clean reverse path for ACKs.
+    b.add_link(LinkSpec::new(
+        z,
+        a,
+        20_000_000,
+        Dur::from_millis(20),
+        Capacity::Packets(4096),
+    ));
+
+    let mut sim = Simulator::new(b.build());
+    let mut cfg = SenderConfig::new(z, 80, 10);
+    cfg.max_flows = Some(1);
+    cfg.dupack_threshold = dupack_threshold;
+    let source = OnOffSource::new(
+        OnOffConfig {
+            mean_on_bytes: 2_000_000.0,
+            mean_off_secs: 0.0,
+            deterministic: true,
+        },
+        SeedRng::new(3),
+    );
+    let s = sim.add_agent(
+        a,
+        10,
+        Box::new(TcpSender::new(
+            cfg,
+            source,
+            Box::new(|_| Box::new(Cubic::new(CubicParams::tuned(8.0, 64.0, 0.2)))),
+            Box::new(NoHook),
+        )),
+    );
+    let r = sim.add_agent(z, 80, Box::new(TcpReceiver::new()));
+    sim.run_until(Time::from_secs(120));
+
+    let sender = sim.agent_as::<TcpSender>(s).unwrap();
+    assert!(
+        sender.is_done(),
+        "transfer must complete (thresh {dupack_threshold})"
+    );
+    let report = &sender.reports()[0];
+    let recv = sim.agent_as::<TcpReceiver>(r).unwrap();
+    (
+        recv.dup_data(FlowId(0)),
+        report.retransmits,
+        report.duration().as_secs_f64(),
+    )
+}
+
+#[test]
+fn raised_dupack_threshold_suppresses_spurious_retransmits() {
+    let (spurious_3, retx_3, dur_3) = run_with_threshold(3);
+    // The advisor would see prevalent spurious recoveries across the
+    // fleet and recommend a higher threshold.
+    let advisor = ReorderingAdvisor::default();
+    let recommended = advisor.recommend(&ReorderingStats {
+        recoveries: 100,
+        spurious: 60, // what the jittery path produces fleet-wide
+    });
+    assert!(recommended > 3, "advisor should raise the threshold");
+
+    let (spurious_r, retx_r, dur_r) = run_with_threshold(recommended);
+
+    // There must be real waste at threshold 3 on this path...
+    assert!(
+        spurious_3 > 10,
+        "jitter should cause spurious retransmissions (got {spurious_3})"
+    );
+    // ...and the recommendation must remove most of it.
+    assert!(
+        spurious_r * 2 < spurious_3,
+        "raised threshold should at least halve spurious deliveries: {spurious_r} vs {spurious_3}"
+    );
+    assert!(
+        retx_r < retx_3,
+        "retransmissions should drop: {retx_r} vs {retx_3}"
+    );
+    // Without materially hurting completion time (no real loss here).
+    assert!(
+        dur_r < dur_3 * 1.5,
+        "completion should not regress: {dur_r:.2}s vs {dur_3:.2}s"
+    );
+}
+
+#[test]
+fn jitter_buffer_advisor_sizes_from_real_path_jitter() {
+    // Run several connections over the jittery path and feed each one's
+    // observed RTT inflation (the §3.2 shared signal) into the advisor:
+    // the recommended buffer must cover the path's real delay variation
+    // (jitter up to 2.5 ms plus queueing) without absurd overshoot.
+    let mut b = TopologyBuilder::new();
+    let a = b.add_node();
+    let z = b.add_node();
+    let jitter = Dur::from_micros(2_500);
+    b.add_link(LinkSpec {
+        jitter,
+        ..LinkSpec::new(
+            a,
+            z,
+            20_000_000,
+            Dur::from_millis(20),
+            Capacity::Packets(4096),
+        )
+    });
+    b.add_link(LinkSpec::new(
+        z,
+        a,
+        20_000_000,
+        Dur::from_millis(20),
+        Capacity::Packets(4096),
+    ));
+    let mut sim = Simulator::new(b.build());
+    let mut cfg = SenderConfig::new(z, 80, 10);
+    cfg.max_flows = Some(12);
+    cfg.dupack_threshold = 6; // reordering-tolerant, per the other test
+    let source = OnOffSource::new(
+        OnOffConfig {
+            mean_on_bytes: 400_000.0,
+            mean_off_secs: 0.1,
+            deterministic: true,
+        },
+        SeedRng::new(5),
+    );
+    let s = sim.add_agent(
+        a,
+        10,
+        Box::new(TcpSender::new(
+            cfg,
+            source,
+            Box::new(|_| Box::new(Cubic::new(CubicParams::tuned(8.0, 64.0, 0.2)))),
+            Box::new(NoHook),
+        )),
+    );
+    sim.add_agent(z, 80, Box::new(TcpReceiver::new()));
+    sim.run_until(Time::from_secs(120));
+
+    let sender = sim.agent_as::<TcpSender>(s).unwrap();
+    assert!(sender.reports().len() >= 10, "need several connections");
+
+    // The provider-side aggregation: every finished connection's RTT
+    // inflation over the 40 ms base becomes a shared jitter sample.
+    let base = Dur::from_millis(40);
+    let mut advisor = JitterBufferAdvisor::new(256, 1.2);
+    for r in sender.reports() {
+        advisor.record(r.rtt_inflation_ms(base));
+    }
+    let rec = advisor.recommend_ms().expect("samples recorded");
+    // Mean inflation is roughly jitter/2 (1.25 ms) plus self-queueing;
+    // the p95 x 1.2 recommendation should land in the low-millisecond
+    // range — enough to absorb the jitter, not orders of magnitude more.
+    assert!(
+        (1.0..=60.0).contains(&rec),
+        "recommended jitter buffer {rec:.2} ms out of plausible range"
+    );
+    // And it must cover the typical (median) inflation with headroom.
+    let mut inflations: Vec<f64> = sender
+        .reports()
+        .iter()
+        .map(|r| r.rtt_inflation_ms(base))
+        .collect();
+    inflations.sort_by(f64::total_cmp);
+    let median = inflations[inflations.len() / 2];
+    assert!(
+        rec >= median,
+        "recommendation {rec:.2} ms below median inflation {median:.2} ms"
+    );
+}
+
+#[test]
+fn clean_paths_keep_the_classic_threshold() {
+    let advisor = ReorderingAdvisor::default();
+    let rec = advisor.recommend(&ReorderingStats {
+        recoveries: 500,
+        spurious: 3,
+    });
+    assert_eq!(rec, 3, "no reordering evidence, no deviation");
+}

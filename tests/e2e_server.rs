@@ -1,0 +1,126 @@
+//! End-to-end context service: simulation experience flowing through the
+//! real TCP server.
+//!
+//! A dumbbell simulation produces genuine flow reports; those are shipped
+//! to a live `ContextServer` through the wire protocol by concurrent
+//! clients, and the resulting shared context is checked against what the
+//! simulation actually experienced.
+
+use std::time::Duration;
+
+use phi::core::{
+    provision_cubic, run_experiment, summarize, sync_store, ContextClient, ContextServer,
+    ContextStore, ExperimentSpec, PathKey, StoreConfig,
+};
+use phi::sim::time::Dur;
+use phi::tcp::CubicParams;
+use phi::workload::OnOffConfig;
+
+#[test]
+fn simulation_reports_through_real_server_build_context() {
+    // 1. Run a real simulation to get authentic flow reports.
+    let mut spec = ExperimentSpec::new(
+        4,
+        OnOffConfig {
+            mean_on_bytes: 400_000.0,
+            mean_off_secs: 0.5,
+            deterministic: false,
+        },
+        Dur::from_secs(20),
+        123,
+    );
+    spec.dumbbell.bottleneck_bps = 10_000_000;
+    spec.dumbbell.rtt = Dur::from_millis(100);
+    let result = run_experiment(&spec, provision_cubic(CubicParams::default()));
+    let reports: Vec<_> = result.per_sender.iter().flatten().collect();
+    assert!(reports.len() >= 8, "need a meaningful report stream");
+
+    // 2. Serve a store that knows the real capacity.
+    let store = sync_store(ContextStore::new(StoreConfig {
+        window_ns: u64::MAX, // everything in-window: we replay history at once
+        capacity_bps: Some(spec.dumbbell.bottleneck_bps as f64),
+        queue_alpha: 0.3,
+    }));
+    let server = ContextServer::start("127.0.0.1:0", store).expect("bind");
+    let addr = server.addr();
+    let path = PathKey(42);
+
+    // 3. Each simulated sender becomes a client thread replaying its flows.
+    let chunks: Vec<Vec<phi::core::FlowSummary>> = result
+        .per_sender
+        .iter()
+        .map(|rs| rs.iter().map(summarize).collect())
+        .collect();
+    let handles: Vec<_> = chunks
+        .into_iter()
+        .map(|summaries| {
+            std::thread::spawn(move || {
+                let mut client = ContextClient::connect(addr).expect("connect");
+                for s in summaries {
+                    client.lookup(path).expect("lookup");
+                    client.report(path, s).expect("report");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+
+    // 4. The shared context reflects the simulation's reality.
+    let mut observer = ContextClient::connect(addr).expect("connect");
+    let ctx = observer.lookup(path).expect("lookup");
+    assert!(
+        ctx.utilization > 0.0,
+        "server should have accumulated utilization"
+    );
+    // The sim ran ~100ms base RTT with queueing; RTT inflation must be
+    // non-negative and bounded by something sane.
+    assert!(
+        ctx.queue_ms >= 0.0 && ctx.queue_ms < 1_000.0,
+        "q = {}",
+        ctx.queue_ms
+    );
+    // All report slots released; only the observer's lookup is active.
+    assert_eq!(ctx.competing, 0);
+
+    let stats = server.stats();
+    let total_reports: u64 = reports.len() as u64;
+    assert_eq!(
+        stats.reports.load(std::sync::atomic::Ordering::Relaxed),
+        total_reports
+    );
+    server.shutdown();
+}
+
+#[test]
+fn server_survives_client_churn() {
+    let store = sync_store(ContextStore::new(StoreConfig::default()));
+    let server = ContextServer::start("127.0.0.1:0", store).expect("bind");
+    let addr = server.addr();
+
+    // Waves of clients connecting, doing one op, disconnecting.
+    for wave in 0..5u64 {
+        let handles: Vec<_> = (0..4)
+            .map(|i: u64| {
+                std::thread::spawn(move || {
+                    let mut c = ContextClient::connect(addr).expect("connect");
+                    let snap = c.lookup(PathKey(wave * 10 + i)).expect("lookup");
+                    assert_eq!(snap.competing, 0);
+                    // Dropped without reporting: the server must tolerate it.
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("wave client");
+        }
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    let stats = server.stats();
+    assert_eq!(
+        stats.connections.load(std::sync::atomic::Ordering::Relaxed),
+        20
+    );
+    assert_eq!(stats.lookups.load(std::sync::atomic::Ordering::Relaxed), 20);
+    server.shutdown();
+}

@@ -1,0 +1,125 @@
+//! Serde round-trips for every public configuration and result type:
+//! experiment specs must be storable (configs in repos, results in
+//! EXPERIMENTS provenance), and a learned Remy tree must be shippable
+//! from the trainer to the fleet.
+
+use phi::core::harness::BottleneckQueue;
+use phi::core::{ExperimentSpec, FlowSummary, PolicyTable, StoreConfig};
+use phi::remy::{Action, WhiskerTree};
+use phi::sim::time::Dur;
+use phi::tcp::report::{FlowReport, RunMetrics};
+use phi::tcp::CubicParams;
+use phi::workload::OnOffConfig;
+
+fn roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+#[test]
+fn experiment_spec_roundtrips() {
+    let mut spec = ExperimentSpec::new(8, OnOffConfig::fig2(), Dur::from_secs(60), 42);
+    spec.queue = BottleneckQueue::Red;
+    spec.dupack_threshold = 5;
+    let back = roundtrip(&spec);
+    assert_eq!(back.dumbbell.pairs, 8);
+    assert_eq!(back.duration, Dur::from_secs(60));
+    assert_eq!(back.queue, BottleneckQueue::Red);
+    assert_eq!(back.dupack_threshold, 5);
+    assert_eq!(back.workload, OnOffConfig::fig2());
+}
+
+#[test]
+fn cubic_params_and_policy_roundtrip() {
+    let p = CubicParams::tuned(32.0, 64.0, 0.3);
+    assert_eq!(roundtrip(&p), p);
+    let table = PolicyTable::reference();
+    let back = roundtrip(&table);
+    assert_eq!(back, table);
+}
+
+#[test]
+fn whisker_tree_ships_to_the_fleet() {
+    // Train-side: build a non-trivial tree.
+    let mut tree = WhiskerTree::initial();
+    tree.split_along(0, 3);
+    tree.split(0);
+    tree.set_action(
+        1,
+        Action {
+            window_multiple: 0.7,
+            window_increment: -2.0,
+            intersend_ms: 4.0,
+        },
+    );
+    // Wire: JSON (a fleet rollout artifact).
+    let back: WhiskerTree = roundtrip(&tree);
+    assert_eq!(back, tree);
+    // Behaviour preserved: same lookups everywhere.
+    for p in [
+        [0.1, 0.2, 0.3, 0.9],
+        [0.9, 0.9, 0.9, 0.1],
+        [0.5, 0.5, 0.5, 0.5],
+    ] {
+        assert_eq!(back.action_for(&p), tree.action_for(&p));
+    }
+}
+
+#[test]
+fn reports_and_metrics_roundtrip() {
+    let report = FlowReport {
+        flow: phi::sim::packet::FlowId(7),
+        bytes: 123_456,
+        segments: 86,
+        start: phi::sim::time::Time::from_millis(10),
+        end: phi::sim::time::Time::from_millis(510),
+        min_rtt: Some(Dur::from_millis(150)),
+        mean_rtt_ms: 163.5,
+        rtt_samples: 42,
+        retransmits: 3,
+        timeouts: 1,
+        recoveries: 2,
+    };
+    let back = roundtrip(&report);
+    assert_eq!(back.bytes, report.bytes);
+    assert_eq!(back.min_rtt, report.min_rtt);
+    assert_eq!(back.duration(), report.duration());
+
+    let metrics = RunMetrics {
+        throughput_mbps: 2.5,
+        queueing_delay_ms: 42.0,
+        loss_rate: 0.01,
+        mean_rtt_ms: 180.0,
+        utilization: 0.7,
+        flows_completed: 55,
+        bytes: 9_999,
+    };
+    let back = roundtrip(&metrics);
+    assert_eq!(back.flows_completed, 55);
+    assert!((back.throughput_mbps - 2.5).abs() < 1e-12);
+}
+
+#[test]
+fn store_config_and_flow_summary_roundtrip() {
+    let cfg = StoreConfig {
+        window_ns: 5_000_000_000,
+        capacity_bps: Some(15e6),
+        queue_alpha: 0.25,
+    };
+    let back = roundtrip(&cfg);
+    assert_eq!(back.window_ns, cfg.window_ns);
+    assert_eq!(back.capacity_bps, cfg.capacity_bps);
+
+    let s = FlowSummary {
+        bytes: 1,
+        duration_ns: 2,
+        mean_rtt_ms: 3.0,
+        min_rtt_ms: 4.0,
+        retransmits: 5,
+        timeouts: 6,
+    };
+    assert_eq!(roundtrip(&s), s);
+}
