@@ -16,12 +16,10 @@
 //! ideal ≥ practical > plain Remy > Cubic, with Cubic's queueing delay
 //! far above the Remy variants'.
 
-use std::rc::Rc;
-
 use phi_bench::{banner, scale, write_json};
 use phi_core::harness::{provision_cubic, run_repeated, ExperimentSpec};
 use phi_core::power::log_power;
-use phi_remy::{provision_remy, Trainer, TrainerConfig, UtilFeed, WhiskerTree};
+use phi_remy::{provision_remy_owned, Trainer, TrainerConfig, UtilFeed, WhiskerTree};
 use phi_sim::time::Dur;
 use phi_tcp::CubicParams;
 use phi_workload::OnOffConfig;
@@ -54,9 +52,9 @@ fn evaluate(
     spec: &ExperimentSpec,
     runs: usize,
     name: &str,
-    mut provision: impl FnMut(phi_core::ProvisionCtx<'_>) -> phi_core::Provisioned,
+    provision: impl Fn(phi_core::ProvisionCtx<'_>) -> phi_core::Provisioned + Sync,
 ) -> Row {
-    let results = run_repeated(spec, runs, &mut provision);
+    let results = run_repeated(spec, runs, provision);
     let base = spec.base_rtt_ms();
     let mut tputs = Vec::new();
     let mut delays = Vec::new();
@@ -145,22 +143,26 @@ fn main() {
     println!("\nlearned Remy-Phi rules:\n{}", tree_util.describe());
 
     banner("Table 3: single-bottleneck dumbbell, 15 Mbit/s, 150 ms RTT, 8 senders");
-    let tree_plain = Rc::new(tree_plain);
-    let tree_util = Rc::new(tree_util);
 
     let rows = vec![
-        evaluate(&spec, sc.runs, "Remy-Phi-practical", {
-            let t = tree_util.clone();
-            provision_remy(t, UtilFeed::Practical, None)
-        }),
-        evaluate(&spec, sc.runs, "Remy-Phi-ideal", {
-            let t = tree_util.clone();
-            provision_remy(t, UtilFeed::Ideal, None)
-        }),
-        evaluate(&spec, sc.runs, "Remy", {
-            let t = tree_plain.clone();
-            provision_remy(t, UtilFeed::None, None)
-        }),
+        evaluate(
+            &spec,
+            sc.runs,
+            "Remy-Phi-practical",
+            provision_remy_owned(tree_util.clone(), UtilFeed::Practical),
+        ),
+        evaluate(
+            &spec,
+            sc.runs,
+            "Remy-Phi-ideal",
+            provision_remy_owned(tree_util.clone(), UtilFeed::Ideal),
+        ),
+        evaluate(
+            &spec,
+            sc.runs,
+            "Remy",
+            provision_remy_owned(tree_plain.clone(), UtilFeed::None),
+        ),
         evaluate(
             &spec,
             sc.runs,

@@ -8,16 +8,28 @@
 //!
 //! Budget control: the default configuration finishes the whole suite in
 //! minutes; set `PHI_FULL=1` for the paper-scale grids (Table 2's full
-//! 576-point sweep, n = 8 runs, longer simulations).
+//! 576-point sweep, n = 8 runs, longer simulations). Independent runs fan
+//! out over `PHI_JOBS` worker threads (default: all cores) with
+//! bit-identical results for any worker count — see
+//! [`phi_core::runpool`].
 
 use std::io::Write;
 use std::path::PathBuf;
 
+use phi_core::runpool::RunPool;
 use serde::Serialize;
 
 /// True when `PHI_FULL=1`: run paper-scale configurations.
 pub fn full_mode() -> bool {
     std::env::var("PHI_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Worker threads the harnesses will use (the `PHI_JOBS` knob; unset or
+/// `0` means all available cores). Sweeps and repeated runs pick this up
+/// themselves via [`RunPool::from_env`]; harnesses call this to report
+/// the setting alongside results.
+pub fn jobs() -> usize {
+    RunPool::from_env().workers()
 }
 
 /// Experiment scale knobs derived from the mode.
@@ -73,10 +85,11 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
     println!("\n[results written to {}]", path.display());
 }
 
-/// Print a section header.
+/// Print a section header (with the active worker-thread count, so runs
+/// are attributable to their parallelism setting).
 pub fn banner(title: &str) {
     println!("\n{}", "=".repeat(74));
-    println!("{title}");
+    println!("{title}  [PHI_JOBS={}]", jobs());
     println!("{}", "=".repeat(74));
 }
 
@@ -94,6 +107,11 @@ mod tests {
         let s = scale();
         assert!(s.runs >= 2 || !s.full_grid);
         assert!(s.sim_secs >= 10);
+    }
+
+    #[test]
+    fn jobs_is_positive() {
+        assert!(jobs() >= 1);
     }
 
     #[test]

@@ -23,6 +23,7 @@ use serde::{Deserialize, Serialize};
 use crate::context::{ContextStore, PathKey, StoreConfig};
 use crate::hooks::{shared, PracticalHook, SharedStore};
 use crate::policy::PolicyTable;
+use crate::runpool::{derive_seed, RunPool};
 
 /// The path key all senders of one dumbbell share (they all traverse the
 /// single bottleneck, per the §2.1 shared-path assumption).
@@ -47,7 +48,8 @@ pub struct ExperimentSpec {
     pub workload: OnOffConfig,
     /// Simulated duration.
     pub duration: Dur,
-    /// Root seed; run `i` of an n-run experiment uses `seed + i`.
+    /// Root seed; run `i` of an n-run experiment uses
+    /// [`derive_seed`]`(seed, i)`.
     pub seed: u64,
     /// Duplicate-ACK threshold for all senders.
     pub dupack_threshold: u32,
@@ -242,7 +244,7 @@ pub fn run_experiment(
 
 /// Provision every sender as unmodified Cubic with fixed `params`
 /// (the §2.2.1 "simplified setting": one parameter set for the whole run).
-pub fn provision_cubic(params: CubicParams) -> impl FnMut(ProvisionCtx<'_>) -> Provisioned {
+pub fn provision_cubic(params: CubicParams) -> impl Fn(ProvisionCtx<'_>) -> Provisioned + Sync {
     move |_| Provisioned {
         factory: Box::new(move |_| Box::new(Cubic::new(params))),
         hook: Box::new(NoHook),
@@ -252,7 +254,7 @@ pub fn provision_cubic(params: CubicParams) -> impl FnMut(ProvisionCtx<'_>) -> P
 /// Provision every sender as a Phi sender: practical hook (lookup/report
 /// against the run's shared store) and parameters drawn from `policy` at
 /// each connection start (§2.2.2's realization).
-pub fn provision_cubic_phi(policy: PolicyTable) -> impl FnMut(ProvisionCtx<'_>) -> Provisioned {
+pub fn provision_cubic_phi(policy: PolicyTable) -> impl Fn(ProvisionCtx<'_>) -> Provisioned + Sync {
     move |ctx| {
         let policy = policy.clone();
         Provisioned {
@@ -271,7 +273,7 @@ pub fn provision_cubic_phi(policy: PolicyTable) -> impl FnMut(ProvisionCtx<'_>) 
 /// Provision a Figure 4 mixed deployment: senders with even index are
 /// "modified" (fixed `tuned` parameters, Phi reporting), odd ones run the
 /// defaults. Returns whether index `i` is modified via [`is_modified`].
-pub fn provision_mixed(tuned: CubicParams) -> impl FnMut(ProvisionCtx<'_>) -> Provisioned {
+pub fn provision_mixed(tuned: CubicParams) -> impl Fn(ProvisionCtx<'_>) -> Provisioned + Sync {
     move |ctx| {
         if is_modified(ctx.index) {
             Provisioned {
@@ -292,19 +294,30 @@ pub fn is_modified(i: usize) -> bool {
     i.is_multiple_of(2)
 }
 
-/// Run `n` repetitions (seeds `spec.seed + 0..n`) of the same experiment.
+/// Run `n` repetitions of the same experiment (run `i` gets seed
+/// [`derive_seed`]`(spec.seed, i)`) on the [`RunPool::from_env`] pool.
 pub fn run_repeated(
     spec: &ExperimentSpec,
     n: usize,
-    mut provision: impl FnMut(ProvisionCtx<'_>) -> Provisioned,
+    provision: impl Fn(ProvisionCtx<'_>) -> Provisioned + Sync,
 ) -> Vec<RunResult> {
-    (0..n)
-        .map(|i| {
-            let mut s = spec.clone();
-            s.seed = spec.seed + i as u64;
-            run_experiment(&s, &mut provision)
-        })
-        .collect()
+    run_repeated_on(&RunPool::from_env(), spec, n, provision)
+}
+
+/// [`run_repeated`] on an explicit pool. Results are bit-identical for
+/// any worker count: each run's seed depends only on its index, and the
+/// pool returns results in run order.
+pub fn run_repeated_on(
+    pool: &RunPool,
+    spec: &ExperimentSpec,
+    n: usize,
+    provision: impl Fn(ProvisionCtx<'_>) -> Provisioned + Sync,
+) -> Vec<RunResult> {
+    pool.run(n, |i| {
+        let mut s = spec.clone();
+        s.seed = derive_seed(spec.seed, i as u64);
+        run_experiment(&s, &provision)
+    })
 }
 
 #[cfg(test)]
@@ -466,5 +479,38 @@ mod tests {
         assert_eq!(runs.len(), 3);
         // Different seeds → different event counts (with overwhelming odds).
         assert!(runs.windows(2).any(|w| w[0].events != w[1].events));
+    }
+
+    #[test]
+    fn run_repeated_is_worker_count_invariant() {
+        let spec = quick_spec(2, 150_000.0, 1.0, 10);
+        let serial = run_repeated_on(
+            &RunPool::serial(),
+            &spec,
+            4,
+            provision_cubic(CubicParams::default()),
+        );
+        let parallel = run_repeated_on(
+            &RunPool::new(4),
+            &spec,
+            4,
+            provision_cubic(CubicParams::default()),
+        );
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.events, b.events);
+            assert_eq!(a.metrics.bytes, b.metrics.bytes);
+            assert_eq!(a.metrics.flows_completed, b.metrics.flows_completed);
+            // Floating-point results must match to the bit, not just
+            // approximately: same seed, same event order, same arithmetic.
+            assert_eq!(
+                a.metrics.throughput_mbps.to_bits(),
+                b.metrics.throughput_mbps.to_bits()
+            );
+            assert_eq!(
+                a.metrics.queueing_delay_ms.to_bits(),
+                b.metrics.queueing_delay_ms.to_bits()
+            );
+        }
     }
 }

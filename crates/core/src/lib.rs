@@ -19,6 +19,8 @@
 //! * [`mod@power`] — network power `P = r/d`, the paper's loss-extended
 //!   `P_l = r(1−l)/d`, and Remy's `log(P)`.
 //! * [`harness`] — the dumbbell experiment runner every figure uses.
+//! * [`runpool`] — deterministic parallel fan-out of independent runs
+//!   (`PHI_JOBS` workers, bit-identical results for any worker count).
 //! * [`priority`] — cross-flow prioritization with a TCP-friendly ensemble
 //!   (§3.3, MulTCP-weighted AIMD).
 //! * [`adapt`] — informed adaptation without cooperation (§3.2): jitter
@@ -41,19 +43,22 @@ pub mod policy;
 pub mod power;
 pub mod priority;
 pub mod privacy;
+pub mod runpool;
 pub mod server;
 pub mod wire;
 
 pub use context::{ContextStore, FlowSummary, PathKey, StoreConfig};
 pub use harness::{
     is_modified, provision_cubic, provision_cubic_phi, provision_mixed, run_experiment,
-    run_repeated, ExperimentSpec, ProvisionCtx, Provisioned, RunResult, DUMBBELL_PATH,
+    run_repeated, run_repeated_on, ExperimentSpec, ProvisionCtx, Provisioned, RunResult,
+    DUMBBELL_PATH,
 };
 pub use hooks::{shared, summarize, IdealOracleHook, PracticalHook, SharedStore};
 pub use optimizer::{
-    leave_one_out, policy_from_sweeps, sweep_cubic, LeaveOneOutRow, SweepOutcome, SweepResult,
-    SweepSpec,
+    leave_one_out, policy_from_sweeps, sweep_cubic, sweep_cubic_on, LeaveOneOutRow, SweepOutcome,
+    SweepResult, SweepSpec,
 };
 pub use policy::{PolicyEntry, PolicyTable};
 pub use power::{log_power, power, power_loss, score, Objective};
+pub use runpool::{derive_seed, RunPool};
 pub use server::{sync_store, ContextClient, ContextServer, SyncStore};

@@ -11,9 +11,10 @@ use phi_tcp::cubic::CubicParams;
 use phi_tcp::report::RunMetrics;
 use serde::{Deserialize, Serialize};
 
-use crate::harness::{provision_cubic, run_repeated, ExperimentSpec};
+use crate::harness::{provision_cubic, run_experiment, ExperimentSpec};
 use crate::policy::{PolicyEntry, PolicyTable};
 use crate::power::{score, Objective};
+use crate::runpool::{derive_seed, RunPool};
 
 /// The parameter grid to sweep (Table 2).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -141,7 +142,27 @@ impl SweepResult {
 /// `objective`. All senders in a run share one parameter setting — the
 /// §2.2.1 simplified setting. Every grid point replays the identical
 /// workloads (same seeds), so comparisons are paired.
+///
+/// Runs on the [`RunPool::from_env`] pool (`PHI_JOBS` workers).
 pub fn sweep_cubic(
+    spec: &ExperimentSpec,
+    grid: &SweepSpec,
+    n_runs: usize,
+    objective: Objective,
+) -> SweepResult {
+    sweep_cubic_on(&RunPool::from_env(), spec, grid, n_runs, objective)
+}
+
+/// [`sweep_cubic`] on an explicit pool.
+///
+/// The unit of parallelism is one `(setting, run)` pair — the finest
+/// independent grain — so even a single-setting sweep with many runs, or
+/// a many-setting sweep with one run, saturates the pool. Run `i` of
+/// every setting uses [`derive_seed`]`(spec.seed, i)`, which both keeps
+/// the sweep paired (identical workloads across settings) and makes the
+/// result bit-identical for any worker count.
+pub fn sweep_cubic_on(
+    pool: &RunPool,
     spec: &ExperimentSpec,
     grid: &SweepSpec,
     n_runs: usize,
@@ -149,23 +170,33 @@ pub fn sweep_cubic(
 ) -> SweepResult {
     assert!(n_runs >= 1, "need at least one run");
     let base = spec.base_rtt_ms();
-    let eval = |params: CubicParams| -> SweepOutcome {
-        let runs: Vec<RunMetrics> = run_repeated(spec, n_runs, provision_cubic(params))
-            .into_iter()
-            .map(|r| r.metrics)
-            .collect();
-        let mean = RunMetrics::mean_of(&runs);
-        let s = runs.iter().map(|m| score(objective, m, base)).sum::<f64>() / runs.len() as f64;
-        SweepOutcome {
-            params,
-            runs,
-            mean,
-            score: s,
-        }
-    };
+    // The grid points plus, as a final pseudo-point, the ns-2 default.
+    let mut settings = grid.combos();
+    settings.push(CubicParams::default());
 
-    let outcomes: Vec<SweepOutcome> = grid.combos().into_iter().map(eval).collect();
-    let default = eval(CubicParams::default());
+    let metrics: Vec<RunMetrics> = pool.run(settings.len() * n_runs, |j| {
+        let params = settings[j / n_runs];
+        let mut s = spec.clone();
+        s.seed = derive_seed(spec.seed, (j % n_runs) as u64);
+        run_experiment(&s, provision_cubic(params)).metrics
+    });
+
+    let mut outcomes: Vec<SweepOutcome> = settings
+        .iter()
+        .zip(metrics.chunks(n_runs))
+        .map(|(&params, runs)| {
+            let runs = runs.to_vec();
+            let mean = RunMetrics::mean_of(&runs);
+            let s = runs.iter().map(|m| score(objective, m, base)).sum::<f64>() / runs.len() as f64;
+            SweepOutcome {
+                params,
+                runs,
+                mean,
+                score: s,
+            }
+        })
+        .collect();
+    let default = outcomes.pop().expect("default setting evaluated");
     SweepResult {
         outcomes,
         default,

@@ -101,6 +101,77 @@ proptest! {
         }
     }
 
+    /// Truncation at every point of a frame is a clean "feed me more
+    /// bytes", never a panic or a spurious message — and completing the
+    /// frame afterwards still yields the original message. This is the
+    /// path a slow or half-closed TCP peer exercises constantly.
+    #[test]
+    fn truncated_frame_is_incomplete_then_completes(msg in arb_message()) {
+        let frame = encode(&msg);
+        // All prefixes for small frames; a uniform sample of ~64 for big
+        // ones (PATHS frames reach a couple of KB).
+        let stride = (frame.len() / 64).max(1);
+        for cut in (0..frame.len()).step_by(stride) {
+            let mut d = Decoder::new();
+            d.extend(&frame[..cut]);
+            prop_assert_eq!(d.next(), Err(DecodeError::Incomplete),
+                "prefix of {} of {} bytes decoded", cut, frame.len());
+            d.extend(&frame[cut..]);
+            prop_assert_eq!(d.next().unwrap(), msg.clone(), "completion after cut {}", cut);
+            prop_assert_eq!(d.next(), Err(DecodeError::Incomplete));
+        }
+    }
+
+    /// A frame carrying the wrong protocol version is rejected as
+    /// `BadVersion` for every message shape — including version bytes
+    /// that alias a valid type code.
+    #[test]
+    fn wrong_version_rejected(msg in arb_message(), bad in any::<u8>()) {
+        prop_assume!(bad != 1); // VERSION
+        let mut frame = encode(&msg).to_vec();
+        frame[4] = bad; // [u32 len][u8 version][u8 type][payload]
+        let mut d = Decoder::new();
+        d.extend(&frame);
+        prop_assert_eq!(d.next(), Err(DecodeError::BadVersion(bad)));
+    }
+
+    /// An unknown type code is rejected as `BadType` regardless of the
+    /// payload that follows.
+    #[test]
+    fn unknown_type_rejected(msg in arb_message(), bad in 8u8..=255) {
+        let mut frame = encode(&msg).to_vec();
+        frame[5] = bad;
+        let mut d = Decoder::new();
+        d.extend(&frame);
+        prop_assert_eq!(d.next(), Err(DecodeError::BadType(bad)));
+    }
+
+    /// Shortening the payload while keeping the length header honest
+    /// yields `Malformed` (payload ends early) for every message with a
+    /// payload — never a panic, never a bogus message. Type codes 4
+    /// (REPORT_OK) and 6/1-style fixed shapes with empty tails are
+    /// excluded by construction: we only cut frames that have payload
+    /// bytes to lose.
+    #[test]
+    fn short_payload_with_honest_length_is_malformed(msg in arb_message(), drop in 1usize..9) {
+        let full = encode(&msg).to_vec();
+        let payload_len = full.len() - 6; // after len+version+type
+        prop_assume!(payload_len >= 1);
+        let drop = drop.min(payload_len);
+        let mut frame = full;
+        frame.truncate(frame.len() - drop);
+        // Rewrite the length header to match the shortened frame, so the
+        // decoder sees a "complete" frame whose payload ends early.
+        let new_len = (frame.len() - 4) as u32;
+        frame[..4].copy_from_slice(&new_len.to_be_bytes());
+        let mut d = Decoder::new();
+        d.extend(&frame);
+        match d.next() {
+            Err(DecodeError::Malformed(_)) => {}
+            other => prop_assert!(false, "expected Malformed, got {:?}", other),
+        }
+    }
+
     /// Store invariants under arbitrary interleavings of lookups/reports:
     /// utilization stays in [0,1], competing equals lookups minus reports
     /// (floored at zero), and time never has to move monotonically.

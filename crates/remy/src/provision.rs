@@ -61,6 +61,25 @@ pub fn provision_remy(
     }
 }
 
+/// Thread-safe variant of [`provision_remy`] for parallel repeated runs
+/// ([`phi_core::harness::run_repeated`] fans runs across worker threads,
+/// so its provisioner must be `Sync` — an `Rc`-holding closure is not).
+///
+/// Owns the tree and materializes a per-sender `Rc` inside the worker
+/// thread; whisker trees are at most a few dozen rules, so the clone per
+/// sender is noise next to the simulation itself. Usage tallies are
+/// inherently per-run state and are not supported here — the trainer,
+/// which needs them, shares one tree per evaluation via [`provision_remy`].
+pub fn provision_remy_owned(
+    tree: WhiskerTree,
+    feed: UtilFeed,
+) -> impl Fn(ProvisionCtx<'_>) -> Provisioned + Sync {
+    move |ctx| {
+        let mut provision = provision_remy(Rc::new(tree.clone()), feed, None);
+        provision(ctx)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -20,6 +20,7 @@ use std::rc::Rc;
 
 use phi_core::harness::{run_experiment, ExperimentSpec, RunResult};
 use phi_core::power::log_power;
+use phi_core::runpool::RunPool;
 use serde::{Deserialize, Serialize};
 
 use crate::controller::UsageTally;
@@ -111,16 +112,27 @@ pub fn run_objective(result: &RunResult) -> f64 {
 /// The trainer.
 pub struct Trainer {
     cfg: TrainerConfig,
+    pool: RunPool,
     /// (round, objective, whisker count) log of accepted improvements.
     pub history: Vec<(usize, f64, usize)>,
 }
 
 impl Trainer {
-    /// A trainer with the given configuration.
+    /// A trainer with the given configuration, evaluating candidates on
+    /// the [`RunPool::from_env`] pool (`PHI_JOBS` workers).
     pub fn new(cfg: TrainerConfig) -> Self {
+        Trainer::with_pool(cfg, RunPool::from_env())
+    }
+
+    /// A trainer evaluating candidates on an explicit pool. The learned
+    /// tree is identical for any worker count: candidate evaluations are
+    /// independent deterministic simulations, and ties between equal
+    /// objectives resolve in candidate order either way.
+    pub fn with_pool(cfg: TrainerConfig, pool: RunPool) -> Self {
         assert!(!cfg.scenarios.is_empty(), "need at least one scenario");
         Trainer {
             cfg,
+            pool,
             history: Vec::new(),
         }
     }
@@ -153,16 +165,23 @@ impl Trainer {
                 break; // nothing ran at all
             };
 
-            // Hill-climb the target whisker's action.
+            // Hill-climb the target whisker's action. All candidate
+            // perturbations are evaluated concurrently — they are
+            // independent simulations — and the winner is picked by a
+            // serial scan in candidate order, so the accepted action is
+            // exactly what the sequential loop would have chosen.
             let mut improved_any = false;
             for _ in 0..self.cfg.climb_steps {
                 let current = tree.whiskers()[target].action;
+                let cands = current.neighbors();
+                let evals = self.pool.run(cands.len(), |ci| {
+                    let mut t = tree.clone();
+                    t.set_action(target, cands[ci]);
+                    self.evaluate(&t)
+                });
                 let mut best = eval.objective;
                 let mut best_action = None;
-                for cand in current.neighbors() {
-                    let mut t = tree.clone();
-                    t.set_action(target, cand);
-                    let e = self.evaluate(&t);
+                for (&cand, e) in cands.iter().zip(evals) {
                     if e.objective > best {
                         best = e.objective;
                         best_action = Some((cand, e));
@@ -244,6 +263,23 @@ mod tests {
                 assert!(w[1].1 >= w[0].1 - 1e-12, "accepted a regression");
             }
         }
+    }
+
+    #[test]
+    fn training_result_is_worker_count_invariant() {
+        let cfg = TrainerConfig {
+            scenarios: vec![tiny_scenario()],
+            feed: UtilFeed::None,
+            max_whiskers: 3,
+            max_rounds: 2,
+            climb_steps: 1,
+        };
+        let (tree_serial, obj_serial) =
+            Trainer::with_pool(cfg.clone(), RunPool::serial()).train(WhiskerTree::initial());
+        let (tree_parallel, obj_parallel) =
+            Trainer::with_pool(cfg, RunPool::new(4)).train(WhiskerTree::initial());
+        assert_eq!(tree_serial, tree_parallel, "search took a different path");
+        assert_eq!(obj_serial.to_bits(), obj_parallel.to_bits());
     }
 
     #[test]

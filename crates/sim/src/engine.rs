@@ -18,6 +18,7 @@
 //! the "ideal oracle" used by Remy-Phi-ideal, paper §2.2.4).
 
 use std::any::Any;
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -102,8 +103,45 @@ struct SimCore {
     next_packet_id: u64,
     /// Packets that arrived for a (node, port) with no agent bound.
     pub undeliverable: u64,
+    /// Packets consumed by a bound agent at their destination.
+    delivered: u64,
     events_processed: u64,
     tracer: Option<Box<dyn Tracer>>,
+}
+
+thread_local! {
+    /// Recycled event-queue allocations. Parameter sweeps and trainer
+    /// rounds build thousands of short-lived simulators per thread; each
+    /// would otherwise regrow its event heap from empty. A retiring
+    /// simulator parks its heap's backing buffer here and the next one on
+    /// this thread starts with that capacity.
+    static HEAP_POOL: RefCell<Vec<Vec<Reverse<Scheduled>>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Buffers kept per thread; beyond this, retiring heaps just deallocate.
+const HEAP_POOL_LIMIT: usize = 8;
+
+fn recycled_heap() -> BinaryHeap<Reverse<Scheduled>> {
+    HEAP_POOL
+        .with(|p| p.borrow_mut().pop())
+        .map(BinaryHeap::from) // an empty Vec heapifies in place, keeping its capacity
+        .unwrap_or_default()
+}
+
+impl Drop for SimCore {
+    fn drop(&mut self) {
+        let mut buf = std::mem::take(&mut self.queue).into_vec();
+        if buf.capacity() == 0 {
+            return;
+        }
+        buf.clear();
+        HEAP_POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() < HEAP_POOL_LIMIT {
+                pool.push(buf);
+            }
+        });
+    }
 }
 
 impl SimCore {
@@ -315,13 +353,14 @@ impl Simulator {
             core: SimCore {
                 now: Time::ZERO,
                 seq: 0,
-                queue: BinaryHeap::new(),
+                queue: recycled_heap(),
                 topology,
                 links,
                 bindings: HashMap::new(),
                 agent_nodes: Vec::new(),
                 next_packet_id: 0,
                 undeliverable: 0,
+                delivered: 0,
                 events_processed: 0,
                 tracer: None,
             },
@@ -357,6 +396,34 @@ impl Simulator {
     /// Packets that reached a node with no agent bound to their port.
     pub fn undeliverable(&self) -> u64 {
         self.core.undeliverable
+    }
+
+    /// A point-in-time census of every packet the simulation created.
+    ///
+    /// The conservation invariant — every injected packet is in exactly
+    /// one place — holds at any instant, mid-run or after completion:
+    /// see [`PacketCensus::conserved`].
+    pub fn packet_census(&self) -> PacketCensus {
+        let mut in_flight = 0u64;
+        for Reverse(sch) in self.core.queue.iter() {
+            if matches!(sch.event, Event::TxEnd { .. } | Event::Deliver { .. }) {
+                in_flight += 1;
+            }
+        }
+        let mut queued = 0u64;
+        let mut dropped = 0u64;
+        for ls in &self.core.links {
+            queued += ls.queue.len_packets() as u64;
+            dropped += ls.stats.dropped;
+        }
+        PacketCensus {
+            injected: self.core.next_packet_id,
+            delivered: self.core.delivered,
+            dropped,
+            undeliverable: self.core.undeliverable,
+            queued,
+            in_flight,
+        }
     }
 
     /// The topology under simulation.
@@ -440,7 +507,10 @@ impl Simulator {
                     if pkt.dst == node {
                         self.core.trace(TraceOp::Deliver, None, Some(node), &pkt);
                         match self.core.bindings.get(&(node, pkt.dst_port)).copied() {
-                            Some(agent) => self.with_agent(agent, |a, ctx| a.on_packet(pkt, ctx)),
+                            Some(agent) => {
+                                self.core.delivered += 1;
+                                self.with_agent(agent, |a, ctx| a.on_packet(pkt, ctx));
+                            }
                             None => self.core.undeliverable += 1,
                         }
                     } else {
@@ -467,6 +537,43 @@ impl Simulator {
     /// Run until no events remain.
     pub fn run_to_completion(&mut self) -> Time {
         self.run_until(Time::MAX)
+    }
+}
+
+/// Where every packet the simulation ever created currently is.
+///
+/// Taken with [`Simulator::packet_census`]. A packet is *injected* when an
+/// agent calls [`Ctx::send`]; from then on it is in exactly one of the
+/// other five states, so [`PacketCensus::conserved`] must hold at every
+/// instant — it is the engine's bookkeeping invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketCensus {
+    /// Packets created via [`Ctx::send`].
+    pub injected: u64,
+    /// Packets consumed by a bound agent at their destination.
+    pub delivered: u64,
+    /// Packets dropped at link queues (summed over links).
+    pub dropped: u64,
+    /// Packets that hit a routing dead-end or an unbound port.
+    pub undeliverable: u64,
+    /// Packets sitting in link queues right now.
+    pub queued: u64,
+    /// Packets serializing on a link or propagating toward a node
+    /// (scheduled `TxEnd`/`Deliver` events).
+    pub in_flight: u64,
+}
+
+impl PacketCensus {
+    /// Injected packets not yet in a terminal state.
+    pub fn outstanding(&self) -> u64 {
+        self.queued + self.in_flight
+    }
+
+    /// The conservation invariant:
+    /// `injected == delivered + dropped + undeliverable + queued + in_flight`.
+    pub fn conserved(&self) -> bool {
+        self.injected
+            == self.delivered + self.dropped + self.undeliverable + self.queued + self.in_flight
     }
 }
 
@@ -890,6 +997,102 @@ mod tests {
         assert_eq!(count(TraceOp::Deliver), stats.transmitted);
         // Trace is time-ordered.
         assert!(events.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn census_conserves_packets_mid_run_and_at_completion() {
+        // Tiny queue + fast arrivals: drops, queueing, and in-flight
+        // packets all occur, so every census term is exercised.
+        let (t, a, z) = two_nodes(1_000_000, Dur::from_millis(5), Capacity::Packets(3));
+        let mut sim = Simulator::new(t);
+        sim.add_agent(
+            a,
+            1,
+            Box::new(Blaster {
+                peer: z,
+                peer_port: 2,
+                port: 1,
+                count: 50,
+                size: 1000,
+                gap: Dur::from_millis(1),
+                sent: 0,
+            }),
+        );
+        let sink = sim.add_agent(z, 2, Box::<Sink>::default());
+
+        // Stop mid-stream: some packets must still be queued or in flight.
+        sim.run_until(Time::from_millis(20));
+        let mid = sim.packet_census();
+        assert!(mid.conserved(), "mid-run census leaks packets: {mid:?}");
+        assert!(
+            mid.outstanding() > 0,
+            "expected packets in transit: {mid:?}"
+        );
+
+        sim.run_to_completion();
+        let end = sim.packet_census();
+        assert!(end.conserved(), "final census leaks packets: {end:?}");
+        assert_eq!(end.outstanding(), 0, "packets stuck after drain: {end:?}");
+        assert_eq!(end.injected, 50);
+        assert!(end.dropped > 0, "queue of 3 must drop under this burst");
+        let received = sim.agent_as::<Sink>(sink).unwrap().received.len() as u64;
+        assert_eq!(end.delivered, received);
+        assert_eq!(end.delivered + end.dropped, 50);
+    }
+
+    #[test]
+    fn census_counts_undeliverable_as_terminal() {
+        let (t, a, z) = two_nodes(1_000_000, Dur::from_millis(1), Capacity::Packets(10));
+        let mut sim = Simulator::new(t);
+        sim.add_agent(
+            a,
+            1,
+            Box::new(Blaster {
+                peer: z,
+                peer_port: 99, // nothing bound on port 99
+                port: 1,
+                count: 3,
+                size: 100,
+                gap: Dur::ZERO,
+                sent: 0,
+            }),
+        );
+        sim.run_to_completion();
+        let c = sim.packet_census();
+        assert!(c.conserved(), "{c:?}");
+        assert_eq!(c.undeliverable, 3);
+        assert_eq!(c.delivered, 0);
+        assert_eq!(c.outstanding(), 0);
+    }
+
+    #[test]
+    fn recycled_heap_buffers_do_not_change_results() {
+        // Back-to-back simulators on one thread hit the heap pool; the
+        // second run must start from a logically empty queue.
+        let run = || {
+            let (t, a, z) = two_nodes(2_000_000, Dur::from_millis(2), Capacity::Packets(5));
+            let mut sim = Simulator::new(t);
+            sim.add_agent(
+                a,
+                1,
+                Box::new(Blaster {
+                    peer: z,
+                    peer_port: 2,
+                    port: 1,
+                    count: 80,
+                    size: 900,
+                    gap: Dur::from_micros(500),
+                    sent: 0,
+                }),
+            );
+            sim.add_agent(z, 2, Box::<Sink>::default());
+            sim.run_to_completion();
+            (sim.events_processed(), sim.packet_census())
+        };
+        let first = run();
+        for _ in 0..4 {
+            assert_eq!(run(), first);
+        }
     }
 
     #[test]
