@@ -13,7 +13,7 @@ use phi_sim::queue::{Capacity, Discipline, DropTail, Red};
 use phi_sim::time::{Dur, Time};
 use phi_sim::topology::{dumbbell, Dumbbell, DumbbellSpec};
 use phi_tcp::cubic::{Cubic, CubicParams};
-use phi_tcp::hook::{NoHook, SessionHook};
+use phi_tcp::hook::{DegradingHook, NoHook, SessionHook};
 use phi_tcp::receiver::TcpReceiver;
 use phi_tcp::report::{FlowReport, RunMetrics};
 use phi_tcp::sender::{CcFactory, SenderConfig, TcpSender};
@@ -21,7 +21,7 @@ use phi_workload::{OnOffConfig, OnOffSource, SeedRng};
 use serde::{Deserialize, Serialize};
 
 use crate::context::{ContextStore, PathKey, StoreConfig};
-use crate::hooks::{shared, PracticalHook, SharedStore};
+use crate::hooks::{fault_counters, shared, FaultPlan, FaultyHook, PracticalHook, SharedStore};
 use crate::policy::PolicyTable;
 use crate::runpool::{derive_seed, RunPool};
 
@@ -96,6 +96,10 @@ pub struct ProvisionCtx<'a> {
     pub store: &'a SharedStore,
     /// Path key for this sender's traffic.
     pub path: PathKey,
+    /// A per-sender random stream (fork of the run seed, independent of
+    /// the workload streams) for stochastic provisioning such as fault
+    /// injection. Fork it further by label before drawing.
+    pub rng: SeedRng,
 }
 
 /// What a provisioner returns for one sender.
@@ -185,6 +189,7 @@ pub fn run_experiment(
             net: &net,
             store: &store,
             path: DUMBBELL_PATH,
+            rng: root.fork_indexed("provision", i as u64),
         });
         let mut cfg = SenderConfig::new(net.receivers[i], 80, 10);
         cfg.dupack_threshold = spec.dupack_threshold;
@@ -266,6 +271,37 @@ pub fn provision_cubic_phi(policy: PolicyTable) -> impl Fn(ProvisionCtx<'_>) -> 
                 Box::new(Cubic::new(params))
             }),
             hook: Box::new(PracticalHook::new(ctx.store.clone(), ctx.path)),
+        }
+    }
+}
+
+/// [`provision_cubic_phi`] behind a faulty context plane: each sender's
+/// practical hook is wrapped in a [`FaultyHook`] injecting faults per
+/// `plan` (from a per-sender fork of the run seed, so fault draws never
+/// shift the workload streams) and a
+/// [`phi_tcp::hook::DegradingHook`] enforcing fallback to vanilla
+/// behaviour whenever a lookup is lost. The §2.2.2 degradation arm.
+pub fn provision_cubic_phi_faulty(
+    policy: PolicyTable,
+    plan: FaultPlan,
+) -> impl Fn(ProvisionCtx<'_>) -> Provisioned + Sync {
+    move |ctx| {
+        let policy = policy.clone();
+        let counters = fault_counters();
+        Provisioned {
+            factory: Box::new(move |snap| {
+                let params = match snap {
+                    Some(s) => policy.params_for(s),
+                    None => CubicParams::default(),
+                };
+                Box::new(Cubic::new(params))
+            }),
+            hook: Box::new(DegradingHook::new(FaultyHook::new(
+                PracticalHook::new(ctx.store.clone(), ctx.path),
+                plan,
+                ctx.rng.fork("faults"),
+                counters,
+            ))),
         }
     }
 }

@@ -10,15 +10,22 @@
 //! * [`IdealOracleHook`] — the idealized arm: every ACK carries the
 //!   bottleneck's up-to-the-minute rolling utilization straight from the
 //!   simulator (Remy-Phi-ideal / "up-to-the-minute link utilization").
+//!
+//! For testing the §2.2.2 failure contract there is also [`FaultyHook`],
+//! a wrapper that injects context-plane faults (lost or delayed lookups,
+//! stale snapshots, availability flapping) from a forked [`SeedRng`]
+//! stream, composing with [`phi_tcp::hook::DegradingHook`] so faulted
+//! senders fall back to vanilla behaviour.
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
 use phi_sim::engine::Ctx;
 use phi_sim::packet::LinkId;
-use phi_sim::time::Time;
+use phi_sim::time::{Dur, Time};
 use phi_tcp::hook::{ContextSnapshot, SessionHook};
 use phi_tcp::report::FlowReport;
+use phi_workload::SeedRng;
 
 use crate::context::{ContextStore, FlowSummary, PathKey};
 
@@ -123,6 +130,210 @@ impl SessionHook for IdealOracleHook {
 
     fn live_util(&self, ctx: &Ctx<'_>) -> Option<f64> {
         Some(ctx.link_utilization(self.bottleneck))
+    }
+}
+
+/// A square-wave availability schedule: the context plane is reachable
+/// for `up`, unreachable for `down`, repeating. Each hook's wave gets a
+/// random phase so a fleet of senders doesn't fault in lockstep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Flap {
+    /// How long the plane stays reachable per cycle.
+    pub up: Dur,
+    /// How long the plane stays unreachable per cycle.
+    pub down: Dur,
+}
+
+/// What can go wrong with the context plane, and how often.
+///
+/// All draws come from the [`SeedRng`] stream handed to
+/// [`FaultyHook::new`] — a fork that no simulation event consumes — so
+/// injecting faults never perturbs workload arrivals or transport
+/// behaviour, only the context the senders see.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Probability a lookup is dropped outright (times out client-side).
+    pub lookup_loss: f64,
+    /// Probability a report is dropped (the store never hears it).
+    pub report_loss: f64,
+    /// Probability a lookup is answered from this sender's *previous*
+    /// snapshot instead of fresh state (a lagging replica).
+    pub stale_prob: f64,
+    /// Optional lookup delay: `(probability, latency)`. A delayed lookup
+    /// whose latency reaches [`FaultPlan::deadline`] is dropped — exactly
+    /// what a deadline-bounded [`crate::server::ContextClient`] would do.
+    pub delay: Option<(f64, Dur)>,
+    /// The client-side request deadline delayed lookups race against.
+    pub deadline: Dur,
+    /// Optional availability flapping; while down, every lookup and
+    /// report is lost regardless of the probabilities above.
+    pub flap: Option<Flap>,
+}
+
+impl FaultPlan {
+    /// A healthy plane: no faults at all.
+    pub fn none() -> Self {
+        FaultPlan {
+            lookup_loss: 0.0,
+            report_loss: 0.0,
+            stale_prob: 0.0,
+            delay: None,
+            deadline: Dur::from_secs(5),
+            flap: None,
+        }
+    }
+
+    /// Total outage: every lookup and report is lost.
+    pub fn blackout() -> Self {
+        FaultPlan {
+            lookup_loss: 1.0,
+            report_loss: 1.0,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// The plane cycles `up` reachable / `down` unreachable.
+    pub fn flapping(up: Dur, down: Dur) -> Self {
+        FaultPlan {
+            flap: Some(Flap { up, down }),
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Independent loss of lookups and reports with probability `p`.
+    pub fn lossy(p: f64) -> Self {
+        FaultPlan {
+            lookup_loss: p,
+            report_loss: p,
+            ..FaultPlan::none()
+        }
+    }
+}
+
+/// Counters of injected faults, shared across the hooks of one run via
+/// [`fault_counters`] so a test can assert the faults actually fired.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Lookups attempted.
+    pub lookups: u64,
+    /// Lookups lost (outage, random loss, or delayed past the deadline).
+    pub lookups_dropped: u64,
+    /// Lookups that were delayed but still beat the deadline.
+    pub lookups_delayed: u64,
+    /// Lookups answered from a stale snapshot.
+    pub stale_served: u64,
+    /// Reports attempted.
+    pub reports: u64,
+    /// Reports lost.
+    pub reports_dropped: u64,
+}
+
+/// Fault counters shared by the hooks of one (single-threaded) run.
+pub type SharedFaultCounters = Rc<RefCell<FaultCounters>>;
+
+/// Fresh counters for one run's [`FaultyHook`]s.
+pub fn fault_counters() -> SharedFaultCounters {
+    Rc::new(RefCell::new(FaultCounters::default()))
+}
+
+/// Injects context-plane faults between a sender and its real hook.
+///
+/// Wraps any [`SessionHook`] and makes its lookups and reports unreliable
+/// per a [`FaultPlan`]: dropped, delayed past the client deadline, served
+/// stale, or blacked out by availability flapping. Dropped operations
+/// never touch the inner hook (the store never hears them), matching a
+/// client whose request timed out. Compose with
+/// [`phi_tcp::hook::DegradingHook`] so the sender also stops consuming
+/// the frozen live-utilization feed while the plane is faulty.
+pub struct FaultyHook<H> {
+    inner: H,
+    plan: FaultPlan,
+    rng: SeedRng,
+    /// Phase offset of this hook's flap wave, ns.
+    phase_ns: u64,
+    /// The last snapshot served, for the stale-replica fault.
+    last_snap: Option<ContextSnapshot>,
+    counters: SharedFaultCounters,
+}
+
+impl<H: SessionHook> FaultyHook<H> {
+    /// Wrap `inner` with faults from `plan`, drawing from `rng` (fork it
+    /// per sender, e.g. `ctx.rng.fork("faults")`, so fault draws never
+    /// shift workload streams).
+    pub fn new(inner: H, plan: FaultPlan, rng: SeedRng, counters: SharedFaultCounters) -> Self {
+        let mut rng = rng;
+        let phase_ns = match plan.flap {
+            Some(f) => {
+                let period = f.up.as_nanos().saturating_add(f.down.as_nanos()).max(1);
+                rng.range_u64(0, period)
+            }
+            None => 0,
+        };
+        FaultyHook {
+            inner,
+            plan,
+            rng,
+            phase_ns,
+            last_snap: None,
+            counters,
+        }
+    }
+
+    /// Whether the flap schedule has the plane unreachable at `now`.
+    fn plane_down(&self, now: Time) -> bool {
+        match self.plan.flap {
+            Some(f) => {
+                let period = f.up.as_nanos().saturating_add(f.down.as_nanos());
+                if period == 0 {
+                    return false;
+                }
+                let pos = (now.as_nanos().wrapping_add(self.phase_ns)) % period;
+                pos >= f.up.as_nanos()
+            }
+            None => false,
+        }
+    }
+}
+
+impl<H: SessionHook> SessionHook for FaultyHook<H> {
+    fn lookup(&mut self, now: Time, ctx: &mut Ctx<'_>) -> Option<ContextSnapshot> {
+        self.counters.borrow_mut().lookups += 1;
+        if self.plane_down(now) || self.rng.chance(self.plan.lookup_loss) {
+            self.counters.borrow_mut().lookups_dropped += 1;
+            return None;
+        }
+        if let Some((p, latency)) = self.plan.delay {
+            if self.rng.chance(p) {
+                if latency >= self.plan.deadline {
+                    // The client gives up before the reply lands.
+                    self.counters.borrow_mut().lookups_dropped += 1;
+                    return None;
+                }
+                self.counters.borrow_mut().lookups_delayed += 1;
+            }
+        }
+        if self.last_snap.is_some() && self.rng.chance(self.plan.stale_prob) {
+            self.counters.borrow_mut().stale_served += 1;
+            return self.last_snap;
+        }
+        let snap = self.inner.lookup(now, ctx);
+        if snap.is_some() {
+            self.last_snap = snap;
+        }
+        snap
+    }
+
+    fn report(&mut self, report: &FlowReport, ctx: &mut Ctx<'_>) {
+        self.counters.borrow_mut().reports += 1;
+        if self.plane_down(ctx.now()) || self.rng.chance(self.plan.report_loss) {
+            self.counters.borrow_mut().reports_dropped += 1;
+            return;
+        }
+        self.inner.report(report, ctx);
+    }
+
+    fn live_util(&self, ctx: &Ctx<'_>) -> Option<f64> {
+        self.inner.live_util(ctx)
     }
 }
 

@@ -49,11 +49,14 @@ pub mod wire;
 
 pub use context::{ContextStore, FlowSummary, PathKey, StoreConfig};
 pub use harness::{
-    is_modified, provision_cubic, provision_cubic_phi, provision_mixed, run_experiment,
-    run_repeated, run_repeated_on, ExperimentSpec, ProvisionCtx, Provisioned, RunResult,
-    DUMBBELL_PATH,
+    is_modified, provision_cubic, provision_cubic_phi, provision_cubic_phi_faulty, provision_mixed,
+    run_experiment, run_repeated, run_repeated_on, ExperimentSpec, ProvisionCtx, Provisioned,
+    RunResult, DUMBBELL_PATH,
 };
-pub use hooks::{shared, summarize, IdealOracleHook, PracticalHook, SharedStore};
+pub use hooks::{
+    fault_counters, shared, summarize, FaultCounters, FaultPlan, FaultyHook, Flap, IdealOracleHook,
+    PracticalHook, SharedFaultCounters, SharedStore,
+};
 pub use optimizer::{
     leave_one_out, policy_from_sweeps, sweep_cubic, sweep_cubic_on, LeaveOneOutRow, SweepOutcome,
     SweepResult, SweepSpec,
@@ -61,4 +64,7 @@ pub use optimizer::{
 pub use policy::{PolicyEntry, PolicyTable};
 pub use power::{log_power, power, power_loss, score, Objective};
 pub use runpool::{derive_seed, RunPool};
-pub use server::{sync_store, ContextClient, ContextServer, SyncStore};
+pub use server::{
+    sync_store, ClientConfig, ClientError, ContextClient, ContextServer, ResilienceConfig,
+    ResilienceStats, ResilientClient, ServerConfig, ServerStats, SyncStore,
+};

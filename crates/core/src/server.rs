@@ -1,4 +1,4 @@
-//! A real context server over TCP, and its blocking client.
+//! A real context server over TCP, and its blocking clients.
 //!
 //! The in-simulation hooks talk to a [`crate::context::ContextStore`]
 //! directly; a production Phi deployment runs one (or a few) context
@@ -12,10 +12,36 @@
 //! Lifecycle: [`ContextServer::start`] binds and serves;
 //! [`ContextServer::shutdown`] stops accepting, unblocks handlers via read
 //! timeouts, and joins every thread.
+//!
+//! ## Failure model (the §2.2.2 resilience contract)
+//!
+//! The paper's practical design *assumes* the context plane can be stale
+//! or unavailable: a sender must behave no worse than vanilla TCP when the
+//! server is slow, flapping, or gone. The client side therefore enforces
+//! three rules:
+//!
+//! 1. **Deadline** — every [`ContextClient`] call returns within its
+//!    configured [`ClientConfig::request_deadline`] (reads *and* writes
+//!    are bounded), failing with [`ClientError::Deadline`] rather than
+//!    blocking the sender.
+//! 2. **Poisoning** — any mid-request I/O or framing failure leaves the
+//!    connection in an unknown state (the request may already be on the
+//!    wire, its reply still in flight), so the connection is *poisoned*:
+//!    every later call fails fast with [`ClientError::Poisoned`] instead
+//!    of pairing a stale reply with a fresh request. Reconnect to recover.
+//! 3. **Degradation** — [`ResilientClient`] wraps reconnection with
+//!    bounded retries, exponential backoff with deterministic jitter, and
+//!    a circuit breaker; on any exhausted failure it returns "no context"
+//!    (`None`) so the caller falls back to default behaviour.
+//!
+//! The server sheds load instead of queueing it: past
+//! [`ServerConfig::max_connections`] concurrent connections, a new
+//! connection is answered with one `ERROR 503` (overload) frame and
+//! closed, and [`ServerStats::rejected`] counts the shed connections.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -23,7 +49,7 @@ use parking_lot::{Mutex, RwLock};
 use phi_tcp::hook::ContextSnapshot;
 
 use crate::context::{ContextStore, FlowSummary, PathKey};
-use crate::wire::{encode, DecodeError, Decoder, Message};
+use crate::wire::{code, encode, DecodeError, Decoder, Message};
 
 /// A thread-safe context store handle, shared by server handlers and any
 /// in-process instrumentation.
@@ -37,14 +63,32 @@ pub fn sync_store(store: ContextStore) -> SyncStore {
 /// Server-side counters, readable while running.
 #[derive(Debug, Default)]
 pub struct ServerStats {
-    /// Connections accepted.
+    /// Connections accepted and served.
     pub connections: AtomicU64,
+    /// Connections shed with an overload error frame (cap reached).
+    pub rejected: AtomicU64,
     /// Lookup requests served.
     pub lookups: AtomicU64,
     /// Reports accepted.
     pub reports: AtomicU64,
     /// Protocol errors answered.
     pub protocol_errors: AtomicU64,
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Concurrent connections served before new ones are shed with an
+    /// overload frame. Bounds handler threads and protects the store.
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 1024,
+        }
+    }
 }
 
 /// A running context server.
@@ -59,11 +103,30 @@ pub struct ContextServer {
 /// How long handler reads block before re-checking the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
 
+/// Decrements the active-connection gauge when a handler exits, however
+/// it exits.
+struct ConnGuard(Arc<AtomicUsize>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
 impl ContextServer {
     /// Bind `addr` (use port 0 for an ephemeral port) and start serving
-    /// requests against `store`. Timestamps handed to the store are
-    /// nanoseconds since server start.
+    /// requests against `store` with default [`ServerConfig`]. Timestamps
+    /// handed to the store are nanoseconds since server start.
     pub fn start(addr: impl ToSocketAddrs, store: SyncStore) -> std::io::Result<ContextServer> {
+        Self::start_with(addr, store, ServerConfig::default())
+    }
+
+    /// [`ContextServer::start`] with explicit tuning.
+    pub fn start_with(
+        addr: impl ToSocketAddrs,
+        store: SyncStore,
+        config: ServerConfig,
+    ) -> std::io::Result<ContextServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -72,6 +135,7 @@ impl ContextServer {
         let handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
             Arc::new(Mutex::new(Vec::new()));
         let stats = Arc::new(ServerStats::default());
+        let active = Arc::new(AtomicUsize::new(0));
         let epoch = Instant::now();
 
         let accept_thread = {
@@ -84,13 +148,22 @@ impl ContextServer {
                     while !shutdown.load(Ordering::Acquire) {
                         match listener.accept() {
                             Ok((stream, _peer)) => {
+                                reap_finished(&handlers);
+                                if active.load(Ordering::Acquire) >= config.max_connections {
+                                    stats.rejected.fetch_add(1, Ordering::Relaxed);
+                                    shed_connection(stream);
+                                    continue;
+                                }
                                 stats.connections.fetch_add(1, Ordering::Relaxed);
+                                active.fetch_add(1, Ordering::AcqRel);
+                                let guard = ConnGuard(active.clone());
                                 let shutdown = shutdown.clone();
                                 let store = store.clone();
                                 let stats = stats.clone();
                                 let handle = std::thread::Builder::new()
                                     .name("phi-ctx-conn".into())
                                     .spawn(move || {
+                                        let _guard = guard;
                                         handle_connection(stream, store, stats, shutdown, epoch)
                                     })
                                     .expect("spawn handler thread");
@@ -148,6 +221,39 @@ impl Drop for ContextServer {
     }
 }
 
+/// Join handler threads that already returned, so long-lived servers with
+/// connection churn don't accumulate an unbounded handle list.
+fn reap_finished(handlers: &Mutex<Vec<std::thread::JoinHandle<()>>>) {
+    let finished: Vec<_> = {
+        let mut live = handlers.lock();
+        let mut finished = Vec::new();
+        let mut i = 0;
+        while i < live.len() {
+            if live[i].is_finished() {
+                finished.push(live.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        finished
+    };
+    for h in finished {
+        let _ = h.join();
+    }
+}
+
+/// Turn away a connection at the cap: one overload frame, then close.
+/// Best-effort and bounded — the accept loop must never block on a slow
+/// or unreachable peer.
+fn shed_connection(stream: TcpStream) {
+    let mut stream = stream;
+    let _ = stream.set_write_timeout(Some(POLL_INTERVAL));
+    let _ = stream.write_all(&encode(&Message::Error {
+        code: code::OVERLOADED,
+        message: "server overloaded: connection cap reached".into(),
+    }));
+}
+
 fn handle_connection(
     stream: TcpStream,
     store: SyncStore,
@@ -196,7 +302,7 @@ fn handle_connection(
                 Ok(other) => {
                     stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
                     Message::Error {
-                        code: 400,
+                        code: code::BAD_REQUEST,
                         message: format!("unexpected message: {other:?}"),
                     }
                 }
@@ -204,7 +310,7 @@ fn handle_connection(
                 Err(e) => {
                     stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
                     let _ = stream.write_all(&encode(&Message::Error {
-                        code: 422,
+                        code: code::MALFORMED,
                         message: e.to_string(),
                     }));
                     return; // framing is broken; drop the connection
@@ -220,23 +326,47 @@ fn handle_connection(
 /// Client-side errors.
 #[derive(Debug)]
 pub enum ClientError {
-    /// Transport failure.
+    /// Transport failure. The connection is poisoned.
     Io(std::io::Error),
-    /// The server answered with a protocol error frame.
+    /// The request's deadline expired before a full reply arrived. The
+    /// request may still be on the wire, so the connection is poisoned.
+    Deadline,
+    /// A previous request on this connection failed mid-flight; the
+    /// stream may hold a stale reply, so every call fails until the
+    /// caller reconnects.
+    Poisoned,
+    /// The server answered with a protocol error frame (clean reply; the
+    /// connection stays usable unless the server closed it).
     Server {
-        /// Error code from the server.
+        /// Error code from the server (see [`crate::wire::code`]).
         code: u16,
         /// Error detail from the server.
         message: String,
     },
-    /// The reply could not be decoded or had the wrong type.
+    /// The reply could not be decoded or had the wrong type. The framing
+    /// state is unknown, so the connection is poisoned.
     Protocol(String),
+}
+
+impl ClientError {
+    /// Whether this failure leaves the connection in an unknown state.
+    fn poisons(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Io(_)
+                | ClientError::Deadline
+                | ClientError::Protocol(_)
+                | ClientError::Poisoned
+        )
+    }
 }
 
 impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Deadline => write!(f, "request deadline exceeded"),
+            ClientError::Poisoned => write!(f, "connection poisoned by an earlier failure"),
             ClientError::Server { code, message } => write!(f, "server error {code}: {message}"),
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
         }
@@ -247,31 +377,121 @@ impl std::error::Error for ClientError {}
 
 impl From<std::io::Error> for ClientError {
     fn from(e: std::io::Error) -> Self {
-        ClientError::Io(e)
+        if matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ) {
+            ClientError::Deadline
+        } else {
+            ClientError::Io(e)
+        }
+    }
+}
+
+/// Client tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientConfig {
+    /// Budget for establishing the TCP connection.
+    pub connect_timeout: Duration,
+    /// Budget for one whole request (write + read); covers a stalled
+    /// server in *either* direction.
+    pub request_deadline: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            request_deadline: Duration::from_secs(5),
+        }
     }
 }
 
 /// A blocking context-server client: one TCP connection, synchronous
 /// request/response — matching the one-lookup-one-report cadence of the
 /// practical design.
+///
+/// Every call returns within [`ClientConfig::request_deadline`]. After
+/// any mid-request failure the connection is poisoned (see the module
+/// docs); callers that want automatic reconnection and degradation use
+/// [`ResilientClient`].
 pub struct ContextClient {
     stream: TcpStream,
     decoder: Decoder,
+    config: ClientConfig,
+    poisoned: bool,
 }
 
 impl ContextClient {
-    /// Connect to a context server.
+    /// Connect to a context server with default [`ClientConfig`].
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<ContextClient> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect to a context server with explicit timeouts.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: ClientConfig,
+    ) -> std::io::Result<ContextClient> {
+        let mut last_err = None;
+        let mut stream = None;
+        for addr in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&addr, config.connect_timeout) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let stream = match stream {
+            Some(s) => s,
+            None => {
+                return Err(last_err.unwrap_or_else(|| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidInput, "no addresses resolved")
+                }))
+            }
+        };
         stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+        // Both directions are bounded: a stalled server with a full
+        // socket buffer must not block the sender on write any more than
+        // a silent one may block it on read.
+        stream.set_read_timeout(Some(config.request_deadline))?;
+        stream.set_write_timeout(Some(config.request_deadline))?;
         Ok(ContextClient {
             stream,
             decoder: Decoder::new(),
+            config,
+            poisoned: false,
         })
     }
 
+    /// Whether an earlier failure poisoned this connection (all further
+    /// calls fail fast until the caller reconnects).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
     fn request(&mut self, msg: &Message) -> Result<Message, ClientError> {
+        if self.poisoned {
+            return Err(ClientError::Poisoned);
+        }
+        let result = self.request_inner(msg);
+        if let Err(e) = &result {
+            if e.poisons() {
+                // The request may already be on the wire and its reply in
+                // flight; reusing the stream would pair that stale reply
+                // with the next request.
+                self.poisoned = true;
+            }
+        }
+        result
+    }
+
+    fn request_inner(&mut self, msg: &Message) -> Result<Message, ClientError> {
+        let deadline = Instant::now() + self.config.request_deadline;
+        self.stream
+            .set_write_timeout(Some(self.config.request_deadline))?;
         self.stream.write_all(&encode(msg))?;
         let mut buf = [0u8; 4096];
         loop {
@@ -280,6 +500,13 @@ impl ContextClient {
                 Err(DecodeError::Incomplete) => {}
                 Err(e) => return Err(ClientError::Protocol(e.to_string())),
             }
+            // Budget the read by what's left of the whole-request deadline
+            // so fragmented replies cannot stretch a call past it.
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(ClientError::Deadline);
+            }
+            self.stream.set_read_timeout(Some(remaining))?;
             let n = self.stream.read(&mut buf)?;
             if n == 0 {
                 return Err(ClientError::Protocol("server closed connection".into()));
@@ -317,6 +544,218 @@ impl ContextClient {
     }
 }
 
+/// [`ResilientClient`] tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ResilienceConfig {
+    /// Per-connection timeouts of the underlying [`ContextClient`].
+    pub client: ClientConfig,
+    /// Reconnect-and-retry attempts per request after the first failure.
+    pub max_retries: u32,
+    /// Backoff before retry `k` is `base * 2^(k-1)` (capped), scaled by
+    /// jitter in `[0.5, 1.0]`.
+    pub backoff_base: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub backoff_max: Duration,
+    /// Consecutive failed *requests* (all retries exhausted) that open
+    /// the circuit breaker.
+    pub breaker_threshold: u32,
+    /// How long an open breaker short-circuits requests before the next
+    /// probe is allowed.
+    pub breaker_cooldown: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            client: ClientConfig::default(),
+            max_retries: 2,
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(500),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_secs(1),
+            jitter_seed: 0x5EED_CAFE,
+        }
+    }
+}
+
+/// Counters of a [`ResilientClient`]'s failure handling.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ResilienceStats {
+    /// Requests issued (including ones the breaker short-circuited).
+    pub requests: u64,
+    /// Requests that exhausted every retry and degraded to "no context".
+    pub failures: u64,
+    /// Connections (re-)established.
+    pub connects: u64,
+    /// Open → closed breaker transitions.
+    pub breaker_trips: u64,
+    /// Requests answered "no context" instantly by an open breaker.
+    pub short_circuited: u64,
+}
+
+/// A self-healing context-plane client embodying the §2.2.2 contract:
+/// **the context plane may fail; the sender must not.**
+///
+/// Wraps [`ContextClient`] with bounded reconnects, exponential backoff
+/// with deterministic jitter, and a circuit breaker. All methods are
+/// infallible: any exhausted failure degrades to "no context" (`None` /
+/// `false`), which callers map to vanilla-TCP behaviour — never an error
+/// the data path has to handle, never an unbounded block.
+pub struct ResilientClient {
+    addr: SocketAddr,
+    config: ResilienceConfig,
+    conn: Option<ContextClient>,
+    consecutive_failures: u32,
+    open_until: Option<Instant>,
+    jitter: u64,
+    stats: ResilienceStats,
+}
+
+impl ResilientClient {
+    /// A client for the server at `addr` with default [`ResilienceConfig`].
+    /// No connection is made until the first request.
+    pub fn new(addr: impl ToSocketAddrs) -> std::io::Result<ResilientClient> {
+        Self::with_config(addr, ResilienceConfig::default())
+    }
+
+    /// [`ResilientClient::new`] with explicit tuning.
+    pub fn with_config(
+        addr: impl ToSocketAddrs,
+        config: ResilienceConfig,
+    ) -> std::io::Result<ResilientClient> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "no addresses resolved")
+        })?;
+        Ok(ResilientClient {
+            addr,
+            config,
+            conn: None,
+            consecutive_failures: 0,
+            open_until: None,
+            jitter: config.jitter_seed | 1,
+            stats: ResilienceStats::default(),
+        })
+    }
+
+    /// Failure-handling counters.
+    pub fn stats(&self) -> ResilienceStats {
+        self.stats
+    }
+
+    /// Whether the circuit breaker is currently open (requests are
+    /// short-circuited to "no context" until the cooldown elapses).
+    pub fn breaker_open(&self) -> bool {
+        self.open_until.is_some_and(|t| Instant::now() < t)
+    }
+
+    /// Look up the context for `path`; `None` means "no context" — the
+    /// plane is unavailable and the caller should use defaults.
+    pub fn lookup(&mut self, path: PathKey) -> Option<ContextSnapshot> {
+        match self.call(&Message::Lookup { path }) {
+            Some(Message::Context(c)) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Report a finished connection; `false` means the report was lost to
+    /// a context-plane failure (acceptable: estimates degrade gracefully).
+    pub fn report(&mut self, path: PathKey, summary: FlowSummary) -> bool {
+        matches!(
+            self.call(&Message::Report { path, summary }),
+            Some(Message::ReportOk)
+        )
+    }
+
+    /// The busiest `limit` paths, or `None` when the plane is down.
+    pub fn snapshot(&mut self, limit: u16) -> Option<Vec<(PathKey, ContextSnapshot)>> {
+        match self.call(&Message::Snapshot { limit }) {
+            Some(Message::Paths(paths)) => Some(paths),
+            _ => None,
+        }
+    }
+
+    fn call(&mut self, msg: &Message) -> Option<Message> {
+        self.stats.requests += 1;
+        if let Some(until) = self.open_until {
+            if Instant::now() < until {
+                self.stats.short_circuited += 1;
+                return None;
+            }
+            // Cooldown elapsed: half-open. Fall through with one probe
+            // request; success closes the breaker, failure re-arms it.
+        }
+        for attempt in 0..=self.config.max_retries {
+            if attempt > 0 {
+                std::thread::sleep(self.backoff(attempt));
+            }
+            let conn = match self.ensure_conn() {
+                Some(c) => c,
+                None => continue,
+            };
+            match conn.request(msg) {
+                Ok(Message::Error { code: c, .. }) if c == code::OVERLOADED => {
+                    // The server shed us; it will close the connection.
+                    self.conn = None;
+                }
+                Ok(reply) => {
+                    self.consecutive_failures = 0;
+                    self.open_until = None;
+                    return Some(reply);
+                }
+                Err(_) => {
+                    // Poisoned, timed out, or transport-dead: drop the
+                    // connection so the next attempt starts clean.
+                    self.conn = None;
+                }
+            }
+        }
+        self.on_exhausted();
+        None
+    }
+
+    fn ensure_conn(&mut self) -> Option<&mut ContextClient> {
+        if self.conn.is_none() {
+            match ContextClient::connect_with(self.addr, self.config.client) {
+                Ok(c) => {
+                    self.stats.connects += 1;
+                    self.conn = Some(c);
+                }
+                Err(_) => return None,
+            }
+        }
+        self.conn.as_mut()
+    }
+
+    fn on_exhausted(&mut self) {
+        self.stats.failures += 1;
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        if self.consecutive_failures >= self.config.breaker_threshold {
+            if self.open_until.is_none() {
+                self.stats.breaker_trips += 1;
+            }
+            self.open_until = Some(Instant::now() + self.config.breaker_cooldown);
+        }
+    }
+
+    /// Exponential backoff with deterministic jitter in `[0.5, 1.0]` of
+    /// the capped exponential term (xorshift64 stream seeded by config,
+    /// so tests are reproducible and a fleet of clients decorrelates).
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let exp = self
+            .config
+            .backoff_base
+            .saturating_mul(1u32 << (attempt - 1).min(16));
+        let capped = exp.min(self.config.backoff_max);
+        self.jitter ^= self.jitter << 13;
+        self.jitter ^= self.jitter >> 7;
+        self.jitter ^= self.jitter << 17;
+        let frac = 0.5 + 0.5 * (self.jitter >> 11) as f64 / (1u64 << 53) as f64;
+        capped.mul_f64(frac)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -341,6 +780,13 @@ mod tests {
             min_rtt_ms: 150.0,
             retransmits: 2,
             timeouts: 0,
+        }
+    }
+
+    fn quick_config() -> ClientConfig {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(2),
+            request_deadline: Duration::from_millis(150),
         }
     }
 
@@ -415,7 +861,7 @@ mod tests {
         let mut d = Decoder::new();
         d.extend(&buf);
         match d.next().expect("error frame") {
-            Message::Error { code, .. } => assert_eq!(code, 422),
+            Message::Error { code: c, .. } => assert_eq!(c, code::MALFORMED),
             other => panic!("expected error, got {other:?}"),
         }
         assert_eq!(server.stats().protocol_errors.load(Ordering::Relaxed), 1);
@@ -463,5 +909,217 @@ mod tests {
         assert_eq!(other.utilization, 0.0);
         assert_eq!(other.competing, 0);
         server.shutdown();
+    }
+
+    /// Regression: a read timeout used to leave the reply to request N on
+    /// the wire, and the next `request()` silently paired it with request
+    /// N+1. With poisoning, the late reply can never be mispaired.
+    #[test]
+    fn late_reply_poisons_instead_of_mispairing() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            // Read request 1 fully, then stall past the client deadline.
+            let mut d = Decoder::new();
+            let mut buf = [0u8; 4096];
+            loop {
+                match d.next() {
+                    Ok(Message::Lookup { path }) => {
+                        assert_eq!(path, PathKey(1));
+                        break;
+                    }
+                    Ok(other) => panic!("unexpected request {other:?}"),
+                    Err(DecodeError::Incomplete) => {
+                        let n = stream.read(&mut buf).expect("read");
+                        assert!(n > 0, "client hung up early");
+                        d.extend(&buf[..n]);
+                    }
+                    Err(e) => panic!("decode {e}"),
+                }
+            }
+            std::thread::sleep(Duration::from_millis(400));
+            // The reply to request 1 finally arrives — after the client
+            // already gave up on it.
+            stream
+                .write_all(&encode(&Message::Context(ContextSnapshot {
+                    utilization: 0.111,
+                    queue_ms: 1.0,
+                    competing: 111,
+                })))
+                .expect("late reply");
+            // Keep the connection open long enough for a (buggy) client
+            // to read the stale reply.
+            std::thread::sleep(Duration::from_millis(400));
+        });
+
+        let mut client = ContextClient::connect_with(addr, quick_config()).expect("connect");
+        // Request 1 times out at its deadline.
+        match client.lookup(PathKey(1)) {
+            Err(ClientError::Deadline) => {}
+            other => panic!("expected deadline, got {other:?}"),
+        }
+        assert!(client.is_poisoned());
+        // Request 2 must NOT be paired with request 1's (now arriving)
+        // reply; the pre-fix client returned Ok(utilization 0.111) here.
+        let started = Instant::now();
+        match client.lookup(PathKey(2)) {
+            Err(ClientError::Poisoned) => {}
+            Ok(snap) => panic!("request 2 got request 1's reply: {snap:?}"),
+            other => panic!("expected poisoned, got {other:?}"),
+        }
+        assert!(
+            started.elapsed() < Duration::from_millis(50),
+            "poisoned call must fail fast, took {:?}",
+            started.elapsed()
+        );
+        server.join().expect("server thread");
+    }
+
+    /// No client call blocks past its configured deadline — against a
+    /// server that accepts but never replies (read stall) and never reads
+    /// (write stall); the write timeout set at connect covers the latter.
+    #[test]
+    fn calls_are_bounded_by_the_deadline() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap();
+        let silent = std::thread::spawn(move || {
+            // Accept and hold both connections open, reading and writing
+            // nothing, until the test is done.
+            let a = listener.accept().expect("accept");
+            let b = listener.accept().expect("accept");
+            std::thread::sleep(Duration::from_millis(600));
+            drop((a, b));
+        });
+
+        let cfg = quick_config();
+        let mut c1 = ContextClient::connect_with(addr, cfg).expect("connect");
+        assert!(
+            c1.stream.write_timeout().unwrap().is_some(),
+            "connect must set a write timeout"
+        );
+        let started = Instant::now();
+        match c1.lookup(PathKey(7)) {
+            Err(ClientError::Deadline) => {}
+            other => panic!("expected deadline, got {other:?}"),
+        }
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed >= cfg.request_deadline && elapsed < cfg.request_deadline * 3,
+            "lookup returned in {elapsed:?} for a {:?} deadline",
+            cfg.request_deadline
+        );
+
+        let mut c2 = ContextClient::connect_with(addr, cfg).expect("connect");
+        let started = Instant::now();
+        assert!(c2.report(PathKey(7), summary(1)).is_err());
+        assert!(
+            started.elapsed() < cfg.request_deadline * 3,
+            "report blocked {:?}",
+            started.elapsed()
+        );
+        silent.join().expect("silent server");
+    }
+
+    #[test]
+    fn connection_cap_sheds_with_overload_frame() {
+        let store = sync_store(ContextStore::new(StoreConfig::default()));
+        let server =
+            ContextServer::start_with("127.0.0.1:0", store, ServerConfig { max_connections: 1 })
+                .expect("bind");
+        let addr = server.addr();
+
+        let mut kept = ContextClient::connect(addr).expect("connect");
+        kept.lookup(PathKey(1)).expect("served under the cap");
+
+        // Over the cap: the server answers one 503 frame and closes.
+        let mut shed = ContextClient::connect_with(addr, quick_config()).expect("connect");
+        match shed.lookup(PathKey(2)) {
+            Err(ClientError::Server { code: c, .. }) => assert_eq!(c, code::OVERLOADED),
+            other => panic!("expected overload error, got {other:?}"),
+        }
+        assert_eq!(server.stats().rejected.load(Ordering::Relaxed), 1);
+        assert_eq!(server.stats().connections.load(Ordering::Relaxed), 1);
+
+        // Capacity frees up once the held connection closes.
+        drop(kept);
+        std::thread::sleep(Duration::from_millis(250));
+        let mut next = ContextClient::connect(addr).expect("connect");
+        next.lookup(PathKey(3)).expect("served after churn");
+        server.shutdown();
+    }
+
+    #[test]
+    fn resilient_client_degrades_then_recovers() {
+        // Grab a port with no listener behind it.
+        let placeholder = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = placeholder.local_addr().unwrap();
+        drop(placeholder);
+
+        let cfg = ResilienceConfig {
+            client: quick_config(),
+            max_retries: 1,
+            backoff_base: Duration::from_millis(1),
+            backoff_max: Duration::from_millis(4),
+            breaker_threshold: 2,
+            breaker_cooldown: Duration::from_millis(200),
+            jitter_seed: 7,
+        };
+        let mut rc = ResilientClient::with_config(addr, cfg).expect("resolve");
+
+        // Failures degrade to "no context", never an error or a block.
+        assert_eq!(rc.lookup(PathKey(1)), None);
+        assert_eq!(rc.lookup(PathKey(1)), None);
+        assert!(rc.breaker_open(), "breaker should open after 2 failures");
+        assert!(rc.stats().breaker_trips >= 1);
+
+        // Open breaker short-circuits instantly.
+        let started = Instant::now();
+        assert_eq!(rc.lookup(PathKey(1)), None);
+        assert!(
+            started.elapsed() < Duration::from_millis(20),
+            "open breaker must not touch the network ({:?})",
+            started.elapsed()
+        );
+        assert!(rc.stats().short_circuited >= 1);
+
+        // A server comes up on the same port; after the cooldown the next
+        // request probes, succeeds, and closes the breaker.
+        let store = sync_store(ContextStore::new(StoreConfig::default()));
+        let server = ContextServer::start(addr, store).expect("rebind");
+        std::thread::sleep(cfg.breaker_cooldown + Duration::from_millis(50));
+        let snap = rc.lookup(PathKey(1)).expect("probe should succeed");
+        assert_eq!(snap.competing, 0);
+        assert!(!rc.breaker_open());
+        assert!(rc.report(PathKey(1), summary(10_000)));
+        server.shutdown();
+    }
+
+    #[test]
+    fn resilient_client_reconnects_across_server_restart() {
+        let (server, addr) = start_server();
+        let mut rc = ResilientClient::with_config(
+            addr,
+            ResilienceConfig {
+                client: quick_config(),
+                max_retries: 2,
+                backoff_base: Duration::from_millis(1),
+                backoff_max: Duration::from_millis(8),
+                ..ResilienceConfig::default()
+            },
+        )
+        .expect("resolve");
+        assert!(rc.lookup(PathKey(5)).is_some());
+        server.shutdown();
+
+        // Server gone: degraded, not stuck.
+        assert_eq!(rc.lookup(PathKey(5)), None);
+
+        // Server back on the same port: the wrapper reconnects by itself.
+        let store = sync_store(ContextStore::new(StoreConfig::default()));
+        let revived = ContextServer::start(addr, store).expect("rebind");
+        assert!(rc.lookup(PathKey(5)).is_some(), "should reconnect");
+        assert!(rc.stats().connects >= 2, "stats: {:?}", rc.stats());
+        revived.shutdown();
     }
 }

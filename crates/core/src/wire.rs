@@ -46,6 +46,28 @@ const TYPE_PATHS: u8 = 7;
 /// Most paths a PATHS reply may carry (bounded by `MAX_FRAME`).
 pub const MAX_SNAPSHOT_PATHS: usize = 1024;
 
+/// Machine-readable codes carried by [`Message::Error`] frames.
+///
+/// The taxonomy mirrors HTTP where the analogy is exact, so codes stay
+/// self-explanatory in traces: 4xx means "your frame was wrong, fix it
+/// before retrying", 5xx means "the server cannot serve you right now,
+/// back off". Clients treat [`code::OVERLOADED`] as a retryable failure
+/// (the [`crate::server::ResilientClient`] backs off and may trip its
+/// circuit breaker); all other codes poison nothing — the reply was a
+/// well-formed frame and the connection stays usable.
+pub mod code {
+    /// The request was well-framed but semantically wrong (e.g. a reply
+    /// type sent in the client → server direction).
+    pub const BAD_REQUEST: u16 = 400;
+    /// The frame could not be decoded; the connection is dropped after
+    /// this error is sent (framing state is unrecoverable).
+    pub const MALFORMED: u16 = 422;
+    /// The server is at its connection cap and sheds this connection
+    /// before serving any request. Retry later, against another replica,
+    /// or degrade to no context.
+    pub const OVERLOADED: u16 = 503;
+}
+
 /// A protocol message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {

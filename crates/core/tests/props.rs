@@ -1,8 +1,15 @@
 //! Property-based invariants of the context store and wire protocol.
 
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
 use proptest::prelude::*;
 
 use phi_core::context::{ContextStore, FlowSummary, PathKey, StoreConfig};
+use phi_core::server::{ClientConfig, ClientError, ContextClient};
 use phi_core::wire::{encode, DecodeError, Decoder, Message};
 use phi_tcp::hook::ContextSnapshot;
 
@@ -52,7 +59,120 @@ fn arb_message() -> impl Strategy<Value = Message> {
     ]
 }
 
+/// Scripted context server for the client-pairing property. Replies to
+/// `Lookup { path: p }` with a snapshot whose `queue_ms` encodes `p`, so
+/// the client can prove each reply belongs to *its* request. Op `p` of
+/// the script controls the reply: sleep past the client's deadline when
+/// marked late, and write the frame in `chunk`-byte fragments.
+fn scripted_server(
+    ops: Vec<(bool, usize)>,
+    late: Duration,
+) -> (SocketAddr, Arc<AtomicBool>, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr");
+    listener.set_nonblocking(true).expect("nonblocking");
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept = {
+        let stop = stop.clone();
+        let ops = Arc::new(ops);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let ops = ops.clone();
+                        std::thread::spawn(move || scripted_handler(stream, &ops, late));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => return,
+                }
+            }
+        })
+    };
+    (addr, stop, accept)
+}
+
+fn scripted_handler(mut stream: TcpStream, ops: &[(bool, usize)], late: Duration) {
+    let mut dec = Decoder::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        match dec.next() {
+            Ok(Message::Lookup { path }) => {
+                let (is_late, chunk) = ops.get(path.0 as usize).copied().unwrap_or((false, 1));
+                if is_late {
+                    std::thread::sleep(late);
+                }
+                let reply = encode(&Message::Context(ContextSnapshot {
+                    utilization: 0.5,
+                    queue_ms: path.0 as f64,
+                    competing: 1,
+                }));
+                for piece in reply.chunks(chunk.max(1)) {
+                    if stream.write_all(piece).is_err() {
+                        return;
+                    }
+                    let _ = stream.flush();
+                }
+            }
+            Ok(_) => return,
+            Err(DecodeError::Incomplete) => match stream.read(&mut buf) {
+                Ok(0) | Err(_) => return,
+                Ok(n) => dec.extend(&buf[..n]),
+            },
+            Err(_) => return,
+        }
+    }
+}
+
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `Decoder` + `ContextClient` never deliver a mismatched reply, for
+    /// any interleaving of on-time and past-deadline replies and any
+    /// server-side fragmentation. Each reply encodes its request's path;
+    /// an `Ok` whose payload names a different path would mean a stale
+    /// reply got paired with a newer request (the pre-fix desync bug).
+    /// After any failed call the connection must short-circuit with
+    /// `Poisoned` — never touch the wire where the stale bytes live.
+    #[test]
+    fn client_never_pairs_a_reply_with_the_wrong_request(
+        ops in proptest::collection::vec((any::<bool>(), 1usize..9), 1..6),
+    ) {
+        let late = Duration::from_millis(120);
+        let cfg = ClientConfig {
+            connect_timeout: Duration::from_secs(2),
+            request_deadline: Duration::from_millis(40),
+        };
+        let (addr, stop, accept) = scripted_server(ops.clone(), late);
+        let mut client = ContextClient::connect_with(addr, cfg).expect("connect");
+        for (i, &(is_late, _)) in ops.iter().enumerate() {
+            match client.lookup(PathKey(i as u64)) {
+                Ok(snap) => {
+                    prop_assert_eq!(
+                        snap.queue_ms, i as f64,
+                        "reply paired with the wrong request"
+                    );
+                    prop_assert!(!is_late, "a past-deadline reply was delivered");
+                }
+                Err(e) => {
+                    prop_assert!(client.is_poisoned(), "failed call left conn usable: {}", e);
+                    match client.lookup(PathKey(i as u64)) {
+                        Err(ClientError::Poisoned) => {}
+                        other => prop_assert!(
+                            false,
+                            "poisoned connection served a call: {:?}",
+                            other.map(|s| s.queue_ms)
+                        ),
+                    }
+                    client = ContextClient::connect_with(addr, cfg).expect("reconnect");
+                }
+            }
+        }
+        stop.store(true, Ordering::Release);
+        accept.join().expect("accept thread");
+    }
+
     #[test]
     fn wire_roundtrip_any_message(msg in arb_message()) {
         let frame = encode(&msg);

@@ -13,7 +13,7 @@
 //! `W(t) = C·(t − K)³ + W_max` with the TCP-friendly region and optional
 //! fast convergence.
 
-use phi_sim::time::Time;
+use phi_sim::time::{Dur, Time};
 use serde::{Deserialize, Serialize};
 
 use crate::cc::{AckEvent, CongestionControl, LossEvent};
@@ -33,6 +33,13 @@ pub struct CubicParams {
     pub fast_convergence: bool,
     /// Enable the TCP-friendly (AIMD-tracking) region.
     pub tcp_friendly: bool,
+    /// Pace new data at ~1.25·cwnd/srtt instead of sending ack-clocked
+    /// bursts. A small window emitted as one back-to-back burst into a
+    /// near-full drop-tail queue tends to lose *every* segment at once
+    /// (no duplicate ACKs, only an RTO can recover); spreading the
+    /// window over the RTT lets each segment see an independent queue
+    /// state. Off by default to preserve classic ack-clocked behaviour.
+    pub pace: bool,
 }
 
 impl Default for CubicParams {
@@ -46,6 +53,7 @@ impl Default for CubicParams {
             c: 0.4,
             fast_convergence: true,
             tcp_friendly: true,
+            pace: false,
         }
     }
 }
@@ -62,6 +70,12 @@ impl CubicParams {
         };
         p.validate();
         p
+    }
+
+    /// The same parameters with pacing enabled.
+    pub fn paced(mut self) -> Self {
+        self.pace = true;
+        self
     }
 
     fn validate(&self) {
@@ -179,6 +193,18 @@ impl CongestionControl for Cubic {
 
     fn window(&self) -> f64 {
         self.cwnd.max(1.0)
+    }
+
+    fn intersend(&self) -> Option<Dur> {
+        if !self.params.pace {
+            return None;
+        }
+        // Linux-style pacing gains: 2x in slow start (the window doubles
+        // per RTT, so a slower pace would become the limiting clock) and
+        // 1.25x in congestion avoidance.
+        let gain = if self.in_slow_start() { 2.0 } else { 1.25 };
+        let rate = gain * self.window() / self.srtt.max(1e-6);
+        Some(Dur::from_secs_f64(1.0 / rate))
     }
 
     fn on_ack(&mut self, ev: &AckEvent) {

@@ -57,6 +57,73 @@ pub struct NoHook;
 
 impl SessionHook for NoHook {}
 
+/// Degrades to [`NoHook`] behaviour whenever the context plane faults.
+///
+/// The §2.2.2 contract is that a Phi sender is *no worse than vanilla
+/// TCP* when the context plane is slow, flapping, or gone. A failed
+/// lookup already yields default controller parameters, but the live
+/// utilization feed is subtler: the inner hook may keep serving a value
+/// frozen at some *earlier* successful lookup, so the controller would
+/// adapt on junk long after the plane died. `DegradingHook` tracks plane
+/// health per connection — a lookup that returns `None` marks the plane
+/// unhealthy and suppresses [`SessionHook::live_util`] until a lookup
+/// succeeds again, making the degraded sender indistinguishable from a
+/// [`NoHook`] one for the whole faulty connection.
+#[derive(Debug)]
+pub struct DegradingHook<H> {
+    inner: H,
+    healthy: bool,
+    degraded_flows: u64,
+}
+
+impl<H: SessionHook> DegradingHook<H> {
+    /// Wrap `inner`; the plane is assumed unhealthy until the first
+    /// successful lookup.
+    pub fn new(inner: H) -> Self {
+        DegradingHook {
+            inner,
+            healthy: false,
+            degraded_flows: 0,
+        }
+    }
+
+    /// Connections that started without context (plane faulty at lookup).
+    pub fn degraded_flows(&self) -> u64 {
+        self.degraded_flows
+    }
+
+    /// The wrapped hook.
+    pub fn inner(&self) -> &H {
+        &self.inner
+    }
+}
+
+impl<H: SessionHook> SessionHook for DegradingHook<H> {
+    fn lookup(&mut self, now: Time, ctx: &mut Ctx<'_>) -> Option<ContextSnapshot> {
+        let snap = self.inner.lookup(now, ctx);
+        self.healthy = snap.is_some();
+        if !self.healthy {
+            self.degraded_flows += 1;
+        }
+        snap
+    }
+
+    fn report(&mut self, report: &FlowReport, ctx: &mut Ctx<'_>) {
+        // Reports always pass through: the inner hook (or the plane
+        // underneath it) decides whether they can be delivered, and a
+        // recovered plane benefits from whatever this sender learned.
+        self.inner.report(report, ctx);
+    }
+
+    fn live_util(&self, ctx: &Ctx<'_>) -> Option<f64> {
+        if self.healthy {
+            self.inner.live_util(ctx)
+        } else {
+            None
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

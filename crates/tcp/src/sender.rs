@@ -21,7 +21,7 @@
 //! sends are additionally spaced by that gap (Remy's rate dimension).
 
 use std::any::Any;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use phi_sim::engine::{packet_to, Agent, Ctx};
 use phi_sim::packet::{wire, Flags, FlowId, NodeId, Packet};
@@ -109,8 +109,13 @@ struct Conn {
     recovery: Option<u64>,
     /// SACK scoreboard: segments above `highest_acked` the receiver holds.
     sacked: BTreeSet<u64>,
-    /// Holes retransmitted during the current recovery episode.
-    retx_sent: BTreeSet<u64>,
+    /// Holes retransmitted during the current recovery episode, mapped to
+    /// the send frontier (`ever_sent`) at retransmit time. If the
+    /// receiver later SACKs anything at or above that frontier while the
+    /// hole is still open, the retransmission itself was lost and the
+    /// hole is re-offered (lost-retransmission detection, as in RFC
+    /// 6675/RACK) instead of stalling until the RTO.
+    retx_sent: BTreeMap<u64, u64>,
     /// Retransmissions in flight (sent, not yet cumulatively or
     /// selectively acked).
     retx_unacked: BTreeSet<u64>,
@@ -175,11 +180,37 @@ impl Conn {
         while self.hole_scan < highest_sacked {
             let seq = self.hole_scan;
             self.hole_scan += 1;
-            if !self.sacked.contains(&seq) && !self.retx_sent.contains(&seq) {
+            if !self.sacked.contains(&seq) && !self.retx_sent.contains_key(&seq) {
                 return Some(seq);
             }
         }
         None
+    }
+
+    /// Lost-retransmission detection (the RFC 6675 / RACK idea): if the
+    /// receiver SACKs a segment first sent *after* a hole was
+    /// retransmitted while the hole is still open, that retransmission
+    /// was itself dropped. Re-open the hole so recovery retransmits it
+    /// again instead of stalling until the RTO — with several drop-tail
+    /// bottlenecks on the path, lost retransmissions are common and every
+    /// one would otherwise cost a full timeout plus a window collapse.
+    fn detect_lost_retx(&mut self) {
+        let Some(&highest_sacked) = self.sacked.iter().next_back() else {
+            return;
+        };
+        let lost: Vec<u64> = self
+            .retx_sent
+            .iter()
+            .filter(|&(&h, &frontier)| highest_sacked >= frontier && !self.sacked.contains(&h))
+            .map(|(&h, _)| h)
+            .collect();
+        for h in lost {
+            self.retx_sent.remove(&h);
+            self.retx_unacked.remove(&h);
+            if self.hole_scan > h {
+                self.hole_scan = h;
+            }
+        }
     }
 
     /// Fold an ACK's SACK blocks into the scoreboard.
@@ -383,7 +414,7 @@ impl TcpSender {
             dup_acks: 0,
             recovery: None,
             sacked: BTreeSet::new(),
-            retx_sent: BTreeSet::new(),
+            retx_sent: BTreeMap::new(),
             retx_unacked: BTreeSet::new(),
             hole_scan: 0,
             srtt: None,
@@ -459,7 +490,8 @@ impl TcpSender {
         let pkt = {
             let conn = self.conn.as_mut().expect("retransmit without connection");
             conn.retransmits += 1;
-            conn.retx_sent.insert(seq);
+            let frontier = conn.ever_sent;
+            conn.retx_sent.insert(seq, frontier);
             conn.retx_unacked.insert(seq);
             let conn = self.conn.as_ref().expect("just updated");
             self.segment(conn, seq, true)
@@ -476,7 +508,17 @@ impl TcpSender {
                 return;
             };
             let window = conn.cc.window().floor().max(1.0) as u64;
-            if conn.pipe() >= window {
+            // Limited transmit (RFC 3042): on the first two duplicate ACKs
+            // send one new segment each beyond cwnd. The extra segments
+            // keep the ACK clock alive, so a small-window flow can still
+            // accumulate enough duplicate ACKs to fast-retransmit instead
+            // of stalling into a timeout.
+            let limited = if conn.recovery.is_none() {
+                u64::from(conn.dup_acks.min(2))
+            } else {
+                0
+            };
+            if conn.pipe() >= window + limited {
                 return;
             }
             // Priority 1: fill known-lost holes during recovery.
@@ -559,6 +601,7 @@ impl TcpSender {
         }
 
         conn.absorb_sack(&pkt);
+        conn.detect_lost_retx();
 
         if pkt.ack > conn.highest_acked {
             let newly = pkt.ack - conn.highest_acked;
@@ -601,14 +644,32 @@ impl TcpSender {
             self.restart_rto(ctx);
         } else if pkt.ack == conn.highest_acked && conn.outstanding() {
             conn.dup_acks += 1;
-            if conn.recovery.is_none() && conn.dup_acks >= self.cfg.dupack_threshold {
+            // Early retransmit (RFC 5827): with fewer segments outstanding
+            // than `dupack_threshold + 1` the full duplicate-ACK count can
+            // never arrive, so a squeezed flow (cwnd of 2–4 segments)
+            // would convert every loss into a timeout. Lower the trigger
+            // to outstanding − 1 in that regime.
+            let ownd = conn.pipe_end.saturating_sub(conn.highest_acked);
+            let threshold = if ownd < u64::from(self.cfg.dupack_threshold) + 1 {
+                ownd.saturating_sub(1).max(1) as u32
+            } else {
+                self.cfg.dupack_threshold
+            };
+            // RFC 6675 counts SACKed segments above the hole as the loss
+            // signal, not just contiguous duplicate ACKs: partial
+            // cumulative advances reset `dup_acks`, but a scoreboard with
+            // `threshold` segments above the hole is proof enough.
+            let signal = conn
+                .dup_acks
+                .max(conn.sacked.len().min(u32::MAX as usize) as u32);
+            if conn.recovery.is_none() && signal >= threshold {
                 conn.recoveries += 1;
                 conn.recovery = Some(conn.pipe_end.saturating_sub(1));
                 conn.hole_scan = conn.highest_acked;
                 conn.cc.on_loss(&LossEvent { now });
                 // Fast retransmit of the first hole, unconditionally.
                 let hole = conn.highest_acked;
-                let already = conn.retx_sent.contains(&hole);
+                let already = conn.retx_sent.contains_key(&hole);
                 if !already {
                     self.retransmit_hole(hole, ctx);
                 }

@@ -2,9 +2,9 @@
 //!
 //! The `ScriptedDrop` discipline kills precisely chosen segments, so each
 //! test isolates one recovery behaviour: a single loss repaired by one
-//! fast retransmit, a lost retransmission forcing the RTO fallback, a
-//! lost final (FIN) segment, and a multi-hole burst repaired by SACK in
-//! about one round trip.
+//! fast retransmit, a lost retransmission detected from the scoreboard,
+//! a lost final (FIN) segment, and a multi-hole burst repaired by SACK
+//! in about one round trip.
 
 use phi_sim::engine::Simulator;
 use phi_sim::packet::LinkId;
@@ -92,12 +92,18 @@ fn single_loss_costs_exactly_one_fast_retransmit() {
 }
 
 #[test]
-fn lost_retransmission_falls_back_to_rto() {
-    // Drop seq 5 twice: the fast retransmit also dies; only the
-    // retransmission timer can save the flow.
+fn lost_retransmission_is_repaired_without_an_rto() {
+    // Drop seq 5 twice: the fast retransmit also dies. Segments SACKed
+    // beyond the retransmission's send point prove the retransmission
+    // itself was lost (RFC 6675 §5 / RACK-style), so the sender repairs
+    // the hole again instead of stalling until the timer fires.
     let r = run_with_script(&[(0, 5, 2)], 16.0);
-    assert!(r.timeouts >= 1, "RTO fallback expected: {r:?}");
-    assert!(r.retransmits >= 2);
+    assert_eq!(r.timeouts, 0, "lost retx should not need the RTO: {r:?}");
+    assert_eq!(
+        r.retransmits, 2,
+        "seq 5 goes out three times in total: {r:?}"
+    );
+    assert_eq!(r.recoveries, 1, "still one loss episode: {r:?}");
 }
 
 #[test]

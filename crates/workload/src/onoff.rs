@@ -63,12 +63,21 @@ impl OnOffConfig {
 }
 
 /// Draws successive [`FlowPlan`]s for one sender.
+///
+/// Each flow's draws come from an independent stream forked from the
+/// source's seed and keyed on the flow index
+/// ([`SeedRng::fork_indexed`]`("flow", k)`), never from one shared
+/// sequential stream: flow `k`'s size and gap depend only on
+/// `(seed, k)`, so a change in how many draws earlier flows consumed —
+/// or in the seed-derivation of any *other* stream — cannot shift them.
+/// That keeps workload arrivals comparable across schemes and across
+/// code changes (the same property [`SeedRng::fork`] gives experiments).
 #[derive(Debug)]
 pub struct OnOffSource {
     on_bytes: Dist,
     off_secs: Dist,
     rng: SeedRng,
-    first: bool,
+    next_index: u64,
     /// Fraction of the mean off time used to stagger the very first start.
     initial_stagger: f64,
 }
@@ -108,21 +117,22 @@ impl OnOffSource {
         } else {
             Dist::Exp(Exponential::with_mean(cfg.mean_off_secs))
         };
-        let mut rng = rng;
-        let initial_stagger = rng.unit();
+        let initial_stagger = rng.fork("stagger").unit();
         OnOffSource {
             on_bytes,
             off_secs,
             rng,
-            first: true,
+            next_index: 0,
             initial_stagger,
         }
     }
 
     /// The plan for the next connection.
     pub fn next_flow(&mut self) -> FlowPlan {
-        let off_secs = if self.first {
-            self.first = false;
+        let index = self.next_index;
+        self.next_index += 1;
+        let flow_rng = self.rng.fork_indexed("flow", index);
+        let off_secs = if index == 0 {
             let base = match &self.off_secs {
                 Dist::Exp(d) => d.mean().unwrap_or(0.0),
                 Dist::Const(c) => c.0,
@@ -130,9 +140,9 @@ impl OnOffSource {
             let window = if base > 0.0 { base } else { 0.1 };
             self.initial_stagger * window
         } else {
-            self.off_secs.sample(&mut self.rng)
+            self.off_secs.sample(&mut flow_rng.fork("off"))
         };
-        let bytes = self.on_bytes.sample(&mut self.rng).max(1.0);
+        let bytes = self.on_bytes.sample(&mut flow_rng.fork("bytes")).max(1.0);
         FlowPlan {
             bytes: bytes.min(1.8e19) as u64,
             off_ns: (off_secs * 1e9).min(1.8e19) as u64,
@@ -193,6 +203,37 @@ mod tests {
             (0..50).map(|_| s.next_flow()).collect()
         };
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flow_draws_keyed_on_flow_id_not_draw_order() {
+        // Flow k's size depends only on (seed, k). The two configs below
+        // share the on-size distribution but consume different numbers of
+        // off draws (exponential vs constant-zero gaps); with one shared
+        // sequential stream the byte sizes would diverge from flow 1 on.
+        let mut gaps = OnOffSource::new(
+            OnOffConfig {
+                mean_on_bytes: 500_000.0,
+                mean_off_secs: 2.0,
+                deterministic: false,
+            },
+            SeedRng::new(77),
+        );
+        let mut back_to_back = OnOffSource::new(
+            OnOffConfig {
+                mean_on_bytes: 500_000.0,
+                mean_off_secs: 0.0,
+                deterministic: false,
+            },
+            SeedRng::new(77),
+        );
+        for k in 0..50 {
+            assert_eq!(
+                gaps.next_flow().bytes,
+                back_to_back.next_flow().bytes,
+                "flow {k} size shifted with the off distribution"
+            );
+        }
     }
 
     #[test]

@@ -7,12 +7,21 @@
 //! picture converging: utilization, queueing, and competing-sender counts
 //! that no individual sender could see alone.
 //!
+//! Then the failure half of the contract: a server at its connection cap
+//! sheds the overflow with a clean `OVERLOADED` error frame, and a
+//! [`phi::core::ResilientClient`] pointed at a dead plane degrades to
+//! "no context" — backoff, circuit breaker, no blocking — exactly what a
+//! Phi sender maps to vanilla TCP defaults.
+//!
 //! Run with: `cargo run --release --example context_server`
 
 use std::sync::atomic::Ordering;
 use std::time::Duration;
 
-use phi::core::{ContextClient, ContextServer, ContextStore, FlowSummary, PathKey, StoreConfig};
+use phi::core::{
+    wire, ClientConfig, ClientError, ContextClient, ContextServer, ContextStore, FlowSummary,
+    PathKey, ResilienceConfig, ResilientClient, ServerConfig, StoreConfig,
+};
 
 fn main() {
     // One path (think: one busy destination /24), capacity 100 Mbit/s.
@@ -83,5 +92,94 @@ fn main() {
     );
 
     server.shutdown();
-    println!("server shut down cleanly");
+    println!("server shut down cleanly\n");
+
+    overload_demo();
+    degradation_demo();
+}
+
+/// A server at its connection cap answers the overflow with a protocol
+/// error frame instead of hanging or silently closing.
+fn overload_demo() {
+    println!("-- overload: shedding past the connection cap --");
+    let store = phi::core::sync_store(ContextStore::new(StoreConfig::default()));
+    let server =
+        ContextServer::start_with("127.0.0.1:0", store, ServerConfig { max_connections: 2 })
+            .expect("bind capped server");
+    let addr = server.addr();
+
+    // Two clients fill the cap and stay connected.
+    let parked: Vec<ContextClient> = (0..2)
+        .map(|i| {
+            let mut c = ContextClient::connect(addr).expect("connect");
+            c.lookup(PathKey(i)).expect("lookup");
+            c
+        })
+        .collect();
+
+    // The third is shed with a clean answer it can act on.
+    let mut spill = ContextClient::connect(addr).expect("tcp connect");
+    match spill.lookup(PathKey(9)) {
+        Err(ClientError::Server { code, message }) if code == wire::code::OVERLOADED => {
+            println!("  third client shed: code {code} ({message})");
+        }
+        other => println!("  unexpected: {other:?}"),
+    }
+    println!(
+        "  server counted {} rejection(s)\n",
+        server.stats().rejected.load(Ordering::Relaxed)
+    );
+    drop(parked);
+    server.shutdown();
+}
+
+/// The §2.2.2 contract under a dead plane: every lookup degrades to
+/// "no context" within its deadline, the breaker opens after repeated
+/// failures, and short-circuited requests don't even touch the network.
+fn degradation_demo() {
+    println!("-- degradation: the plane dies, the sender must not --");
+    let store = phi::core::sync_store(ContextStore::new(StoreConfig::default()));
+    let server = ContextServer::start("127.0.0.1:0", store).expect("bind");
+    let addr = server.addr();
+
+    let mut client = ResilientClient::with_config(
+        addr,
+        ResilienceConfig {
+            client: ClientConfig {
+                connect_timeout: Duration::from_millis(100),
+                request_deadline: Duration::from_millis(100),
+            },
+            max_retries: 1,
+            backoff_base: Duration::from_millis(5),
+            backoff_max: Duration::from_millis(20),
+            breaker_threshold: 2,
+            breaker_cooldown: Duration::from_millis(250),
+            ..ResilienceConfig::default()
+        },
+    )
+    .expect("resolve");
+
+    // Healthy plane: lookups answer.
+    let healthy = client.lookup(PathKey(1)).is_some();
+    println!("  plane up:   lookup answered = {healthy}");
+
+    // Kill the plane mid-flight.
+    server.shutdown();
+
+    // Every call now degrades to None — bounded by deadline + backoff,
+    // never an error the data path has to handle.
+    for i in 0..4u64 {
+        let ctx = client.lookup(PathKey(i));
+        println!(
+            "  plane down: lookup -> {:?}, breaker open = {}",
+            ctx.map(|c| c.utilization),
+            client.breaker_open()
+        );
+    }
+    let s = client.stats();
+    println!(
+        "  stats: {} requests, {} degraded, {} breaker trip(s), {} short-circuited",
+        s.requests, s.failures, s.breaker_trips, s.short_circuited
+    );
+    println!("  the sender keeps running on default parameters — vanilla TCP");
 }

@@ -55,7 +55,7 @@ fn build(seconds_of_data: f64) -> Lot {
             Box::new(TcpSender::new(
                 cfg,
                 source,
-                Box::new(|_| Box::new(Cubic::new(CubicParams::tuned(8.0, 64.0, 0.2)))),
+                Box::new(|_| Box::new(Cubic::new(CubicParams::tuned(8.0, 64.0, 0.2).paced()))),
                 Box::new(NoHook),
             )),
         );
@@ -97,12 +97,13 @@ fn long_flow_is_squeezed_at_every_hop() {
         .collect();
     let mean_cross = crosses.iter().sum::<f64>() / 3.0;
 
-    // Everyone makes real progress... The long flow's goodput is
-    // genuinely tiny (it pays loss at three drop-tail bottlenecks with
-    // beta = 0.2), and its exact value is sensitive to which RNG stream
-    // backs the workload; 0.25 Mbit/s distinguishes "squeezed but
-    // progressing" from an actual stall without pinning the margin.
-    assert!(long > 0.25, "long flow starved: {long:.2} Mbit/s");
+    // Everyone makes real progress. The long flow pays loss at three
+    // drop-tail bottlenecks with beta = 0.2, so it is squeezed hard —
+    // but with per-flow RNG streams keyed on flow id (draws depend only
+    // on (seed, flow), not on draw order), the value no longer shifts
+    // when unrelated streams change, and the original 0.5 Mbit/s floor
+    // holds again.
+    assert!(long > 0.5, "long flow starved: {long:.2} Mbit/s");
     for (i, c) in crosses.iter().enumerate() {
         assert!(*c > 1.0, "cross flow {i} starved: {c:.2}");
     }

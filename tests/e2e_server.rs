@@ -8,9 +8,10 @@
 
 use std::time::Duration;
 
+use phi::core::wire;
 use phi::core::{
-    provision_cubic, run_experiment, summarize, sync_store, ContextClient, ContextServer,
-    ContextStore, ExperimentSpec, PathKey, StoreConfig,
+    provision_cubic, run_experiment, summarize, sync_store, ClientError, ContextClient,
+    ContextServer, ContextStore, ExperimentSpec, PathKey, ServerConfig, StoreConfig,
 };
 use phi::sim::time::Dur;
 use phi::tcp::CubicParams;
@@ -122,5 +123,58 @@ fn server_survives_client_churn() {
         20
     );
     assert_eq!(stats.lookups.load(std::sync::atomic::Ordering::Relaxed), 20);
+    server.shutdown();
+}
+
+#[test]
+fn overloaded_server_sheds_with_error_frame_and_counts_rejections() {
+    let store = sync_store(ContextStore::new(StoreConfig::default()));
+    let server =
+        ContextServer::start_with("127.0.0.1:0", store, ServerConfig { max_connections: 2 })
+            .expect("bind");
+    let addr = server.addr();
+
+    // Fill the cap with two live clients; a completed lookup proves each
+    // one's handler thread is running (not just sitting in the backlog).
+    let mut parked: Vec<ContextClient> = (0..2)
+        .map(|i| {
+            let mut c = ContextClient::connect(addr).expect("connect");
+            c.lookup(PathKey(i)).expect("lookup");
+            c
+        })
+        .collect();
+
+    // The third connection must be shed with the overload frame — a clean
+    // protocol-level answer, not a hang and not a silent close.
+    let mut spill = ContextClient::connect(addr).expect("tcp connect still accepted");
+    match spill.lookup(PathKey(99)) {
+        Err(ClientError::Server { code, message }) => {
+            assert_eq!(
+                code,
+                wire::code::OVERLOADED,
+                "wrong code: {code} ({message})"
+            );
+        }
+        other => panic!("expected overload error frame, got {other:?}"),
+    }
+    let rejected = server
+        .stats()
+        .rejected
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(rejected, 1, "shed connection must bump the counter");
+
+    // Overload is transient: once a slot frees, new clients are served.
+    drop(parked.pop());
+    let served = (0..50).find_map(|_| {
+        std::thread::sleep(Duration::from_millis(20));
+        let mut c = ContextClient::connect(addr).ok()?;
+        c.lookup(PathKey(7)).ok()
+    });
+    assert!(
+        served.is_some(),
+        "server never recovered after load dropped"
+    );
+
+    drop(parked);
     server.shutdown();
 }
