@@ -4,8 +4,14 @@
 //! the simulator's event throughput, the context-server codec, the
 //! quantile sketch, and the whisker-tree lookup — the operations that
 //! bound how large an experiment or how busy a context server can get.
+//!
+//! The `engine` module is the perf trajectory for the event engine: it
+//! runs a fixed multihop blast scenario plus an end-to-end Cubic
+//! experiment, prints events/sec and ns/event, and (in full mode) writes
+//! `BENCH_engine.json` at the repo root so successive PRs can compare
+//! against each other. `--test` runs a reduced-scale smoke pass for CI.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use criterion::{criterion_group, BatchSize, Criterion, Throughput};
 use std::rc::Rc;
 
 use phi_core::context::{ContextStore, FlowSummary, PathKey, StoreConfig};
@@ -133,6 +139,219 @@ fn bench_whiskers(c: &mut Criterion) {
     g.finish();
 }
 
+/// Engine perf trajectory: fixed scenarios timed wall-clock, with the
+/// results persisted to `BENCH_engine.json` for cross-PR comparison.
+mod engine {
+    use std::any::Any;
+    use std::time::Instant;
+
+    use phi_core::harness::{provision_cubic, run_experiment, ExperimentSpec};
+    use phi_sim::engine::{packet_to, Agent, Ctx, SchedStats, Simulator};
+    use phi_sim::packet::{FlowId, NodeId, Packet};
+    use phi_sim::queue::Capacity;
+    use phi_sim::time::Dur;
+    use phi_sim::topology::{parking_lot, ParkingLotSpec};
+    use phi_tcp::CubicParams;
+    use phi_workload::OnOffConfig;
+
+    /// Fires a timer every `gap`, sending one packet per firing — the
+    /// TxEnd/Deliver/Timer mix the engine sees from any paced source.
+    struct Pump {
+        peer: NodeId,
+        peer_port: u16,
+        port: u16,
+        remaining: u32,
+        size: u32,
+        gap: Dur,
+        flow: FlowId,
+    }
+
+    impl Agent for Pump {
+        fn start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer_after(Dur::ZERO, 0);
+        }
+        fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
+        fn on_timer(&mut self, _token: u64, ctx: &mut Ctx<'_>) {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                let mut p = packet_to(self.peer, self.peer_port, self.port, self.flow, self.size);
+                p.seq = u64::from(self.remaining);
+                ctx.send(p);
+                ctx.set_timer_after(self.gap, 0);
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Counts deliveries.
+    #[derive(Default)]
+    struct Drain {
+        received: u64,
+    }
+
+    impl Agent for Drain {
+        fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {
+            self.received += 1;
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Multihop blast: a 4-hop parking lot with the long-path pair plus
+    /// every cross pair pumping packets through the backbone. Exercises
+    /// scheduling, multihop forwarding, port dispatch, drop-tail
+    /// queueing, and timers — engine cost, not transport cost.
+    fn blast(packets_per_source: u32) -> (u64, f64, SchedStats) {
+        let spec = ParkingLotSpec {
+            hops: 4,
+            backbone_bps: 50_000_000,
+            hop_delay: Dur::from_millis(1),
+            capacity: Capacity::Packets(100),
+            access_bps: 1_000_000_000,
+        };
+        let lot = parking_lot(&spec);
+        let mut sim = Simulator::new(lot.topology.clone());
+        let mut pairs = vec![lot.long_path];
+        pairs.extend(lot.cross.iter().copied());
+        for (i, (src, dst)) in pairs.iter().enumerate() {
+            sim.add_agent(
+                *src,
+                10,
+                Box::new(Pump {
+                    peer: *dst,
+                    peer_port: 80,
+                    port: 10,
+                    remaining: packets_per_source,
+                    size: 1000,
+                    gap: Dur::from_micros(20),
+                    flow: FlowId(i as u64),
+                }),
+            );
+            sim.add_agent(*dst, 80, Box::<Drain>::default());
+        }
+        let t0 = Instant::now();
+        sim.run_to_completion();
+        let wall = t0.elapsed().as_secs_f64();
+        (sim.events_processed(), wall, sim.sched_stats())
+    }
+
+    /// End-to-end run: the full Cubic dumbbell experiment (workload, TCP
+    /// with SACK recovery, context hooks) — where timer-flood reduction
+    /// and dispatch cost show up at application level.
+    fn e2e_cubic(duration: Dur) -> (u64, f64) {
+        let spec = ExperimentSpec::new(
+            4,
+            OnOffConfig {
+                mean_on_bytes: 200_000.0,
+                mean_off_secs: 0.5,
+                deterministic: false,
+            },
+            duration,
+            42,
+        );
+        let t0 = Instant::now();
+        let r = run_experiment(&spec, provision_cubic(CubicParams::default()));
+        let wall = t0.elapsed().as_secs_f64();
+        (r.events, wall)
+    }
+
+    /// The same scenarios measured on `main` immediately before the
+    /// tiered-scheduler engine landed (this container, release build,
+    /// best of 5). The speedup columns compare against these.
+    const BASELINE_BLAST_EPS: f64 = 7.751e6;
+    const BASELINE_E2E_EPS: f64 = 6.106e6;
+
+    pub fn run(quick: bool) {
+        let (blast_packets, e2e_secs, iters) = if quick {
+            (2_000, Dur::from_secs(1), 1)
+        } else {
+            (25_000, Dur::from_secs(5), 5)
+        };
+
+        let mut best_blast: Option<(u64, f64, SchedStats)> = None;
+        for _ in 0..iters {
+            let (events, wall, stats) = blast(blast_packets);
+            if best_blast.is_none() || wall < best_blast.as_ref().unwrap().1 {
+                best_blast = Some((events, wall, stats));
+            }
+        }
+        let (blast_events, blast_wall, sched) = best_blast.unwrap();
+        let eps = blast_events as f64 / blast_wall;
+        let stale_ratio = sched.skipped_stale as f64 / sched.scheduled.max(1) as f64;
+        println!(
+            "engine/blast_multihop                    events: {blast_events}  wall: {:.1} ms  \
+             thrpt: {:.3e} events/s  ({:.1} ns/event)  speedup vs main: {:.2}x",
+            blast_wall * 1e3,
+            eps,
+            1e9 / eps,
+            eps / BASELINE_BLAST_EPS,
+        );
+        println!(
+            "engine/blast_multihop sched              peak pending: {}  overflowed: {}  \
+             stale skipped: {} ({:.2}% of scheduled)",
+            sched.peak_pending,
+            sched.overflowed,
+            sched.skipped_stale,
+            stale_ratio * 100.0,
+        );
+
+        let mut best_e2e: Option<(u64, f64)> = None;
+        for _ in 0..iters {
+            let (events, wall) = e2e_cubic(e2e_secs);
+            if best_e2e.is_none() || wall < best_e2e.unwrap().1 {
+                best_e2e = Some((events, wall));
+            }
+        }
+        let (e2e_events, e2e_wall) = best_e2e.unwrap();
+        let e2e_eps = e2e_events as f64 / e2e_wall;
+        println!(
+            "engine/e2e_dumbbell_cubic                events: {e2e_events}  wall: {:.1} ms  \
+             thrpt: {:.3e} events/s  ({:.1} ns/event)  speedup vs main: {:.2}x",
+            e2e_wall * 1e3,
+            e2e_eps,
+            1e9 / e2e_eps,
+            e2e_eps / BASELINE_E2E_EPS,
+        );
+
+        if !quick {
+            let json = format!(
+                "{{\n  \"blast_multihop\": {{\n    \"events\": {blast_events},\n    \
+                 \"wall_ms\": {:.3},\n    \"events_per_sec\": {eps:.1},\n    \
+                 \"ns_per_event\": {:.2},\n    \"speedup_vs_main\": {:.3},\n    \
+                 \"peak_pending\": {},\n    \"overflowed\": {},\n    \
+                 \"stale_skip_ratio\": {stale_ratio:.5}\n  }},\n  \
+                 \"e2e_dumbbell_cubic\": {{\n    \"events\": {e2e_events},\n    \
+                 \"wall_ms\": {:.3},\n    \"events_per_sec\": {e2e_eps:.1},\n    \
+                 \"ns_per_event\": {:.2},\n    \"speedup_vs_main\": {:.3}\n  }},\n  \
+                 \"baseline_main\": {{\n    \"blast_events_per_sec\": {BASELINE_BLAST_EPS:.1},\n    \
+                 \"e2e_events_per_sec\": {BASELINE_E2E_EPS:.1}\n  }}\n}}\n",
+                blast_wall * 1e3,
+                1e9 / eps,
+                eps / BASELINE_BLAST_EPS,
+                sched.peak_pending,
+                sched.overflowed,
+                e2e_wall * 1e3,
+                1e9 / e2e_eps,
+                e2e_eps / BASELINE_E2E_EPS,
+            );
+            let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+            match std::fs::write(path, json) {
+                Ok(()) => println!("wrote {path}"),
+                Err(e) => eprintln!("could not write {path}: {e}"),
+            }
+        }
+    }
+}
+
 criterion_group!(
     benches,
     bench_simulator,
@@ -141,4 +360,13 @@ criterion_group!(
     bench_sketch,
     bench_whiskers
 );
-criterion_main!(benches);
+
+fn main() {
+    // Cargo passes `--bench`; CI's smoke step passes `--test` for a
+    // reduced-scale pass that still executes every engine scenario.
+    let quick = std::env::args().any(|a| a == "--test");
+    engine::run(quick);
+    if !quick {
+        benches();
+    }
+}

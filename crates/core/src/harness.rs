@@ -9,7 +9,7 @@
 //! Phi-tuned Cubic, mixed deployments, Remy variants.
 
 use phi_sim::engine::Simulator;
-use phi_sim::queue::{Capacity, Discipline, DropTail, Red};
+use phi_sim::queue::{Capacity, LinkQueue, Red};
 use phi_sim::time::{Dur, Time};
 use phi_sim::topology::{dumbbell, Dumbbell, DumbbellSpec};
 use phi_tcp::cubic::{Cubic, CubicParams};
@@ -174,9 +174,9 @@ pub fn run_experiment(
                     Capacity::Packets(p) => p,
                     Capacity::Bytes(b) => (b / 1500).max(5) as usize,
                 };
-                Box::new(Red::gentle(pkts)) as Box<dyn Discipline>
+                LinkQueue::custom(Red::gentle(pkts))
             }
-            _ => Box::new(DropTail::new(link.capacity)),
+            _ => LinkQueue::drop_tail(link.capacity),
         }
     });
     let store = shared(ContextStore::new(spec.store));

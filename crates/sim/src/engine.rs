@@ -2,9 +2,13 @@
 //!
 //! Execution model:
 //!
-//! * A single binary-heap event queue ordered by `(time, sequence)` — the
-//!   sequence number makes simultaneous events fire in scheduling order, so
-//!   runs are fully deterministic.
+//! * A single event queue ordered by `(time, sequence)` — the sequence
+//!   number makes simultaneous events fire in scheduling order, so runs
+//!   are fully deterministic. The queue is a [`TieredScheduler`]: a
+//!   bucketed calendar for the dense near-future band of
+//!   TxEnd/Deliver/timer events with a binary-heap overflow for
+//!   far-future events, popping in exactly the same total order a plain
+//!   heap would (see `sched.rs`).
 //! * **Links** do all store-and-forward work: a packet handed to a link is
 //!   queued (or dropped, drop-tail), serialized at the link rate, then
 //!   delivered to the far node after the propagation delay.
@@ -14,16 +18,16 @@
 //!   [`Agent::on_timer`] when a timer the agent set fires.
 //!
 //! Agents interact with the world exclusively through [`Ctx`], which can
-//! send packets, set timers, and read link statistics (the read access is
-//! the "ideal oracle" used by Remy-Phi-ideal, paper §2.2.4).
+//! send packets, set timers (and lazily cancel them via [`TimerHandle`]),
+//! and read link statistics (the read access is the "ideal oracle" used
+//! by Remy-Phi-ideal, paper §2.2.4).
 
 use std::any::Any;
 use std::cell::RefCell;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
 
 use crate::packet::{AgentId, Flags, FlowId, LinkId, NodeId, Packet, SackBlocks};
-use crate::queue::{Discipline, DropTail, Verdict};
+use crate::queue::{LinkQueue, Verdict};
+use crate::sched::TieredScheduler;
 use crate::stats::{LinkStats, RollingUtil};
 use crate::time::{Dur, Time};
 use crate::topology::Topology;
@@ -53,37 +57,76 @@ enum Event {
     TxEnd { link: LinkId, pkt: Packet },
     /// A packet reached the `to` node of `link`.
     Deliver { node: NodeId, pkt: Packet },
-    /// An agent timer fired.
-    Timer { agent: AgentId, token: u64 },
+    /// An agent timer fired. `slot`/`gen` validate against the timer slab:
+    /// a mismatch means the timer was cancelled (or superseded) after it
+    /// was scheduled, and the event is skipped without touching the agent.
+    Timer {
+        agent: AgentId,
+        token: u64,
+        slot: u32,
+        gen: u64,
+    },
 }
 
-#[derive(Debug)]
-struct Scheduled {
-    at: Time,
-    seq: u64,
-    event: Event,
+/// A handle identifying one scheduled timer, returned by
+/// [`Ctx::set_timer_at`] and accepted by [`Ctx::cancel_timer`].
+///
+/// Cancellation is *lazy*: the event stays in the queue, but its
+/// generation no longer matches the slab's, so the engine discards it at
+/// pop time instead of dispatching it. This makes cancel (and the
+/// re-arm-instead-of-flood pattern in the TCP sender) O(1) with no queue
+/// surgery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerHandle {
+    slot: u32,
+    gen: u64,
 }
 
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
+/// Generation slots validating pending timers. A slot is live from
+/// `alloc` until the matching event fires or is cancelled; either path
+/// bumps the generation (invalidating any outstanding handle/event with
+/// the old one) and returns the slot to the free list. Slot allocation
+/// order is purely event-driven, so reuse is deterministic.
+#[derive(Debug, Default)]
+struct TimerSlab {
+    gens: Vec<u64>,
+    free: Vec<u32>,
 }
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+
+impl TimerSlab {
+    fn alloc(&mut self) -> (u32, u64) {
+        match self.free.pop() {
+            Some(slot) => (slot, self.gens[slot as usize]),
+            None => {
+                let slot = self.gens.len() as u32;
+                self.gens.push(0);
+                (slot, 0)
+            }
+        }
     }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+
+    /// Retire `(slot, gen)` if it is still live; false means the handle
+    /// (or event) was stale.
+    fn retire(&mut self, slot: u32, gen: u64) -> bool {
+        let g = &mut self.gens[slot as usize];
+        if *g == gen {
+            *g += 1;
+            self.free.push(slot);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn clear(&mut self) {
+        self.gens.clear();
+        self.free.clear();
     }
 }
 
 /// Runtime state of one link.
 struct LinkState {
-    queue: Box<dyn Discipline>,
+    queue: LinkQueue,
     busy: bool,
     stats: LinkStats,
     rolling: RollingUtil,
@@ -92,53 +135,68 @@ struct LinkState {
 /// Everything the engine owns except the agents themselves. Splitting this
 /// out lets [`Ctx`] hold `&mut SimCore` while an agent (removed from the
 /// agent table for the duration of its callback) runs.
+/// Sentinel for "no agent bound" in the dense per-node port tables.
+const NO_AGENT: AgentId = AgentId(u32::MAX);
+
 struct SimCore {
     now: Time,
-    seq: u64,
-    queue: BinaryHeap<Reverse<Scheduled>>,
+    queue: TieredScheduler<Event>,
+    timers: TimerSlab,
     topology: Topology,
     links: Vec<LinkState>,
-    bindings: HashMap<(NodeId, u16), AgentId>,
+    /// Dense dispatch tables: `ports[node][port]` is the bound agent (or
+    /// [`NO_AGENT`]). Replaces a per-delivery `HashMap<(NodeId, u16), _>`
+    /// lookup with two array indexes; ports in use are small (well under
+    /// 100), so the tables stay tiny.
+    ports: Vec<Vec<AgentId>>,
     agent_nodes: Vec<NodeId>,
     next_packet_id: u64,
     /// Packets that arrived for a (node, port) with no agent bound.
     pub undeliverable: u64,
     /// Packets consumed by a bound agent at their destination.
     delivered: u64,
-    events_processed: u64,
+    /// Events dispatched (stale timers are skipped, not fired).
+    events_fired: u64,
+    /// Timer events discarded at pop time because their generation no
+    /// longer matched (cancelled or superseded).
+    skipped_stale: u64,
+    /// Successful [`Ctx::cancel_timer`] calls.
+    cancelled: u64,
     tracer: Option<Box<dyn Tracer>>,
 }
 
 thread_local! {
-    /// Recycled event-queue allocations. Parameter sweeps and trainer
-    /// rounds build thousands of short-lived simulators per thread; each
-    /// would otherwise regrow its event heap from empty. A retiring
-    /// simulator parks its heap's backing buffer here and the next one on
-    /// this thread starts with that capacity.
-    static HEAP_POOL: RefCell<Vec<Vec<Reverse<Scheduled>>>> = const { RefCell::new(Vec::new()) };
+    /// Recycled scheduler carcasses. Parameter sweeps and trainer rounds
+    /// build thousands of short-lived simulators per thread; each would
+    /// otherwise regrow the calendar's bucket vectors and overflow heap
+    /// from empty. A retiring simulator parks its (cleared) scheduler and
+    /// timer slab here and the next one on this thread reuses their
+    /// allocations. A cleared scheduler is logically identical to a fresh
+    /// one (sequence numbers, cursor, and counters all reset), so pooling
+    /// cannot perturb results.
+    static SCHED_POOL: RefCell<Vec<(TieredScheduler<Event>, TimerSlab)>> =
+        const { RefCell::new(Vec::new()) };
 }
 
-/// Buffers kept per thread; beyond this, retiring heaps just deallocate.
-const HEAP_POOL_LIMIT: usize = 8;
+/// Carcasses kept per thread; beyond this, retiring schedulers deallocate.
+const SCHED_POOL_LIMIT: usize = 8;
 
-fn recycled_heap() -> BinaryHeap<Reverse<Scheduled>> {
-    HEAP_POOL
+fn recycled_scheduler() -> (TieredScheduler<Event>, TimerSlab) {
+    SCHED_POOL
         .with(|p| p.borrow_mut().pop())
-        .map(BinaryHeap::from) // an empty Vec heapifies in place, keeping its capacity
         .unwrap_or_default()
 }
 
 impl Drop for SimCore {
     fn drop(&mut self) {
-        let mut buf = std::mem::take(&mut self.queue).into_vec();
-        if buf.capacity() == 0 {
-            return;
-        }
-        buf.clear();
-        HEAP_POOL.with(|p| {
+        let mut sched = std::mem::take(&mut self.queue);
+        let mut timers = std::mem::take(&mut self.timers);
+        sched.clear();
+        timers.clear();
+        SCHED_POOL.with(|p| {
             let mut pool = p.borrow_mut();
-            if pool.len() < HEAP_POOL_LIMIT {
-                pool.push(buf);
+            if pool.len() < SCHED_POOL_LIMIT {
+                pool.push((sched, timers));
             }
         });
     }
@@ -155,9 +213,7 @@ impl SimCore {
 impl SimCore {
     fn schedule(&mut self, at: Time, event: Event) {
         debug_assert!(at >= self.now, "cannot schedule into the past");
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Reverse(Scheduled { at, seq, event }));
+        self.queue.push(at, event);
     }
 
     /// Route `pkt` from `at` toward its destination; enqueue on the next link.
@@ -279,18 +335,39 @@ impl Ctx<'_> {
 
     /// Schedule [`Agent::on_timer`] with `token` at absolute time `at`.
     ///
-    /// Timers cannot be cancelled; agents discard stale tokens instead
-    /// (the standard pattern for retransmission timers).
-    pub fn set_timer_at(&mut self, at: Time, token: u64) {
+    /// The returned [`TimerHandle`] can be passed to
+    /// [`Ctx::cancel_timer`]; agents that never cancel can ignore it.
+    pub fn set_timer_at(&mut self, at: Time, token: u64) -> TimerHandle {
         let agent = self.agent;
         let at = at.max(self.core.now);
-        self.core.schedule(at, Event::Timer { agent, token });
+        let (slot, gen) = self.core.timers.alloc();
+        self.core.schedule(
+            at,
+            Event::Timer {
+                agent,
+                token,
+                slot,
+                gen,
+            },
+        );
+        TimerHandle { slot, gen }
     }
 
     /// Schedule [`Agent::on_timer`] with `token` after `delay`.
-    pub fn set_timer_after(&mut self, delay: Dur, token: u64) {
+    pub fn set_timer_after(&mut self, delay: Dur, token: u64) -> TimerHandle {
         let at = self.core.now + delay;
-        self.set_timer_at(at, token);
+        self.set_timer_at(at, token)
+    }
+
+    /// Cancel a pending timer. Lazy: the event is discarded when popped,
+    /// never dispatched. Returns false if the timer already fired or was
+    /// already cancelled (both are harmless).
+    pub fn cancel_timer(&mut self, handle: TimerHandle) -> bool {
+        let live = self.core.timers.retire(handle.slot, handle.gen);
+        if live {
+            self.core.cancelled += 1;
+        }
+        live
     }
 
     /// Cumulative statistics of a link (ideal-oracle read access).
@@ -325,18 +402,19 @@ impl Simulator {
     /// Create a simulator over `topology` with drop-tail queues on every
     /// link, per the link specs.
     pub fn new(topology: Topology) -> Self {
-        Simulator::with_disciplines(topology, |_, spec| Box::new(DropTail::new(spec.capacity)))
+        Simulator::with_disciplines(topology, |_, spec| LinkQueue::drop_tail(spec.capacity))
     }
 
     /// Create a simulator with a custom queueing discipline per link.
     ///
     /// The factory receives each link's id and spec and returns the
-    /// discipline instance to install (e.g. [`crate::queue::Red`] on the
-    /// bottleneck, drop-tail elsewhere) — the hook behind the §3.1
-    /// incentives ablation.
+    /// [`LinkQueue`] to install — [`LinkQueue::drop_tail`] for the
+    /// devirtualized common case, or [`LinkQueue::custom`] for any other
+    /// [`crate::queue::Discipline`] (e.g. [`crate::queue::Red`] on the
+    /// bottleneck) — the hook behind the §3.1 incentives ablation.
     pub fn with_disciplines(
         topology: Topology,
-        mut factory: impl FnMut(LinkId, &crate::topology::LinkSpec) -> Box<dyn Discipline>,
+        mut factory: impl FnMut(LinkId, &crate::topology::LinkSpec) -> LinkQueue,
     ) -> Self {
         let links = topology
             .links()
@@ -349,19 +427,23 @@ impl Simulator {
                 rolling: RollingUtil::new(UTIL_WINDOW),
             })
             .collect();
+        let (queue, timers) = recycled_scheduler();
+        let ports = vec![Vec::new(); topology.node_count()];
         Simulator {
             core: SimCore {
                 now: Time::ZERO,
-                seq: 0,
-                queue: recycled_heap(),
+                queue,
+                timers,
                 topology,
                 links,
-                bindings: HashMap::new(),
+                ports,
                 agent_nodes: Vec::new(),
                 next_packet_id: 0,
                 undeliverable: 0,
                 delivered: 0,
-                events_processed: 0,
+                events_fired: 0,
+                skipped_stale: 0,
+                cancelled: 0,
                 tracer: None,
             },
             agents: Vec::new(),
@@ -376,8 +458,15 @@ impl Simulator {
     pub fn add_agent(&mut self, node: NodeId, port: u16, agent: Box<dyn Agent>) -> AgentId {
         assert!(!self.started, "cannot add agents after start");
         let id = AgentId(self.agents.len() as u32);
-        let prev = self.core.bindings.insert((node, port), id);
-        assert!(prev.is_none(), "({node}, :{port}) already bound");
+        let table = &mut self.core.ports[node.0 as usize];
+        if table.len() <= usize::from(port) {
+            table.resize(usize::from(port) + 1, NO_AGENT);
+        }
+        assert!(
+            table[usize::from(port)] == NO_AGENT,
+            "({node}, :{port}) already bound"
+        );
+        table[usize::from(port)] = id;
         self.agents.push(Some(agent));
         self.core.agent_nodes.push(node);
         id
@@ -388,9 +477,27 @@ impl Simulator {
         self.core.now
     }
 
-    /// Total events processed so far.
+    /// Total events dispatched so far (stale timers, skipped at pop time,
+    /// are counted separately — see [`Simulator::sched_stats`]).
     pub fn events_processed(&self) -> u64 {
-        self.core.events_processed
+        self.core.events_fired
+    }
+
+    /// Scheduler-level accounting: how events moved through the tiered
+    /// queue. The conservation identity
+    /// `scheduled == fired + skipped_stale + pending`
+    /// holds at every instant.
+    pub fn sched_stats(&self) -> SchedStats {
+        let c = self.core.queue.counters();
+        SchedStats {
+            scheduled: c.scheduled,
+            fired: self.core.events_fired,
+            skipped_stale: self.core.skipped_stale,
+            cancelled: self.core.cancelled,
+            overflowed: c.overflowed,
+            peak_pending: c.peak_pending,
+            pending: self.core.queue.len() as u64,
+        }
     }
 
     /// Packets that reached a node with no agent bound to their port.
@@ -405,8 +512,8 @@ impl Simulator {
     /// see [`PacketCensus::conserved`].
     pub fn packet_census(&self) -> PacketCensus {
         let mut in_flight = 0u64;
-        for Reverse(sch) in self.core.queue.iter() {
-            if matches!(sch.event, Event::TxEnd { .. } | Event::Deliver { .. }) {
+        for event in self.core.queue.iter() {
+            if matches!(event, Event::TxEnd { .. } | Event::Deliver { .. }) {
                 in_flight += 1;
             }
         }
@@ -494,19 +601,25 @@ impl Simulator {
     /// first. Returns the time the run stopped.
     pub fn run_until(&mut self, deadline: Time) -> Time {
         self.start_agents();
-        while let Some(Reverse(head)) = self.core.queue.peek() {
-            if head.at > deadline {
-                break;
-            }
-            let Reverse(sch) = self.core.queue.pop().expect("peeked");
-            self.core.now = sch.at;
-            self.core.events_processed += 1;
-            match sch.event {
-                Event::TxEnd { link, pkt } => self.core.on_tx_end(link, pkt),
+        while let Some((at, event)) = self.core.queue.pop_if(deadline) {
+            self.core.now = at;
+            match event {
+                Event::TxEnd { link, pkt } => {
+                    self.core.events_fired += 1;
+                    self.core.on_tx_end(link, pkt);
+                }
                 Event::Deliver { node, pkt } => {
+                    self.core.events_fired += 1;
                     if pkt.dst == node {
                         self.core.trace(TraceOp::Deliver, None, Some(node), &pkt);
-                        match self.core.bindings.get(&(node, pkt.dst_port)).copied() {
+                        let agent = self
+                            .core
+                            .ports
+                            .get(node.0 as usize)
+                            .and_then(|t| t.get(usize::from(pkt.dst_port)))
+                            .copied()
+                            .filter(|&a| a != NO_AGENT);
+                        match agent {
                             Some(agent) => {
                                 self.core.delivered += 1;
                                 self.with_agent(agent, |a, ctx| a.on_packet(pkt, ctx));
@@ -517,8 +630,18 @@ impl Simulator {
                         self.core.forward(node, pkt);
                     }
                 }
-                Event::Timer { agent, token } => {
-                    self.with_agent(agent, |a, ctx| a.on_timer(token, ctx));
+                Event::Timer {
+                    agent,
+                    token,
+                    slot,
+                    gen,
+                } => {
+                    if self.core.timers.retire(slot, gen) {
+                        self.core.events_fired += 1;
+                        self.with_agent(agent, |a, ctx| a.on_timer(token, ctx));
+                    } else {
+                        self.core.skipped_stale += 1;
+                    }
                 }
             }
         }
@@ -574,6 +697,41 @@ impl PacketCensus {
     pub fn conserved(&self) -> bool {
         self.injected
             == self.delivered + self.dropped + self.undeliverable + self.queued + self.in_flight
+    }
+}
+
+/// How events moved through the tiered scheduler, from
+/// [`Simulator::sched_stats`].
+///
+/// Like [`PacketCensus`] for packets, these counters obey a conservation
+/// identity — every scheduled event is eventually fired or skipped, or is
+/// still pending: see [`SchedStats::conserved`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Events ever pushed onto the queue.
+    pub scheduled: u64,
+    /// Events popped and dispatched.
+    pub fired: u64,
+    /// Timer events popped but discarded because their generation was
+    /// stale (cancelled or superseded before firing).
+    pub skipped_stale: u64,
+    /// Successful [`Ctx::cancel_timer`] calls (each later surfaces as one
+    /// `skipped_stale` pop).
+    pub cancelled: u64,
+    /// Events that took the far-future overflow heap at push time rather
+    /// than the near-future calendar.
+    pub overflowed: u64,
+    /// High-water mark of pending events.
+    pub peak_pending: u64,
+    /// Events currently pending.
+    pub pending: u64,
+}
+
+impl SchedStats {
+    /// The scheduler's conservation invariant:
+    /// `scheduled == fired + skipped_stale + pending`.
+    pub fn conserved(&self) -> bool {
+        self.scheduled == self.fired + self.skipped_stale + self.pending
     }
 }
 
@@ -940,9 +1098,9 @@ mod tests {
         // where plain drop-tail (capacity 10_000) would accept everything.
         let mut sim = Simulator::with_disciplines(t, |id, spec| {
             if id.0 == 0 {
-                Box::new(Red::new(Capacity::Packets(10_000), 2.0, 6.0, 1.0))
+                LinkQueue::custom(Red::new(Capacity::Packets(10_000), 2.0, 6.0, 1.0))
             } else {
-                Box::new(DropTail::new(spec.capacity))
+                LinkQueue::drop_tail(spec.capacity)
             }
         });
         sim.add_agent(
@@ -1028,10 +1186,21 @@ mod tests {
             mid.outstanding() > 0,
             "expected packets in transit: {mid:?}"
         );
+        let mid_sched = sim.sched_stats();
+        assert!(
+            mid_sched.conserved(),
+            "mid-run scheduler leaks events: {mid_sched:?}"
+        );
 
         sim.run_to_completion();
         let end = sim.packet_census();
         assert!(end.conserved(), "final census leaks packets: {end:?}");
+        let end_sched = sim.sched_stats();
+        assert!(
+            end_sched.conserved(),
+            "final scheduler census leaks events: {end_sched:?}"
+        );
+        assert_eq!(end_sched.pending, 0, "events stuck after drain");
         assert_eq!(end.outstanding(), 0, "packets stuck after drain: {end:?}");
         assert_eq!(end.injected, 50);
         assert!(end.dropped > 0, "queue of 3 must drop under this burst");
@@ -1066,9 +1235,10 @@ mod tests {
     }
 
     #[test]
-    fn recycled_heap_buffers_do_not_change_results() {
-        // Back-to-back simulators on one thread hit the heap pool; the
-        // second run must start from a logically empty queue.
+    fn recycled_scheduler_carcasses_do_not_change_results() {
+        // Back-to-back simulators on one thread hit the scheduler pool;
+        // the second run must start from a logically fresh queue (empty,
+        // sequence numbers and timer generations reset).
         let run = || {
             let (t, a, z) = two_nodes(2_000_000, Dur::from_millis(2), Capacity::Packets(5));
             let mut sim = Simulator::new(t);
@@ -1093,6 +1263,76 @@ mod tests {
         for _ in 0..4 {
             assert_eq!(run(), first);
         }
+    }
+
+    /// Arms a timer far out, then cancels and re-arms it on each of a
+    /// series of tick timers — the re-arm pattern the TCP sender uses for
+    /// its RTO.
+    struct Canceller {
+        ticks: u32,
+        armed: Option<TimerHandle>,
+        long_fired: u32,
+        cancels_ok: u32,
+    }
+
+    impl Agent for Canceller {
+        fn start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer_after(Dur::from_millis(1), 0);
+        }
+        fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
+        fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
+            match token {
+                0 => {
+                    if let Some(h) = self.armed.take() {
+                        if ctx.cancel_timer(h) {
+                            self.cancels_ok += 1;
+                        }
+                    }
+                    self.armed = Some(ctx.set_timer_after(Dur::from_secs(5), 1));
+                    if self.ticks > 0 {
+                        self.ticks -= 1;
+                        ctx.set_timer_after(Dur::from_millis(1), 0);
+                    }
+                }
+                1 => self.long_fired += 1,
+                _ => unreachable!(),
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn cancelled_timers_skip_without_dispatch() {
+        let (t, a, _z) = two_nodes(1_000_000, Dur::from_millis(1), Capacity::Packets(1));
+        let mut sim = Simulator::new(t);
+        let id = sim.add_agent(
+            a,
+            1,
+            Box::new(Canceller {
+                ticks: 9,
+                armed: None,
+                long_fired: 0,
+                cancels_ok: 0,
+            }),
+        );
+        sim.run_to_completion();
+        let agent = sim.agent_as::<Canceller>(id).unwrap();
+        // 10 arms, 9 cancelled by the next tick, the last one fires.
+        assert_eq!(agent.cancels_ok, 9);
+        assert_eq!(agent.long_fired, 1);
+        let s = sim.sched_stats();
+        assert!(s.conserved(), "{s:?}");
+        assert_eq!(s.cancelled, 9);
+        assert_eq!(s.skipped_stale, 9);
+        // 10 ticks + 10 long arms, minus the 9 cancelled pops.
+        assert_eq!(s.fired, 11);
+        // The 5-second arms sit far beyond the calendar horizon.
+        assert!(s.overflowed >= 10, "{s:?}");
     }
 
     #[test]

@@ -43,6 +43,7 @@
 pub mod engine;
 pub mod packet;
 pub mod queue;
+pub mod sched;
 pub mod stats;
 pub mod time;
 pub mod topology;
@@ -50,9 +51,9 @@ pub mod trace;
 
 /// The types almost every consumer needs.
 pub mod prelude {
-    pub use crate::engine::{packet_to, Agent, Ctx, Simulator};
+    pub use crate::engine::{packet_to, Agent, Ctx, SchedStats, Simulator, TimerHandle};
     pub use crate::packet::{wire, AgentId, Flags, FlowId, LinkId, NodeId, Packet};
-    pub use crate::queue::Capacity;
+    pub use crate::queue::{Capacity, LinkQueue};
     pub use crate::stats::{Ewma, LinkStats, OnlineStats};
     pub use crate::time::{Dur, Time};
     pub use crate::topology::{

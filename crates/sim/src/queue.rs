@@ -82,6 +82,7 @@ impl DropTail {
 }
 
 impl Discipline for DropTail {
+    #[inline]
     fn offer(&mut self, pkt: Packet, now: Time) -> Verdict {
         if self.capacity.admits(self.items.len(), self.bytes, pkt.size) {
             self.bytes += u64::from(pkt.size);
@@ -92,22 +93,101 @@ impl Discipline for DropTail {
         }
     }
 
+    #[inline]
     fn take(&mut self) -> Option<(Packet, Time)> {
         let (pkt, at) = self.items.pop_front()?;
         self.bytes -= u64::from(pkt.size);
         Some((pkt, at))
     }
 
+    #[inline]
     fn len_packets(&self) -> usize {
         self.items.len()
     }
 
+    #[inline]
     fn len_bytes(&self) -> u64 {
         self.bytes
     }
 
+    #[inline]
     fn capacity(&self) -> Capacity {
         self.capacity
+    }
+}
+
+/// The queue installed on a link: either the ubiquitous drop-tail FIFO,
+/// stored inline and dispatched statically, or any other [`Discipline`]
+/// behind a trait object.
+///
+/// Every experiment in the paper runs drop-tail on every link (ns-2's
+/// default), so the engine's per-packet `offer`/`take` calls sit on the
+/// hottest path in the repo. The enum devirtualizes that common case —
+/// no vtable indirection, no separate allocation — while [`LinkQueue::custom`]
+/// keeps RED, scripted-drop fault injection, and any future discipline
+/// pluggable at full fidelity.
+#[derive(Debug)]
+pub enum LinkQueue {
+    /// Inline drop-tail FIFO (the fast path).
+    DropTail(DropTail),
+    /// Any other discipline, behind dynamic dispatch.
+    Custom(Box<dyn Discipline>),
+}
+
+impl LinkQueue {
+    /// A drop-tail queue of `capacity` (the devirtualized default).
+    pub fn drop_tail(capacity: Capacity) -> Self {
+        LinkQueue::DropTail(DropTail::new(capacity))
+    }
+
+    /// Wrap an arbitrary discipline.
+    pub fn custom(discipline: impl Discipline + 'static) -> Self {
+        LinkQueue::Custom(Box::new(discipline))
+    }
+
+    /// Offer an arriving packet (see [`Discipline::offer`]).
+    #[inline]
+    pub fn offer(&mut self, pkt: Packet, now: Time) -> Verdict {
+        match self {
+            LinkQueue::DropTail(q) => q.offer(pkt, now),
+            LinkQueue::Custom(q) => q.offer(pkt, now),
+        }
+    }
+
+    /// Remove the next packet to transmit (see [`Discipline::take`]).
+    #[inline]
+    pub fn take(&mut self) -> Option<(Packet, Time)> {
+        match self {
+            LinkQueue::DropTail(q) => q.take(),
+            LinkQueue::Custom(q) => q.take(),
+        }
+    }
+
+    /// Packets currently queued.
+    #[inline]
+    pub fn len_packets(&self) -> usize {
+        match self {
+            LinkQueue::DropTail(q) => q.len_packets(),
+            LinkQueue::Custom(q) => q.len_packets(),
+        }
+    }
+
+    /// Bytes currently queued.
+    #[inline]
+    pub fn len_bytes(&self) -> u64 {
+        match self {
+            LinkQueue::DropTail(q) => q.len_bytes(),
+            LinkQueue::Custom(q) => q.len_bytes(),
+        }
+    }
+
+    /// The configured capacity.
+    #[inline]
+    pub fn capacity(&self) -> Capacity {
+        match self {
+            LinkQueue::DropTail(q) => q.capacity(),
+            LinkQueue::Custom(q) => q.capacity(),
+        }
     }
 }
 

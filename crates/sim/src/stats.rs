@@ -144,6 +144,11 @@ pub struct RollingUtil {
     window: Dur,
     /// Closed busy intervals, oldest first.
     intervals: VecDeque<(Time, Time)>,
+    /// Sum of the full (unclipped) lengths of `intervals`, nanoseconds.
+    /// Maintained on push and expiry, so a utilization query never scans
+    /// the whole deque: it subtracts the few intervals that aged out
+    /// since the last update and clips at most one straddler.
+    busy_ns: u64,
     /// Start of an in-progress busy period, if the link is transmitting.
     open: Option<Time>,
 }
@@ -155,6 +160,7 @@ impl RollingUtil {
         RollingUtil {
             window,
             intervals: VecDeque::new(),
+            busy_ns: 0,
             open: None,
         }
     }
@@ -169,14 +175,16 @@ impl RollingUtil {
     pub fn end_busy(&mut self, t: Time) {
         if let Some(start) = self.open.take() {
             self.intervals.push_back((start, t));
+            self.busy_ns += (t - start).as_nanos();
         }
         self.expire(t);
     }
 
     fn expire(&mut self, now: Time) {
         let horizon = now - self.window;
-        while let Some(&(_, end)) = self.intervals.front() {
+        while let Some(&(start, end)) = self.intervals.front() {
             if end <= horizon {
+                self.busy_ns -= (end - start).as_nanos();
                 self.intervals.pop_front();
             } else {
                 break;
@@ -185,30 +193,38 @@ impl RollingUtil {
     }
 
     /// Busy fraction of the window ending at `now`, in [0, 1].
+    ///
+    /// O(1) amortized: starts from the running sum and corrects only at
+    /// the deque's front — intervals that aged out entirely since the
+    /// last `end_busy` (usually none on an active link) plus at most one
+    /// interval straddling the horizon.
     pub fn utilization(&self, now: Time) -> f64 {
         let horizon = now - self.window;
-        let mut busy = Dur::ZERO;
+        let mut busy_ns = self.busy_ns;
         for &(start, end) in &self.intervals {
             if end <= horizon {
-                continue;
+                busy_ns -= (end - start).as_nanos();
+            } else {
+                if start < horizon {
+                    busy_ns -= (horizon - start).as_nanos();
+                }
+                break;
             }
-            let s = if start > horizon { start } else { horizon };
-            busy += end - s;
         }
         if let Some(start) = self.open {
             let s = if start > horizon { start } else { horizon };
             if now > s {
-                busy += now - s;
+                busy_ns += (now - s).as_nanos();
             }
         }
         // Before a full window has elapsed, normalize by elapsed time so
         // early readings are not biased low.
         let denom = if now.as_nanos() < self.window.as_nanos() {
-            Dur::from_nanos(now.as_nanos().max(1))
+            now.as_nanos().max(1)
         } else {
-            self.window
+            self.window.as_nanos()
         };
-        (busy.as_nanos() as f64 / denom.as_nanos() as f64).min(1.0)
+        (busy_ns as f64 / denom as f64).min(1.0)
     }
 }
 

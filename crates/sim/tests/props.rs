@@ -1,12 +1,39 @@
 //! Property-based invariants of the simulator's core data structures.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use proptest::prelude::*;
 
 use phi_sim::packet::{Flags, FlowId, NodeId, Packet, SackBlocks};
 use phi_sim::queue::{Capacity, Discipline, DropTail, Verdict};
+use phi_sim::sched::TieredScheduler;
 use phi_sim::stats::{OnlineStats, RollingUtil};
 use phi_sim::time::{Dur, Time};
 use phi_sim::topology::TopologyBuilder;
+
+/// One step of an interleaved scheduler workload: schedule an event
+/// `delta` nanoseconds past the current clock, pop unconditionally, or
+/// pop against a bounded deadline.
+#[derive(Debug, Clone, Copy)]
+enum SchedOp {
+    Push(u64),
+    Pop,
+    PopIf(u64),
+}
+
+fn sched_op() -> impl Strategy<Value = SchedOp> {
+    prop_oneof![
+        // Same-timestamp bursts and dense near-future traffic.
+        (0u64..4).prop_map(SchedOp::Push),
+        (0u64..1 << 21).prop_map(SchedOp::Push),
+        // Far-future outliers, well beyond the wheel horizon
+        // (1024 buckets x 2^17 ns ≈ 134 ms ≈ 2^27 ns).
+        (1u64 << 26..1u64 << 40).prop_map(SchedOp::Push),
+        Just(SchedOp::Pop),
+        (0u64..1 << 28).prop_map(SchedOp::PopIf),
+    ]
+}
 
 fn pkt(id: u64, size: u32) -> Packet {
     Packet {
@@ -162,6 +189,70 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// The tiered scheduler is observationally identical to a plain
+    /// binary heap ordered by `(time, insertion seq)`: every pop and
+    /// deadline-bounded pop returns the same event in the same order,
+    /// regardless of how pushes straddle the wheel horizon.
+    #[test]
+    fn tiered_scheduler_matches_reference_heap(
+        ops in proptest::collection::vec(sched_op(), 1..500),
+    ) {
+        let mut tiered = TieredScheduler::new();
+        let mut model: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut now = 0u64;
+        let mut next_seq = 0u64;
+        for op in ops {
+            match op {
+                SchedOp::Push(delta) => {
+                    let at = now.saturating_add(delta);
+                    tiered.push(Time::from_nanos(at), next_seq);
+                    model.push(Reverse((at, next_seq)));
+                    next_seq += 1;
+                }
+                SchedOp::Pop => {
+                    let got = tiered.pop();
+                    let want = model.pop().map(|Reverse((at, seq))| (at, seq));
+                    prop_assert_eq!(
+                        got.map(|(t, s)| (t.as_nanos(), s)),
+                        want,
+                        "pop diverged at seq {}", next_seq
+                    );
+                    if let Some((at, _)) = want {
+                        now = at;
+                    }
+                }
+                SchedOp::PopIf(delta) => {
+                    let deadline = now.saturating_add(delta);
+                    let due = matches!(model.peek(), Some(Reverse((at, _))) if *at <= deadline);
+                    let got = tiered.pop_if(Time::from_nanos(deadline));
+                    let want = if due {
+                        model.pop().map(|Reverse((at, seq))| (at, seq))
+                    } else {
+                        None
+                    };
+                    prop_assert_eq!(
+                        got.map(|(t, s)| (t.as_nanos(), s)),
+                        want,
+                        "pop_if diverged at seq {}", next_seq
+                    );
+                    if let Some((at, _)) = want {
+                        now = at;
+                    }
+                }
+            }
+            prop_assert_eq!(tiered.len(), model.len());
+        }
+        // Drain both to the end: the tails must agree event for event.
+        while let Some(Reverse((at, seq))) = model.pop() {
+            prop_assert_eq!(
+                tiered.pop().map(|(t, s)| (t.as_nanos(), s)),
+                Some((at, seq))
+            );
+        }
+        prop_assert!(tiered.is_empty());
+        prop_assert_eq!(tiered.counters().scheduled, next_seq);
     }
 
     #[test]

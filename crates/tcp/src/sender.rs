@@ -23,7 +23,7 @@
 use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet};
 
-use phi_sim::engine::{packet_to, Agent, Ctx};
+use phi_sim::engine::{packet_to, Agent, Ctx, TimerHandle};
 use phi_sim::packet::{wire, Flags, FlowId, NodeId, Packet};
 use phi_sim::time::{Dur, Time};
 use phi_workload::OnOffSource;
@@ -74,14 +74,12 @@ impl SenderConfig {
     }
 }
 
-// Timer token encoding: kind in the low 2 bits, generation above.
+// Timer tokens. Staleness is handled by the engine: timers are cancelled
+// (or superseded) through their [`TimerHandle`] and skipped at pop time,
+// so tokens no longer need to carry generation counters.
 const TIMER_START: u64 = 0;
 const TIMER_RTO: u64 = 1;
 const TIMER_PACE: u64 = 2;
-
-fn token(kind: u64, gen: u64) -> u64 {
-    kind | (gen << 2)
-}
 
 /// State of the in-progress connection.
 struct Conn {
@@ -136,6 +134,7 @@ struct Conn {
     // Pacing.
     pace_next: Time,
     pace_pending: bool,
+    pace_handle: Option<TimerHandle>,
 }
 
 impl Conn {
@@ -301,8 +300,18 @@ pub struct TcpSender {
     flows_started: u64,
     /// Bytes planned for the flow whose start timer is pending.
     pending_bytes: u64,
-    /// Generation counter validating the outstanding RTO timer.
-    rto_gen: u64,
+    /// The single armed RTO timer (handle and its fire time), if any.
+    ///
+    /// Classic senders push a fresh RTO timer on every ACK, leaving a
+    /// trail of dead events in the engine queue. Instead we keep at most
+    /// one armed timer plus the *logical* deadline below: extending the
+    /// deadline is a field write, and when the armed timer fires early
+    /// (`now < rto_deadline`) it simply re-arms at the stored deadline —
+    /// roughly one queue event per RTO period instead of one per ACK,
+    /// with the real timeout firing at exactly the same instant.
+    rto_armed: Option<(TimerHandle, Time)>,
+    /// When the retransmission timeout is actually due.
+    rto_deadline: Time,
     done: bool,
 }
 
@@ -324,7 +333,8 @@ impl TcpSender {
             reports: Vec::new(),
             flows_started: 0,
             pending_bytes: 0,
-            rto_gen: 0,
+            rto_armed: None,
+            rto_deadline: Time::ZERO,
             done: false,
         }
     }
@@ -386,7 +396,7 @@ impl TcpSender {
         }
         let plan = self.source.next_flow();
         self.pending_bytes = plan.bytes;
-        ctx.set_timer_after(Dur::from_nanos(plan.off_ns), token(TIMER_START, 0));
+        ctx.set_timer_after(Dur::from_nanos(plan.off_ns), TIMER_START);
     }
 
     fn begin_flow(&mut self, ctx: &mut Ctx<'_>) {
@@ -429,6 +439,7 @@ impl TcpSender {
             recoveries: 0,
             pace_next: now,
             pace_pending: false,
+            pace_handle: None,
         });
         self.try_send(ctx);
         self.restart_rto(ctx);
@@ -436,7 +447,12 @@ impl TcpSender {
 
     fn finish_flow(&mut self, ctx: &mut Ctx<'_>) {
         let conn = self.conn.take().expect("finish_flow with no connection");
-        self.rto_gen += 1; // invalidate any outstanding RTO timer
+        if let Some((h, _)) = self.rto_armed.take() {
+            ctx.cancel_timer(h);
+        }
+        if let Some(h) = conn.pace_handle {
+            ctx.cancel_timer(h);
+        }
         let report = FlowReport {
             flow: conn.flow,
             bytes: conn.bytes,
@@ -540,11 +556,10 @@ impl TcpSender {
                 if conn.pace_next > now {
                     let at = conn.pace_next;
                     let pending = conn.pace_pending;
-                    let gen = self.flows_started; // current flow's generation
                     let conn = self.conn.as_mut().expect("checked above");
                     if !pending {
                         conn.pace_pending = true;
-                        ctx.set_timer_at(at, token(TIMER_PACE, gen));
+                        conn.pace_handle = Some(ctx.set_timer_at(at, TIMER_PACE));
                     }
                     return;
                 }
@@ -585,9 +600,23 @@ impl TcpSender {
             return;
         }
         conn.rto = conn.computed_rto(self.cfg.min_rto, self.cfg.max_rto);
-        self.rto_gen += 1;
-        let rto = conn.rto;
-        ctx.set_timer_after(rto, token(TIMER_RTO, self.rto_gen));
+        let deadline = ctx.now() + conn.rto;
+        self.rto_deadline = deadline;
+        match self.rto_armed {
+            // A timer due no later than the new deadline is already armed;
+            // let it fire early and re-arm itself (the per-ACK hot path is
+            // just the deadline write above).
+            Some((_, at)) if at <= deadline => {}
+            stale => {
+                // Deadline moved *earlier* (e.g. first RTT sample shrinks
+                // the initial 1 s RTO), or nothing armed.
+                if let Some((h, _)) = stale {
+                    ctx.cancel_timer(h);
+                }
+                let h = ctx.set_timer_at(deadline, TIMER_RTO);
+                self.rto_armed = Some((h, deadline));
+            }
+        }
     }
 
     fn on_ack(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
@@ -679,15 +708,22 @@ impl TcpSender {
         self.try_send(ctx);
     }
 
-    fn on_rto_fire(&mut self, gen: u64, ctx: &mut Ctx<'_>) {
-        if gen != self.rto_gen {
-            return; // stale timer
-        }
+    /// The armed RTO timer fired. If the logical deadline has moved past
+    /// the fire time (ACKs arrived since arming), this is a deferred
+    /// re-arm, not a timeout.
+    fn on_rto_fire(&mut self, ctx: &mut Ctx<'_>) {
+        self.rto_armed = None; // the firing timer is consumed
         let now = ctx.now();
         let Some(conn) = self.conn.as_mut() else {
             return;
         };
         if !conn.outstanding() {
+            return;
+        }
+        if now < self.rto_deadline {
+            let deadline = self.rto_deadline;
+            let h = ctx.set_timer_at(deadline, TIMER_RTO);
+            self.rto_armed = Some((h, deadline));
             return;
         }
         conn.timeouts += 1;
@@ -705,9 +741,10 @@ impl TcpSender {
         conn.pipe_end = conn.highest_acked;
         // Exponential backoff until the next valid RTT sample.
         conn.rto = (conn.rto * 2).min(self.cfg.max_rto);
-        let rto = conn.rto;
-        self.rto_gen += 1;
-        ctx.set_timer_after(rto, token(TIMER_RTO, self.rto_gen));
+        let deadline = now + conn.rto;
+        self.rto_deadline = deadline;
+        let h = ctx.set_timer_at(deadline, TIMER_RTO);
+        self.rto_armed = Some((h, deadline));
         self.try_send(ctx);
     }
 }
@@ -724,24 +761,23 @@ impl Agent for TcpSender {
     }
 
     fn on_timer(&mut self, tok: u64, ctx: &mut Ctx<'_>) {
-        let kind = tok & 0b11;
-        let gen = tok >> 2;
-        match kind {
+        match tok {
             TIMER_START => {
                 if self.conn.is_none() && !self.done {
                     self.begin_flow(ctx);
                 }
             }
-            TIMER_RTO => self.on_rto_fire(gen, ctx),
+            TIMER_RTO => self.on_rto_fire(ctx),
+            // Stale pace timers are cancelled at flow end, so a firing one
+            // always belongs to the current connection.
             TIMER_PACE => {
-                if gen == self.flows_started {
-                    if let Some(conn) = self.conn.as_mut() {
-                        conn.pace_pending = false;
-                    }
-                    self.try_send(ctx);
+                if let Some(conn) = self.conn.as_mut() {
+                    conn.pace_pending = false;
+                    conn.pace_handle = None;
                 }
+                self.try_send(ctx);
             }
-            _ => unreachable!("unknown timer kind {kind}"),
+            _ => unreachable!("unknown timer token {tok}"),
         }
     }
 

@@ -8,7 +8,7 @@
 
 use phi_sim::engine::Simulator;
 use phi_sim::packet::LinkId;
-use phi_sim::queue::{Capacity, DropTail, ScriptedDrop};
+use phi_sim::queue::{Capacity, DropTail, LinkQueue, ScriptedDrop};
 use phi_sim::time::{Dur, Time};
 use phi_sim::topology::TopologyBuilder;
 use phi_tcp::cc::FixedWindow;
@@ -35,9 +35,9 @@ fn run_with_script(script: &[(u64, u64, u32)], window: f64) -> FlowReport {
     let script = script.to_vec();
     let mut sim = Simulator::with_disciplines(b.build(), move |id, spec| {
         if id == LinkId(0) {
-            Box::new(ScriptedDrop::new(DropTail::new(spec.capacity), &script))
+            LinkQueue::custom(ScriptedDrop::new(DropTail::new(spec.capacity), &script))
         } else {
-            Box::new(DropTail::new(spec.capacity))
+            LinkQueue::drop_tail(spec.capacity)
         }
     });
     let mut cfg = SenderConfig::new(z, 80, 10);
@@ -149,12 +149,12 @@ fn recovery_under_cubic_backs_off_once_per_episode() {
     );
     let mut sim = Simulator::with_disciplines(b.build(), move |id, spec| {
         if id == LinkId(0) {
-            Box::new(ScriptedDrop::new(
+            LinkQueue::custom(ScriptedDrop::new(
                 DropTail::new(spec.capacity),
                 &[(0, 10, 1)],
             ))
         } else {
-            Box::new(DropTail::new(spec.capacity))
+            LinkQueue::drop_tail(spec.capacity)
         }
     });
     let mut cfg = SenderConfig::new(z, 80, 10);

@@ -217,3 +217,84 @@ fn sweep_speedup_with_four_workers() {
         "4 workers only {speedup:.2}x faster ({serial_time:?} -> {parallel_time:?})"
     );
 }
+
+/// One multihop (parking-lot) scenario digested to a single FNV hash over
+/// its complete packet trace, plus coarse delivery counters. The values
+/// are pinned: a scheduler-ordering bug anywhere in the engine fails this
+/// test loudly instead of silently shifting every downstream metric.
+#[test]
+fn multihop_trace_digest_matches_pinned_golden() {
+    use phi::sim::queue::Capacity;
+    use phi::sim::topology::{parking_lot, ParkingLotSpec};
+
+    let spec = ParkingLotSpec {
+        hops: 3,
+        backbone_bps: 10_000_000,
+        hop_delay: Dur::from_millis(5),
+        capacity: Capacity::Packets(50),
+        access_bps: 100_000_000,
+    };
+    let lot = parking_lot(&spec);
+    let mut sim = Simulator::new(lot.topology.clone());
+    let root = SeedRng::new(4242);
+    let mut pairs = vec![lot.long_path];
+    pairs.extend(lot.cross.iter().copied());
+    let mut senders = Vec::new();
+    for (i, (src, dst)) in pairs.iter().enumerate() {
+        let mut cfg = SenderConfig::new(*dst, 80, 10);
+        cfg.flow_id_base = (i as u64) << 32;
+        let source = OnOffSource::new(
+            OnOffConfig {
+                mean_on_bytes: 150_000.0,
+                mean_off_secs: 0.3,
+                deterministic: false,
+            },
+            root.fork_indexed("sender", i as u64),
+        );
+        senders.push(sim.add_agent(
+            *src,
+            10,
+            Box::new(TcpSender::new(
+                cfg,
+                source,
+                Box::new(|_| Box::new(Cubic::new(CubicParams::default()))),
+                Box::new(NoHook),
+            )),
+        ));
+        sim.add_agent(*dst, 80, Box::new(TcpReceiver::new()));
+    }
+    let (tracer, events) = SharedTraceCollector::new();
+    sim.set_tracer(tracer);
+    sim.run_until(Time::from_secs(3));
+
+    let census = sim.packet_census();
+    assert!(census.conserved(), "census leaks packets: {census:?}");
+
+    let digest = fnv1a(
+        events
+            .borrow()
+            .iter()
+            .flat_map(|ev| format!("{ev:?}\n").into_bytes()),
+    );
+    let delivered: u64 = census.delivered;
+    let injected: u64 = census.injected;
+    let long_bytes: u64 = sim
+        .agent_as::<TcpSender>(senders[0])
+        .unwrap()
+        .reports()
+        .iter()
+        .map(|r| r.bytes)
+        .sum();
+    println!("GOLDEN digest={digest:#018x} injected={injected} delivered={delivered} long_bytes={long_bytes}");
+
+    // Pinned on the pre-tiered-scheduler engine; any engine change that
+    // alters packet-level behavior must be caught here, not downstream.
+    const GOLDEN_DIGEST: u64 = 0x2adc_337c_5e94_aa04;
+    const GOLDEN_INJECTED: u64 = 5243;
+    const GOLDEN_DELIVERED: u64 = 4950;
+    const GOLDEN_LONG_BYTES: u64 = 344_105;
+    assert_eq!(digest, GOLDEN_DIGEST, "packet trace diverged from golden");
+    assert_eq!(injected, GOLDEN_INJECTED);
+    assert_eq!(delivered, GOLDEN_DELIVERED);
+    assert_eq!(long_bytes, GOLDEN_LONG_BYTES);
+}
