@@ -358,6 +358,8 @@ mod tests {
             retransmits: 3,
             timeouts: 1,
             recoveries: 2,
+            aborted: false,
+            idle_restarts: 0,
         };
         let s = summarize(&r);
         assert_eq!(s.bytes, 123_456);
@@ -382,6 +384,8 @@ mod tests {
             retransmits: 0,
             timeouts: 0,
             recoveries: 0,
+            aborted: false,
+            idle_restarts: 0,
         };
         assert_eq!(summarize(&r).min_rtt_ms, 0.0);
     }

@@ -70,6 +70,7 @@ mod tests {
             mean_rtt_ms: rtt,
             utilization: 0.5,
             flows_completed: 10,
+            flows_aborted: 0,
             bytes: 1,
         }
     }

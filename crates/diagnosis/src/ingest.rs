@@ -1,0 +1,108 @@
+//! Bridge from the telemetry collector to the diagnosis time series.
+//!
+//! The §2.1 measurement pipeline ends in a [`Collector`] holding distinct
+//! flow counts per (destination /24, minute) bucket; the §3.4 diagnosis
+//! pipeline starts from a [`SlicedSeries`] of request volume per
+//! (service, AS, metro) slice. This module is the join: each bucket
+//! contributes its flow count at its minute, with the caller supplying
+//! the bucket → slice mapping (in production that is a BGP/geo lookup; in
+//! experiments it is the inverse of the address plan the topology used).
+
+use phi_telemetry::{BucketId, Collector};
+
+use crate::series::{SliceKey, SlicedSeries};
+
+/// Build a sliced request-volume series from collector buckets.
+///
+/// Each bucket adds its distinct-flow count to `map(bucket)`'s series at
+/// the bucket's minute. Bucket iteration order does not matter: counts
+/// are integral, so the floating-point accumulation is exact and the
+/// result depends only on the collector's contents.
+pub fn sliced_from_collector(
+    collector: &Collector,
+    bin_secs: u64,
+    n_bins: usize,
+    map: impl Fn(&BucketId) -> SliceKey,
+) -> SlicedSeries {
+    let mut out = SlicedSeries::new(bin_secs, n_bins);
+    for (id, bucket) in collector.buckets() {
+        out.add(map(id), id.minute * 60, bucket.flow_count() as f64);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phi_telemetry::{FlowKey, IpfixRecord};
+    use std::net::Ipv4Addr;
+
+    fn rec(dst: Ipv4Addr, src_port: u16, ts_ms: u64) -> IpfixRecord {
+        IpfixRecord {
+            key: FlowKey {
+                src_ip: Ipv4Addr::new(10, 0, 0, 1),
+                dst_ip: dst,
+                src_port,
+                dst_port: 443,
+                proto: 6,
+            },
+            ts_ms,
+            bytes: 1500,
+            packets: 1,
+        }
+    }
+
+    /// Third octet of the /24 doubles as the "client AS" in tests.
+    fn map(id: &BucketId) -> SliceKey {
+        SliceKey {
+            service: 1,
+            asn: u32::from(id.subnet.network().octets()[2]),
+            metro: 1,
+        }
+    }
+
+    #[test]
+    fn buckets_become_slice_bins() {
+        let mut c = Collector::new();
+        let a = Ipv4Addr::new(93, 184, 1, 5);
+        let b = Ipv4Addr::new(93, 184, 2, 5);
+        c.ingest(&rec(a, 1, 0));
+        c.ingest(&rec(a, 2, 30_000)); // same bucket, second flow
+        c.ingest(&rec(a, 3, 60_000)); // minute 1
+        c.ingest(&rec(b, 4, 0));
+        let s = sliced_from_collector(&c, 60, 4, map);
+        assert_eq!(s.slice_count(), 2);
+        let sa = s
+            .series(&SliceKey {
+                service: 1,
+                asn: 1,
+                metro: 1,
+            })
+            .unwrap();
+        assert_eq!(sa.bins, vec![2.0, 1.0, 0.0, 0.0]);
+        let sb = s
+            .series(&SliceKey {
+                service: 1,
+                asn: 2,
+                metro: 1,
+            })
+            .unwrap();
+        assert_eq!(sb.bins, vec![1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn buckets_past_the_horizon_are_ignored() {
+        let mut c = Collector::new();
+        let a = Ipv4Addr::new(93, 184, 1, 5);
+        c.ingest(&rec(a, 1, 10 * 60_000)); // minute 10, horizon 4 bins
+        let s = sliced_from_collector(&c, 60, 4, map);
+        let sa = s
+            .series(&SliceKey {
+                service: 1,
+                asn: 1,
+                metro: 1,
+            })
+            .unwrap();
+        assert_eq!(sa.bins.iter().sum::<f64>(), 0.0);
+    }
+}

@@ -10,18 +10,22 @@
 //! [`mod@localize`] (which ISP/metro/service is down).
 //!
 //! [`synth`] generates the production-telemetry substitute with
-//! injectable ground-truth outages.
+//! injectable ground-truth outages, and [`mod@ingest`] bridges a real
+//! phi-telemetry collector into the same sliced series so simulated
+//! outages flow through the identical detection path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod detect;
+pub mod ingest;
 pub mod localize;
 pub mod model;
 pub mod series;
 pub mod synth;
 
 pub use detect::{detect, AnomalyEvent, DetectorConfig};
+pub use ingest::sliced_from_collector;
 pub use localize::{localize, Localization, LocalizerConfig};
 pub use model::SeasonalModel;
 pub use series::{Dimension, SliceKey, SlicedSeries, TimeSeries};

@@ -25,6 +25,9 @@
 use std::any::Any;
 use std::cell::RefCell;
 
+use phi_workload::SeedRng;
+
+use crate::faults::{DownPolicy, EgressVerdict, FaultStats, ImpairmentPlan, LinkFault};
 use crate::packet::{AgentId, Flags, FlowId, LinkId, NodeId, Packet, SackBlocks};
 use crate::queue::{LinkQueue, Verdict};
 use crate::sched::TieredScheduler;
@@ -66,6 +69,9 @@ enum Event {
         slot: u32,
         gen: u64,
     },
+    /// A precomputed link state transition from the fault plane: the link
+    /// goes down (`up == false`) or heals (`up == true`).
+    FaultEdge { link: LinkId, up: bool },
 }
 
 /// A handle identifying one scheduled timer, returned by
@@ -130,6 +136,10 @@ struct LinkState {
     busy: bool,
     stats: LinkStats,
     rolling: RollingUtil,
+    /// Chaos-plane state, when an [`ImpairmentPlan`] is installed. Boxed:
+    /// the overwhelmingly common case is no faults, and the untouched
+    /// pointer keeps `LinkState` small for the hot path.
+    fault: Option<Box<LinkFault>>,
 }
 
 /// Everything the engine owns except the agents themselves. Splitting this
@@ -230,6 +240,23 @@ impl SimCore {
     fn enqueue_on_link(&mut self, link_id: LinkId, pkt: Packet) {
         let now = self.now;
         let ls = &mut self.links[link_id.0 as usize];
+        // A downed link with the Drop policy destroys arrivals outright;
+        // under Park they queue normally and wait for the healing edge.
+        if let Some(f) = ls.fault.as_deref_mut() {
+            if !f.up && f.plan.down_policy == DownPolicy::Drop {
+                f.stats.blackholed += 1;
+                if let Some(t) = self.tracer.as_mut() {
+                    t.event(&TraceEvent::new(
+                        now,
+                        TraceOp::Blackhole,
+                        Some(link_id),
+                        None,
+                        &pkt,
+                    ));
+                }
+                return;
+            }
+        }
         ls.stats.advance_occupancy(now, ls.queue.len_bytes());
         // The queue consumes the packet; clone identity bits for tracing
         // only when a tracer is installed.
@@ -259,6 +286,11 @@ impl SimCore {
         let spec_rate = self.topology.link(link_id).rate_bps;
         let ls = &mut self.links[link_id.0 as usize];
         debug_assert!(!ls.busy);
+        // A downed link does not serialize: parked packets stay queued
+        // until the healing edge calls `begin_tx` again.
+        if ls.fault.as_deref().is_some_and(|f| !f.up) {
+            return;
+        }
         ls.stats.advance_occupancy(now, ls.queue.len_bytes());
         let Some((pkt, enqueued_at)) = ls.queue.take() else {
             return;
@@ -291,10 +323,81 @@ impl SimCore {
             ls.stats.busy += Dur::transmission(pkt.size, self.topology.link(link_id).rate_bps);
         }
         self.trace(TraceOp::Transmit, Some(link_id), None, &pkt);
-        self.schedule(now + delay, Event::Deliver { node: to, pkt });
+        // The fault plane decides the packet's fate at link egress. The
+        // per-packet draws happen here, in TxEnd order, so the impairment
+        // trace follows the engine's deterministic total event order.
+        let verdict = match self.links[link_id.0 as usize].fault.as_deref_mut() {
+            Some(f) => f.egress(),
+            None => EgressVerdict::Forward {
+                extra: Dur::ZERO,
+                duplicate: false,
+            },
+        };
+        match verdict {
+            EgressVerdict::Forward { extra, duplicate } => {
+                let dup = duplicate.then(|| pkt.clone());
+                self.schedule(now + delay + extra, Event::Deliver { node: to, pkt });
+                if let Some(p) = dup {
+                    self.trace(TraceOp::Duplicate, Some(link_id), None, &p);
+                    self.schedule(now + delay + extra, Event::Deliver { node: to, pkt: p });
+                }
+            }
+            EgressVerdict::Blackhole => self.trace(TraceOp::Blackhole, Some(link_id), None, &pkt),
+            EgressVerdict::Corrupt => self.trace(TraceOp::Corrupt, Some(link_id), None, &pkt),
+        }
         // Immediately pull the next packet, if queued.
         if self.links[link_id.0 as usize].queue.len_packets() > 0 {
             self.begin_tx(link_id);
+        }
+    }
+
+    /// Execute a scheduled link up/down transition. Healing restarts
+    /// transmission of parked packets; a down edge under the Drop policy
+    /// drains the queue into the blackhole counter.
+    fn on_fault_edge(&mut self, link_id: LinkId, up: bool) {
+        enum Action {
+            Nothing,
+            Restart,
+            Drain,
+        }
+        let now = self.now;
+        let action = {
+            let ls = &mut self.links[link_id.0 as usize];
+            let Some(f) = ls.fault.as_deref_mut() else {
+                return;
+            };
+            if !f.apply_edge(up) {
+                // Redundant edge (e.g. a flap regime ending while up).
+                return;
+            }
+            if up {
+                if !ls.busy && ls.queue.len_packets() > 0 {
+                    Action::Restart
+                } else {
+                    Action::Nothing
+                }
+            } else if f.plan.down_policy == DownPolicy::Drop {
+                Action::Drain
+            } else {
+                Action::Nothing
+            }
+        };
+        match action {
+            Action::Restart => self.begin_tx(link_id),
+            Action::Drain => {
+                let ls = &mut self.links[link_id.0 as usize];
+                ls.stats.advance_occupancy(now, ls.queue.len_bytes());
+                let mut killed = Vec::new();
+                while let Some((p, _)) = ls.queue.take() {
+                    killed.push(p);
+                }
+                let f = ls.fault.as_deref_mut().expect("fault checked above");
+                f.stats.blackholed += killed.len() as u64;
+                for p in &killed {
+                    self.trace(TraceOp::Blackhole, Some(link_id), None, p);
+                }
+            }
+            Action::Nothing => {}
         }
     }
 }
@@ -425,6 +528,7 @@ impl Simulator {
                 busy: false,
                 stats: LinkStats::new(),
                 rolling: RollingUtil::new(UTIL_WINDOW),
+                fault: None,
             })
             .collect();
         let (queue, timers) = recycled_scheduler();
@@ -470,6 +574,51 @@ impl Simulator {
         self.agents.push(Some(agent));
         self.core.agent_nodes.push(node);
         id
+    }
+
+    /// Install a fault-injection [`ImpairmentPlan`] on `link`.
+    ///
+    /// All randomness — flap durations and the per-packet loss,
+    /// corruption, duplication, and reordering draws — comes from a
+    /// stream forked off `root` as `fork_indexed("faults/link", link)`,
+    /// so plans on different links are independent and the whole
+    /// impairment trace is bit-reproducible for any worker count.
+    /// Outage and flap edges are precomputed here and scheduled as
+    /// engine events.
+    ///
+    /// # Panics
+    /// Panics if the simulation has started or the link already has a
+    /// plan installed.
+    pub fn install_impairments(&mut self, link: LinkId, plan: ImpairmentPlan, root: &SeedRng) {
+        assert!(!self.started, "install impairments before the run starts");
+        let ls = &mut self.core.links[link.0 as usize];
+        assert!(
+            ls.fault.is_none(),
+            "{link} already has an impairment plan installed"
+        );
+        let rng = root.fork_indexed("faults/link", u64::from(link.0));
+        let (fault, edges) = LinkFault::new(plan, rng);
+        ls.fault = Some(Box::new(fault));
+        for (at, up) in edges {
+            self.core.schedule(at, Event::FaultEdge { link, up });
+        }
+    }
+
+    /// Per-link chaos-plane counters; all-zero when no plan is installed.
+    pub fn fault_stats(&self, link: LinkId) -> FaultStats {
+        self.core.links[link.0 as usize]
+            .fault
+            .as_deref()
+            .map(|f| f.stats)
+            .unwrap_or_default()
+    }
+
+    /// Whether `link` is currently up (always true without a plan).
+    pub fn link_is_up(&self, link: LinkId) -> bool {
+        self.core.links[link.0 as usize]
+            .fault
+            .as_deref()
+            .is_none_or(|f| f.up)
     }
 
     /// Current simulated time.
@@ -519,15 +668,26 @@ impl Simulator {
         }
         let mut queued = 0u64;
         let mut dropped = 0u64;
+        let mut corrupted = 0u64;
+        let mut duplicated = 0u64;
+        let mut blackholed = 0u64;
         for ls in &self.core.links {
             queued += ls.queue.len_packets() as u64;
             dropped += ls.stats.dropped;
+            if let Some(f) = ls.fault.as_deref() {
+                corrupted += f.stats.corrupted;
+                duplicated += f.stats.duplicated;
+                blackholed += f.stats.blackholed;
+            }
         }
         PacketCensus {
             injected: self.core.next_packet_id,
             delivered: self.core.delivered,
             dropped,
             undeliverable: self.core.undeliverable,
+            corrupted,
+            duplicated,
+            blackholed,
             queued,
             in_flight,
         }
@@ -643,6 +803,10 @@ impl Simulator {
                         self.core.skipped_stale += 1;
                     }
                 }
+                Event::FaultEdge { link, up } => {
+                    self.core.events_fired += 1;
+                    self.core.on_fault_edge(link, up);
+                }
             }
         }
         // Advance the clock to the deadline so utilization denominators and
@@ -666,9 +830,10 @@ impl Simulator {
 /// Where every packet the simulation ever created currently is.
 ///
 /// Taken with [`Simulator::packet_census`]. A packet is *injected* when an
-/// agent calls [`Ctx::send`]; from then on it is in exactly one of the
-/// other five states, so [`PacketCensus::conserved`] must hold at every
-/// instant — it is the engine's bookkeeping invariant.
+/// agent calls [`Ctx::send`] (or *duplicated* into existence by the fault
+/// plane); from then on it is in exactly one terminal or transient state,
+/// so [`PacketCensus::conserved`] must hold at every instant — it is the
+/// engine's bookkeeping invariant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PacketCensus {
     /// Packets created via [`Ctx::send`].
@@ -679,6 +844,15 @@ pub struct PacketCensus {
     pub dropped: u64,
     /// Packets that hit a routing dead-end or an unbound port.
     pub undeliverable: u64,
+    /// Packets corrupted in transit by the fault plane and discarded at
+    /// the link egress, as a failed checksum would be.
+    pub corrupted: u64,
+    /// Extra packet copies created by fault-plane duplication; each one
+    /// also shows up downstream as delivered/dropped/… like an injection.
+    pub duplicated: u64,
+    /// Packets destroyed by the fault plane: killed by a downed link
+    /// (arriving, queued, or mid-serialization) or by random loss.
+    pub blackholed: u64,
     /// Packets sitting in link queues right now.
     pub queued: u64,
     /// Packets serializing on a link or propagating toward a node
@@ -692,11 +866,22 @@ impl PacketCensus {
         self.queued + self.in_flight
     }
 
-    /// The conservation invariant:
-    /// `injected == delivered + dropped + undeliverable + queued + in_flight`.
+    /// The conservation invariant, extended for the fault plane:
+    /// `injected + duplicated == delivered + dropped + undeliverable
+    ///  + corrupted + blackholed + queued + in_flight`.
+    ///
+    /// Duplication mints a packet copy mid-network, so copies join the
+    /// injected side of the ledger; with no impairments installed every
+    /// fault term is zero and this reduces to the original law.
     pub fn conserved(&self) -> bool {
-        self.injected
-            == self.delivered + self.dropped + self.undeliverable + self.queued + self.in_flight
+        self.injected + self.duplicated
+            == self.delivered
+                + self.dropped
+                + self.undeliverable
+                + self.corrupted
+                + self.blackholed
+                + self.queued
+                + self.in_flight
     }
 }
 

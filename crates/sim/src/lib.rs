@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod faults;
 pub mod packet;
 pub mod queue;
 pub mod sched;
@@ -51,7 +52,12 @@ pub mod trace;
 
 /// The types almost every consumer needs.
 pub mod prelude {
-    pub use crate::engine::{packet_to, Agent, Ctx, SchedStats, Simulator, TimerHandle};
+    pub use crate::engine::{
+        packet_to, Agent, Ctx, PacketCensus, SchedStats, Simulator, TimerHandle,
+    };
+    pub use crate::faults::{
+        DownPolicy, FaultStats, Flapping, ImpairmentPlan, LossModel, OutageWindow, Reordering,
+    };
     pub use crate::packet::{wire, AgentId, Flags, FlowId, LinkId, NodeId, Packet};
     pub use crate::queue::{Capacity, LinkQueue};
     pub use crate::stats::{Ewma, LinkStats, OnlineStats};

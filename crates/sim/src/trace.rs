@@ -22,6 +22,12 @@ pub enum TraceOp {
     Transmit,
     /// Packet delivered to its destination node.
     Deliver,
+    /// Packet destroyed by the fault plane (down link or random loss).
+    Blackhole,
+    /// Packet corrupted in transit and discarded at the link egress.
+    Corrupt,
+    /// An extra copy of the packet was created by the fault plane.
+    Duplicate,
 }
 
 /// A traced event.
@@ -155,6 +161,9 @@ impl Tracer for TraceWriter {
             TraceOp::Drop => 'd',
             TraceOp::Transmit => '-',
             TraceOp::Deliver => 'r',
+            TraceOp::Blackhole => 'x',
+            TraceOp::Corrupt => 'c',
+            TraceOp::Duplicate => '2',
         };
         let place = match (ev.link, ev.node) {
             (Some(l), _) => format!("{l}"),

@@ -1,0 +1,340 @@
+//! Integration tests: the chaos plane wired through the engine.
+//!
+//! Each impairment type is exercised end to end on a real simulator and
+//! the extended packet-conservation law is asserted mid-run and at
+//! completion.
+
+use std::any::Any;
+
+use phi_sim::engine::{packet_to, Agent, Ctx, Simulator};
+use phi_sim::faults::{DownPolicy, ImpairmentPlan, LossModel};
+use phi_sim::packet::{FlowId, LinkId, NodeId, Packet};
+use phi_sim::queue::Capacity;
+use phi_sim::time::{Dur, Time};
+use phi_sim::topology::{Topology, TopologyBuilder};
+use phi_workload::SeedRng;
+
+/// Sends `count` packets of `size` bytes to a peer, spaced by `gap`.
+struct Blaster {
+    peer: NodeId,
+    count: u32,
+    size: u32,
+    gap: Dur,
+    sent: u32,
+}
+
+impl Agent for Blaster {
+    fn start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer_after(Dur::ZERO, 0);
+    }
+    fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
+    fn on_timer(&mut self, _token: u64, ctx: &mut Ctx<'_>) {
+        if self.sent < self.count {
+            let mut p = packet_to(self.peer, 2, 1, FlowId(1), self.size);
+            p.seq = u64::from(self.sent);
+            ctx.send(p);
+            self.sent += 1;
+            ctx.set_timer_after(self.gap, 0);
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Records every packet it receives with its arrival time.
+#[derive(Default)]
+struct Sink {
+    received: Vec<(u64, Time)>,
+}
+
+impl Agent for Sink {
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        self.received.push((pkt.seq, ctx.now()));
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn two_nodes(cap: Capacity) -> (Topology, NodeId, NodeId) {
+    let mut b = TopologyBuilder::new();
+    let a = b.add_node();
+    let z = b.add_node();
+    b.add_duplex(a, z, 1_000_000, Dur::from_millis(2), cap);
+    (b.build(), a, z)
+}
+
+/// Build a sim with one blaster (a -> z) and a sink, install `plan` on
+/// link 0, run to completion, and return it with the sink's agent id.
+fn run_plan(
+    plan: ImpairmentPlan,
+    count: u32,
+    gap: Dur,
+    cap: Capacity,
+    seed: u64,
+) -> (Simulator, Vec<(u64, Time)>) {
+    let (t, a, z) = two_nodes(cap);
+    let mut sim = Simulator::new(t);
+    sim.install_impairments(LinkId(0), plan, &SeedRng::new(seed));
+    sim.add_agent(
+        a,
+        1,
+        Box::new(Blaster {
+            peer: z,
+            count,
+            size: 1000,
+            gap,
+            sent: 0,
+        }),
+    );
+    let sink = sim.add_agent(z, 2, Box::<Sink>::default());
+    sim.run_to_completion();
+    let received = sim.agent_as::<Sink>(sink).unwrap().received.clone();
+    (sim, received)
+}
+
+#[test]
+fn outage_with_drop_policy_blackholes_mid_window() {
+    // 1 packet per 10 ms for 1 s; outage covers 300..600 ms.
+    let plan = ImpairmentPlan::new().outage(Time::from_millis(300), Time::from_millis(600));
+    let (sim, received) = run_plan(plan, 100, Dur::from_millis(10), Capacity::Packets(1000), 1);
+    let fs = sim.fault_stats(LinkId(0));
+    assert!(fs.blackholed > 20, "outage should eat ~30 packets: {fs:?}");
+    assert_eq!(fs.edges, 2);
+    let c = sim.packet_census();
+    assert!(c.conserved(), "{c:?}");
+    assert_eq!(c.blackholed, fs.blackholed);
+    assert_eq!(c.delivered + c.blackholed, 100);
+    // Nothing is delivered inside the outage window (+ propagation).
+    let window = Time::from_millis(302)..Time::from_millis(600);
+    assert!(received.iter().all(|&(_, at)| !window.contains(&at)));
+    assert!(sim.link_is_up(LinkId(0)));
+}
+
+#[test]
+fn outage_with_park_policy_delivers_everything_after_heal() {
+    // Link is down from t=0; all packets park in the queue and drain
+    // after the healing edge.
+    let plan = ImpairmentPlan::new()
+        .outage(Time::ZERO, Time::from_millis(500))
+        .down_policy(DownPolicy::Park);
+    let (sim, received) = run_plan(plan, 20, Dur::from_millis(1), Capacity::Packets(1000), 2);
+    assert_eq!(received.len(), 20, "parked packets must survive the outage");
+    let fs = sim.fault_stats(LinkId(0));
+    assert_eq!(fs.blackholed, 0);
+    assert!(
+        received.iter().all(|&(_, at)| at >= Time::from_millis(500)),
+        "nothing can arrive while the link is down"
+    );
+    // FIFO order preserved through the parking episode.
+    assert!(received.windows(2).all(|w| w[0].0 < w[1].0));
+    let c = sim.packet_census();
+    assert!(c.conserved(), "{c:?}");
+    assert_eq!(c.delivered, 20);
+}
+
+#[test]
+fn link_is_up_tracks_the_outage_window() {
+    let plan = ImpairmentPlan::new().outage(Time::from_millis(300), Time::from_millis(600));
+    let (t, a, z) = two_nodes(Capacity::Packets(100));
+    let mut sim = Simulator::new(t);
+    sim.install_impairments(LinkId(0), plan, &SeedRng::new(3));
+    sim.add_agent(
+        a,
+        1,
+        Box::new(Blaster {
+            peer: z,
+            count: 50,
+            size: 1000,
+            gap: Dur::from_millis(10),
+            sent: 0,
+        }),
+    );
+    sim.add_agent(z, 2, Box::<Sink>::default());
+    assert!(sim.link_is_up(LinkId(0)));
+    sim.run_until(Time::from_millis(400));
+    assert!(!sim.link_is_up(LinkId(0)), "mid-window the link is down");
+    let mid = sim.packet_census();
+    assert!(mid.conserved(), "mid-run: {mid:?}");
+    sim.run_to_completion();
+    assert!(sim.link_is_up(LinkId(0)));
+}
+
+#[test]
+fn bernoulli_loss_thins_the_stream() {
+    let plan = ImpairmentPlan::new().loss(LossModel::Bernoulli { p: 0.3 });
+    let (sim, received) = run_plan(plan, 500, Dur::from_millis(1), Capacity::Packets(1000), 4);
+    let c = sim.packet_census();
+    assert!(c.conserved(), "{c:?}");
+    assert!(c.blackholed > 100, "expected ~150 losses: {c:?}");
+    assert_eq!(c.delivered + c.blackholed, 500);
+    assert_eq!(received.len() as u64, c.delivered);
+}
+
+#[test]
+fn gilbert_elliott_loss_closes_census() {
+    let plan = ImpairmentPlan::new().loss(LossModel::GilbertElliott {
+        p_enter_bad: 0.02,
+        p_exit_bad: 0.1,
+        good_loss: 0.001,
+        bad_loss: 0.7,
+    });
+    let (sim, _) = run_plan(
+        plan,
+        1000,
+        Dur::from_micros(500),
+        Capacity::Packets(1000),
+        5,
+    );
+    let c = sim.packet_census();
+    assert!(c.conserved(), "{c:?}");
+    assert!(c.blackholed > 0, "GE channel never dropped: {c:?}");
+}
+
+#[test]
+fn certain_corruption_discards_everything() {
+    let plan = ImpairmentPlan::new().corrupt(1.0);
+    let (sim, received) = run_plan(plan, 50, Dur::from_millis(1), Capacity::Packets(100), 6);
+    assert!(received.is_empty());
+    let c = sim.packet_census();
+    assert!(c.conserved(), "{c:?}");
+    assert_eq!(c.corrupted, 50);
+    assert_eq!(c.delivered, 0);
+}
+
+#[test]
+fn certain_duplication_doubles_delivery() {
+    let plan = ImpairmentPlan::new().duplicate(1.0);
+    let (sim, received) = run_plan(plan, 50, Dur::from_millis(1), Capacity::Packets(100), 7);
+    assert_eq!(received.len(), 100, "every packet must arrive twice");
+    let c = sim.packet_census();
+    assert!(c.conserved(), "{c:?}");
+    assert_eq!(c.duplicated, 50);
+    assert_eq!(c.delivered, 100);
+    assert_eq!(c.injected, 50);
+}
+
+#[test]
+fn reordering_inverts_arrival_order_but_loses_nothing() {
+    // Extra delay up to 20 ms against a 1 ms sending gap: heavy
+    // reordering, zero loss.
+    let plan = ImpairmentPlan::new().reorder(0.5, Dur::from_millis(20));
+    let (sim, received) = run_plan(plan, 200, Dur::from_millis(1), Capacity::Packets(1000), 8);
+    assert_eq!(received.len(), 200, "reordering must not lose packets");
+    let inversions = received.windows(2).filter(|w| w[1].0 < w[0].0).count();
+    assert!(inversions > 10, "expected reordering, got {inversions}");
+    let c = sim.packet_census();
+    assert!(c.conserved(), "{c:?}");
+    assert_eq!(c.delivered, 200);
+}
+
+#[test]
+fn flapping_runs_are_bit_identical_per_seed() {
+    let plan = || {
+        ImpairmentPlan::new()
+            .flap(
+                Time::from_millis(100),
+                Time::from_millis(900),
+                Dur::from_millis(40),
+                Dur::from_millis(60),
+            )
+            .loss(LossModel::Bernoulli { p: 0.05 })
+            .duplicate(0.02)
+            .corrupt(0.02)
+            .reorder(0.1, Dur::from_millis(5))
+    };
+    let run = |seed| {
+        run_plan(
+            plan(),
+            300,
+            Dur::from_millis(2),
+            Capacity::Packets(500),
+            seed,
+        )
+    };
+    let (sim_a, recv_a) = run(42);
+    let (sim_b, recv_b) = run(42);
+    assert_eq!(recv_a, recv_b, "same seed must reproduce bit-identically");
+    assert_eq!(sim_a.packet_census(), sim_b.packet_census());
+    assert_eq!(sim_a.fault_stats(LinkId(0)), sim_b.fault_stats(LinkId(0)));
+    assert!(sim_a.packet_census().conserved());
+    assert!(
+        sim_a.fault_stats(LinkId(0)).edges >= 4,
+        "link never flapped"
+    );
+    // A different seed must actually change the impairment trace.
+    let (_, recv_c) = run(43);
+    assert_ne!(recv_a, recv_c, "different seed, same trace — rng not wired");
+}
+
+#[test]
+fn combined_impairments_close_the_census_mid_run() {
+    let plan = ImpairmentPlan::new()
+        .outage(Time::from_millis(50), Time::from_millis(120))
+        .loss(LossModel::Bernoulli { p: 0.1 })
+        .duplicate(0.1)
+        .corrupt(0.1)
+        .reorder(0.3, Dur::from_millis(10));
+    let (t, a, z) = two_nodes(Capacity::Packets(5));
+    let mut sim = Simulator::new(t);
+    sim.install_impairments(LinkId(0), plan, &SeedRng::new(9));
+    sim.add_agent(
+        a,
+        1,
+        Box::new(Blaster {
+            peer: z,
+            count: 400,
+            size: 1000,
+            gap: Dur::from_micros(700),
+            sent: 0,
+        }),
+    );
+    sim.add_agent(z, 2, Box::<Sink>::default());
+    // Census must close at arbitrary stopping points, not just at the end.
+    for ms in [30, 60, 110, 200, 350] {
+        sim.run_until(Time::from_millis(ms));
+        let c = sim.packet_census();
+        assert!(c.conserved(), "t={ms}ms: {c:?}");
+    }
+    sim.run_to_completion();
+    let c = sim.packet_census();
+    assert!(c.conserved(), "{c:?}");
+    assert_eq!(c.queued + c.in_flight, 0, "packets stuck: {c:?}");
+    // Every impairment type actually fired in this run.
+    assert!(
+        c.blackholed > 0 && c.corrupted > 0 && c.duplicated > 0,
+        "{c:?}"
+    );
+    assert!(c.dropped > 0, "tiny queue must also drop normally: {c:?}");
+    let s = sim.sched_stats();
+    assert!(s.conserved(), "{s:?}");
+}
+
+#[test]
+fn installing_after_start_panics() {
+    let (t, a, z) = two_nodes(Capacity::Packets(10));
+    let mut sim = Simulator::new(t);
+    sim.add_agent(
+        a,
+        1,
+        Box::new(Blaster {
+            peer: z,
+            count: 1,
+            size: 100,
+            gap: Dur::ZERO,
+            sent: 0,
+        }),
+    );
+    sim.run_to_completion();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        sim.install_impairments(LinkId(0), ImpairmentPlan::new(), &SeedRng::new(1));
+    }));
+    assert!(result.is_err(), "late install must panic");
+}

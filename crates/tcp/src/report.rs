@@ -37,6 +37,14 @@ pub struct FlowReport {
     pub timeouts: u64,
     /// Fast-recovery episodes (triple-duplicate-ACK losses).
     pub recoveries: u64,
+    /// True if the sender gave up on this flow after hitting its
+    /// consecutive-RTO cap (the path was unreachable); `bytes` then
+    /// reflects what was delivered before the abort.
+    pub aborted: bool,
+    /// Times the connection resumed making progress after two or more
+    /// consecutive RTO backoffs — i.e. the path healed and the sender
+    /// restarted from idle instead of aborting.
+    pub idle_restarts: u64,
 }
 
 impl FlowReport {
@@ -74,8 +82,10 @@ pub struct RunMetrics {
     pub mean_rtt_ms: f64,
     /// Bottleneck utilization over the run, fraction in [0, 1].
     pub utilization: f64,
-    /// Completed connections.
+    /// Completed connections (aborted flows are excluded).
     pub flows_completed: u64,
+    /// Flows the sender aborted after exhausting its RTO budget.
+    pub flows_aborted: u64,
     /// Total bytes delivered by completed connections.
     pub bytes: u64,
 }
@@ -95,7 +105,15 @@ impl RunMetrics {
         let mut tput = OnlineStats::new();
         let mut rtt = OnlineStats::new();
         let mut bytes = 0u64;
+        let mut aborted = 0u64;
         for r in reports {
+            // Aborted flows died on an unreachable path; their (mostly
+            // zero) throughput would poison the mean the paper plots, so
+            // they are counted separately and excluded from the averages.
+            if r.aborted {
+                aborted += 1;
+                continue;
+            }
             if r.duration().is_zero() {
                 continue;
             }
@@ -111,7 +129,8 @@ impl RunMetrics {
             loss_rate,
             mean_rtt_ms: rtt.mean(),
             utilization,
-            flows_completed: reports.len() as u64,
+            flows_completed: reports.len() as u64 - aborted,
+            flows_aborted: aborted,
             bytes,
         }
     }
@@ -128,6 +147,8 @@ impl RunMetrics {
             utilization: runs.iter().map(|r| r.utilization).sum::<f64>() / n,
             flows_completed: (runs.iter().map(|r| r.flows_completed).sum::<u64>() as f64 / n)
                 .round() as u64,
+            flows_aborted: (runs.iter().map(|r| r.flows_aborted).sum::<u64>() as f64 / n).round()
+                as u64,
             bytes: (runs.iter().map(|r| r.bytes).sum::<u64>() as f64 / n).round() as u64,
         }
     }
@@ -150,6 +171,8 @@ mod tests {
             retransmits: 0,
             timeouts: 0,
             recoveries: 0,
+            aborted: false,
+            idle_restarts: 0,
         }
     }
 
@@ -188,6 +211,7 @@ mod tests {
             mean_rtt_ms: 150.0,
             utilization: 0.4,
             flows_completed: 10,
+            flows_aborted: 2,
             bytes: 100,
         };
         let b = RunMetrics {
@@ -197,6 +221,7 @@ mod tests {
             mean_rtt_ms: 170.0,
             utilization: 0.6,
             flows_completed: 20,
+            flows_aborted: 4,
             bytes: 300,
         };
         let m = RunMetrics::mean_of(&[a, b]);
@@ -204,6 +229,20 @@ mod tests {
         assert!((m.queueing_delay_ms - 15.0).abs() < 1e-12);
         assert!((m.loss_rate - 0.01).abs() < 1e-12);
         assert_eq!(m.flows_completed, 15);
+        assert_eq!(m.flows_aborted, 3);
+    }
+
+    #[test]
+    fn aborted_flows_excluded_from_throughput_mean() {
+        let healthy = report(1_000_000, 2, 160.0); // 4 Mbit/s
+        let mut dead = report(2_000, 40, 0.0); // crawled, then died
+        dead.aborted = true;
+        dead.rtt_samples = 0;
+        let m = RunMetrics::from_reports(&[healthy, dead], 0.0, 0.0, 0.5);
+        assert!((m.throughput_mbps - 4.0).abs() < 1e-9, "{m:?}");
+        assert_eq!(m.flows_completed, 1);
+        assert_eq!(m.flows_aborted, 1);
+        assert_eq!(m.bytes, 1_000_000, "aborted bytes excluded from total");
     }
 
     #[test]

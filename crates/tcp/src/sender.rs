@@ -52,6 +52,12 @@ pub struct SenderConfig {
     pub min_rto: Dur,
     /// Upper bound on the retransmission timeout.
     pub max_rto: Dur,
+    /// Abort the flow after this many *consecutive* RTO expirations with
+    /// no forward progress (`None` = retry forever, classic behavior).
+    /// With backoff capped at `max_rto`, a permanently blackholed path
+    /// otherwise spins silently; the cap makes the flow die loudly with
+    /// an `aborted` verdict in its [`FlowReport`].
+    pub max_consecutive_rtos: Option<u32>,
     /// Stop after this many completed flows (`None` = run forever).
     pub max_flows: Option<u64>,
     /// Base for flow ids; successive flows get base, base+1, …
@@ -68,6 +74,7 @@ impl SenderConfig {
             dupack_threshold: 3,
             min_rto: Dur::from_millis(200),
             max_rto: Dur::from_secs(60),
+            max_consecutive_rtos: None,
             max_flows: None,
             flow_id_base: 0,
         }
@@ -131,6 +138,13 @@ struct Conn {
     retransmits: u64,
     timeouts: u64,
     recoveries: u64,
+    /// RTO expirations since the last cumulative advance; compared
+    /// against `SenderConfig::max_consecutive_rtos` for the abort verdict
+    /// and reset to zero whenever the flow makes forward progress.
+    consecutive_rtos: u32,
+    /// Recoveries from an RTO-backoff spiral: the path healed and an ACK
+    /// advanced the flow after >= 2 consecutive timeouts.
+    idle_restarts: u64,
     // Pacing.
     pace_next: Time,
     pace_pending: bool,
@@ -384,7 +398,22 @@ impl TcpSender {
             retransmits: conn.retransmits,
             timeouts: conn.timeouts,
             recoveries: conn.recoveries,
+            aborted: false,
+            idle_restarts: conn.idle_restarts,
         })
+    }
+
+    /// The in-progress connection's current RTO, if a flow is active.
+    /// Under a persistent blackhole this exposes the exponential backoff
+    /// saturating at [`SenderConfig::max_rto`].
+    pub fn current_rto(&self) -> Option<Dur> {
+        self.conn.as_ref().map(|c| c.rto)
+    }
+
+    /// Consecutive RTO expirations without forward progress on the
+    /// in-progress connection (zero when idle or progressing).
+    pub fn consecutive_rtos(&self) -> u32 {
+        self.conn.as_ref().map_or(0, |c| c.consecutive_rtos)
     }
 
     fn schedule_next_flow(&mut self, ctx: &mut Ctx<'_>) {
@@ -437,6 +466,8 @@ impl TcpSender {
             retransmits: 0,
             timeouts: 0,
             recoveries: 0,
+            consecutive_rtos: 0,
+            idle_restarts: 0,
             pace_next: now,
             pace_pending: false,
             pace_handle: None,
@@ -469,6 +500,50 @@ impl TcpSender {
             retransmits: conn.retransmits,
             timeouts: conn.timeouts,
             recoveries: conn.recoveries,
+            aborted: false,
+            idle_restarts: conn.idle_restarts,
+        };
+        self.hook.report(&report, ctx);
+        self.reports.push(report);
+        self.schedule_next_flow(ctx);
+    }
+
+    /// Give up on the in-progress flow: the consecutive-RTO cap was hit,
+    /// so the path is treated as unreachable. The flow dies loudly — an
+    /// `aborted` report carrying the bytes delivered before the failure —
+    /// and the sender moves on to its next scheduled flow, which doubles
+    /// as the retry path once the network heals.
+    fn abort_flow(&mut self, ctx: &mut Ctx<'_>) {
+        let conn = self.conn.take().expect("abort_flow with no connection");
+        if let Some((h, _)) = self.rto_armed.take() {
+            ctx.cancel_timer(h);
+        }
+        if let Some(h) = conn.pace_handle {
+            ctx.cancel_timer(h);
+        }
+        let acked_bytes = if conn.highest_acked >= conn.total {
+            conn.bytes
+        } else {
+            (conn.highest_acked * u64::from(wire::MSS)).min(conn.bytes)
+        };
+        let report = FlowReport {
+            flow: conn.flow,
+            bytes: acked_bytes,
+            segments: conn.highest_acked,
+            start: conn.start,
+            end: ctx.now(),
+            min_rtt: conn.min_rtt,
+            mean_rtt_ms: if conn.rtt_samples > 0 {
+                conn.rtt_sum_ms / conn.rtt_samples as f64
+            } else {
+                0.0
+            },
+            rtt_samples: conn.rtt_samples,
+            retransmits: conn.retransmits,
+            timeouts: conn.timeouts,
+            recoveries: conn.recoveries,
+            aborted: true,
+            idle_restarts: conn.idle_restarts,
         };
         self.hook.report(&report, ctx);
         self.reports.push(report);
@@ -636,6 +711,16 @@ impl TcpSender {
             let newly = pkt.ack - conn.highest_acked;
             conn.highest_acked = pkt.ack;
             conn.dup_acks = 0;
+            // Forward progress ends any RTO-backoff spiral. Two or more
+            // consecutive timeouts mean the path was dead for a while and
+            // healed: count an idle restart (the window was already
+            // collapsed by `on_rto`, and `restart_rto` below re-derives
+            // the RTO from the surviving RTT state instead of the
+            // backed-off value).
+            if conn.consecutive_rtos >= 2 {
+                conn.idle_restarts += 1;
+            }
+            conn.consecutive_rtos = 0;
             conn.advance_cumack(pkt.ack);
 
             // Karn's rule: only sample RTT for segments never retransmitted.
@@ -727,6 +812,17 @@ impl TcpSender {
             return;
         }
         conn.timeouts += 1;
+        conn.consecutive_rtos += 1;
+        // The abort verdict: N consecutive timeouts with zero progress
+        // while backoff sits at max_rto means the path is unreachable.
+        if self
+            .cfg
+            .max_consecutive_rtos
+            .is_some_and(|cap| conn.consecutive_rtos >= cap)
+        {
+            self.abort_flow(ctx);
+            return;
+        }
         conn.cc.on_rto(now);
         conn.dup_acks = 0;
         conn.recovery = None;
@@ -992,6 +1088,139 @@ mod tests {
         // Roughly link rate over the window.
         let mbps = p.throughput_bps() / 1e6;
         assert!(mbps > 3.0 && mbps <= 5.2, "partial throughput {mbps}");
+    }
+
+    /// Like `pair_sim`, but with an impairment plan installed on the
+    /// forward (data) link and a consecutive-RTO abort cap on the sender.
+    fn faulty_pair(
+        plan: phi_sim::faults::ImpairmentPlan,
+        max_consecutive_rtos: Option<u32>,
+        max_rto: Dur,
+        bytes: f64,
+    ) -> (Simulator, phi_sim::packet::AgentId) {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_node();
+        let z = b.add_node();
+        let (fwd, _rev) = b.add_duplex(
+            a,
+            z,
+            2_000_000,
+            Dur::from_millis(20),
+            Capacity::Packets(100),
+        );
+        let mut sim = Simulator::new(b.build());
+        sim.install_impairments(fwd, plan, &SeedRng::new(77));
+        let mut cfg = SenderConfig::new(z, 80, 10);
+        cfg.max_flows = Some(1);
+        cfg.max_rto = max_rto;
+        cfg.max_consecutive_rtos = max_consecutive_rtos;
+        let source = OnOffSource::new(
+            OnOffConfig {
+                mean_on_bytes: bytes,
+                mean_off_secs: 0.01,
+                deterministic: true,
+            },
+            SeedRng::new(1),
+        );
+        let s = sim.add_agent(
+            a,
+            10,
+            Box::new(TcpSender::new(
+                cfg,
+                source,
+                Box::new(|_| Box::new(Cubic::new(CubicParams::default()))),
+                Box::new(NoHook),
+            )),
+        );
+        sim.add_agent(z, 80, Box::new(TcpReceiver::new()));
+        (sim, s)
+    }
+
+    /// A permanent blackhole in mid-transfer.
+    fn blackhole_plan() -> phi_sim::faults::ImpairmentPlan {
+        phi_sim::faults::ImpairmentPlan::new()
+            .outage(Time::from_millis(100), Time::from_secs(100_000))
+    }
+
+    #[test]
+    fn permanent_blackhole_pins_rto_at_max_then_aborts() {
+        let max_rto = Dur::from_secs(2);
+        let (mut sim, s) = faulty_pair(blackhole_plan(), Some(6), max_rto, 500_000.0);
+        // Mid-spiral: backoff must have saturated at max_rto with several
+        // consecutive timeouts on the books, flow still alive.
+        sim.run_until(Time::from_secs(4));
+        let sender = sim.agent_as::<TcpSender>(s).unwrap();
+        assert!(
+            sender.consecutive_rtos() >= 3,
+            "expected an RTO spiral, got {}",
+            sender.consecutive_rtos()
+        );
+        assert_eq!(
+            sender.current_rto(),
+            Some(max_rto),
+            "backoff must pin at max_rto"
+        );
+        assert!(sender.reports().is_empty(), "no verdict before the cap");
+
+        sim.run_until(Time::from_secs(60));
+        let sender = sim.agent_as::<TcpSender>(s).unwrap();
+        assert_eq!(sender.reports().len(), 1, "the flow must die loudly");
+        let r = &sender.reports()[0];
+        assert!(r.aborted, "verdict must be an abort: {r:?}");
+        assert_eq!(r.timeouts, 6, "abort exactly at the cap");
+        assert_eq!(r.idle_restarts, 0);
+        assert!(r.bytes > 0, "pre-outage progress is reported");
+        assert!(r.bytes < 500_000, "the transfer cannot have finished");
+        assert!(sender.is_done());
+        assert!(sender.current_rto().is_none(), "no connection after abort");
+    }
+
+    #[test]
+    fn abort_is_deterministic() {
+        let run = || {
+            let (mut sim, s) = faulty_pair(blackhole_plan(), Some(5), Dur::from_secs(1), 500_000.0);
+            sim.run_until(Time::from_secs(60));
+            let sender = sim.agent_as::<TcpSender>(s).unwrap();
+            let r = &sender.reports()[0];
+            (r.end, r.bytes, r.timeouts, sim.events_processed())
+        };
+        let first = run();
+        assert_eq!(run(), first);
+        assert_eq!(first.2, 5);
+    }
+
+    #[test]
+    fn heal_before_cap_triggers_idle_restart_and_completion() {
+        // Outage 100 ms..2 s, cap of 10: the spiral reaches 3-4 timeouts,
+        // then the healed link lets the pending go-back-N retransmission
+        // through and the transfer completes normally.
+        let plan = phi_sim::faults::ImpairmentPlan::new()
+            .outage(Time::from_millis(100), Time::from_secs(2));
+        let (mut sim, s) = faulty_pair(plan, Some(10), Dur::from_secs(2), 200_000.0);
+        sim.run_until(Time::from_secs(120));
+        let sender = sim.agent_as::<TcpSender>(s).unwrap();
+        assert!(sender.is_done(), "transfer must complete after the heal");
+        let r = &sender.reports()[0];
+        assert!(!r.aborted, "heal must beat the abort cap: {r:?}");
+        assert_eq!(r.bytes, 200_000);
+        assert!(r.timeouts >= 2, "the outage must have cost timeouts: {r:?}");
+        assert!(
+            r.idle_restarts >= 1,
+            "recovery after >= 2 consecutive RTOs is an idle restart: {r:?}"
+        );
+    }
+
+    #[test]
+    fn no_cap_means_classic_spin_forever() {
+        // Without the cap the sender never gives up: same blackhole, no
+        // report, connection still alive with rto pinned at max.
+        let (mut sim, s) = faulty_pair(blackhole_plan(), None, Dur::from_secs(1), 500_000.0);
+        sim.run_until(Time::from_secs(60));
+        let sender = sim.agent_as::<TcpSender>(s).unwrap();
+        assert!(sender.reports().is_empty());
+        assert!(!sender.is_done());
+        assert_eq!(sender.current_rto(), Some(Dur::from_secs(1)));
+        assert!(sender.consecutive_rtos() > 10);
     }
 
     #[test]

@@ -45,26 +45,64 @@ impl Bucket {
 }
 
 /// The collector.
+///
+/// An unbounded collector ([`Collector::new`]) keeps every bucket and
+/// flow key it sees. A production collector cannot: [`Collector::bounded`]
+/// caps both the number of buckets and the distinct flows per bucket, and
+/// records that fall outside the caps are counted in
+/// [`Collector::dropped_records`] rather than silently vanishing — the
+/// diagnosis pipeline needs to know its input was thinned.
 #[derive(Debug, Default)]
 pub struct Collector {
     buckets: HashMap<BucketId, Bucket>,
     records: u64,
+    dropped: u64,
+    max_buckets: Option<usize>,
+    max_flows_per_bucket: Option<usize>,
 }
 
 impl Collector {
-    /// An empty collector.
+    /// An empty, unbounded collector.
     pub fn new() -> Self {
         Collector::default()
     }
 
+    /// An empty collector with explicit memory bounds: at most
+    /// `max_buckets` spatio-temporal buckets and `max_flows_per_bucket`
+    /// distinct flow keys per bucket.
+    pub fn bounded(max_buckets: usize, max_flows_per_bucket: usize) -> Self {
+        assert!(max_buckets > 0 && max_flows_per_bucket > 0);
+        Collector {
+            max_buckets: Some(max_buckets),
+            max_flows_per_bucket: Some(max_flows_per_bucket),
+            ..Collector::default()
+        }
+    }
+
     /// Ingest one exported record.
     pub fn ingest(&mut self, record: &IpfixRecord) {
-        self.records += 1;
         let id = BucketId {
             subnet: record.key.dst_subnet(),
             minute: record.ts_ms / 60_000,
         };
+        if !self.buckets.contains_key(&id)
+            && self
+                .max_buckets
+                .is_some_and(|cap| self.buckets.len() >= cap)
+        {
+            self.dropped += 1;
+            return;
+        }
         let b = self.buckets.entry(id).or_default();
+        if !b.flows.contains(&record.key)
+            && self
+                .max_flows_per_bucket
+                .is_some_and(|cap| b.flows.len() >= cap)
+        {
+            self.dropped += 1;
+            return;
+        }
+        self.records += 1;
         b.flows.insert(record.key);
         b.packets += u64::from(record.packets);
         b.bytes += u64::from(record.bytes);
@@ -77,9 +115,16 @@ impl Collector {
         }
     }
 
-    /// Records ingested.
+    /// Records ingested (accepted).
     pub fn record_count(&self) -> u64 {
         self.records
+    }
+
+    /// Records rejected by the capacity bounds. Every offered record is
+    /// accounted for: `record_count() + dropped_records()` equals the
+    /// number of `ingest` calls.
+    pub fn dropped_records(&self) -> u64 {
+        self.dropped
     }
 
     /// Number of non-empty buckets.
@@ -152,6 +197,54 @@ mod tests {
         assert_eq!(b.packets, 3);
         assert_eq!(b.bytes, 4500);
         assert_eq!(c.record_count(), 3);
+    }
+
+    #[test]
+    fn bucket_cap_drops_new_buckets_but_feeds_old_ones() {
+        let mut c = Collector::bounded(2, 100);
+        let a = Ipv4Addr::new(93, 184, 1, 5);
+        let b = Ipv4Addr::new(93, 184, 2, 5);
+        let z = Ipv4Addr::new(93, 184, 3, 5);
+        c.ingest(&rec(a, 1, 0));
+        c.ingest(&rec(b, 1, 0));
+        c.ingest(&rec(z, 1, 0)); // third bucket: over the cap
+        c.ingest(&rec(a, 2, 0)); // existing bucket: still accepted
+        assert_eq!(c.bucket_count(), 2);
+        assert_eq!(c.record_count(), 3);
+        assert_eq!(c.dropped_records(), 1);
+    }
+
+    #[test]
+    fn flow_cap_drops_new_flows_but_counts_repeat_samples() {
+        let mut c = Collector::bounded(10, 2);
+        let dst = Ipv4Addr::new(93, 184, 1, 5);
+        c.ingest(&rec(dst, 1, 0));
+        c.ingest(&rec(dst, 2, 0));
+        c.ingest(&rec(dst, 3, 0)); // third distinct flow: dropped
+        c.ingest(&rec(dst, 1, 100)); // repeat sample of a kept flow: fine
+        let id = BucketId {
+            subnet: Subnet24::of(dst),
+            minute: 0,
+        };
+        let b = c.bucket(&id).unwrap();
+        assert_eq!(b.flow_count(), 2);
+        assert_eq!(b.packets, 3);
+        assert_eq!(c.record_count() + c.dropped_records(), 4);
+        assert_eq!(c.dropped_records(), 1);
+    }
+
+    #[test]
+    fn unbounded_collector_never_drops() {
+        let mut c = Collector::new();
+        for i in 0..500 {
+            c.ingest(&rec(
+                Ipv4Addr::new(93, 184, (i % 256) as u8, 5),
+                i as u16,
+                0,
+            ));
+        }
+        assert_eq!(c.dropped_records(), 0);
+        assert_eq!(c.record_count(), 500);
     }
 
     #[test]

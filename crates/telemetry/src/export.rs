@@ -8,6 +8,10 @@
 //! a small threaded TCP server feeding a shared [`crate::Collector`];
 //! like the context server, it stays runtime-agnostic (a provider has a
 //! handful of exporters, not millions).
+//!
+//! For simulation experiments that need the export path's loss semantics
+//! without its threads, [`LossyExporter`] is a deterministic in-process
+//! stand-in that still exercises the wire codec.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -199,29 +203,56 @@ fn handle_exporter(
 
 /// An exporter's connection to the collector: batches records and ships
 /// them with length-prefixed framing.
+///
+/// The staging buffer is explicitly bounded: a real exporter has finite
+/// memory, and when the collector cannot be reached fast enough the
+/// exporter sheds records rather than growing without bound. Shed records
+/// are counted in [`ExporterClient::dropped`].
 pub struct ExporterClient {
     stream: TcpStream,
     pending: Vec<IpfixRecord>,
     batch_size: usize,
+    capacity: usize,
     shipped: u64,
+    dropped: u64,
 }
 
 impl ExporterClient {
     /// Connect to a collector; records are shipped every `batch_size`.
+    /// The staging buffer holds up to [`MAX_BATCH`] records.
     pub fn connect(addr: impl ToSocketAddrs, batch_size: usize) -> std::io::Result<Self> {
+        Self::connect_bounded(addr, batch_size, MAX_BATCH)
+    }
+
+    /// Connect with an explicit staging-buffer bound: once `capacity`
+    /// records are pending, further submissions are dropped (and counted)
+    /// until a flush drains the buffer.
+    pub fn connect_bounded(
+        addr: impl ToSocketAddrs,
+        batch_size: usize,
+        capacity: usize,
+    ) -> std::io::Result<Self> {
         assert!((1..=MAX_BATCH).contains(&batch_size));
+        assert!(capacity >= 1);
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         Ok(ExporterClient {
             stream,
-            pending: Vec::with_capacity(batch_size),
+            pending: Vec::with_capacity(batch_size.min(capacity)),
             batch_size,
+            capacity,
             shipped: 0,
+            dropped: 0,
         })
     }
 
-    /// Queue one record; ships automatically when the batch fills.
+    /// Queue one record; ships automatically when the batch fills. A full
+    /// staging buffer sheds the record instead of growing.
     pub fn submit(&mut self, record: IpfixRecord) -> std::io::Result<()> {
+        if self.pending.len() >= self.capacity {
+            self.dropped += 1;
+            return Ok(());
+        }
         self.pending.push(record);
         if self.pending.len() >= self.batch_size {
             self.flush()?;
@@ -244,6 +275,91 @@ impl ExporterClient {
     }
 
     /// Records shipped so far.
+    pub fn shipped(&self) -> u64 {
+        self.shipped
+    }
+
+    /// Records shed because the staging buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// A deterministic, in-process exporter → collector path with loss.
+///
+/// The TCP transport above is real but non-deterministic (threads,
+/// timeouts). Simulation experiments need the *semantics* of a lossy
+/// export path — records sampled at a router may never reach the
+/// collector — reproducibly. `LossyExporter` models exactly that: each
+/// submitted record survives an independent Bernoulli draw from a forked
+/// [`phi_workload::SeedRng`] stream (transit loss), then a bounded staging buffer
+/// (memory pressure), and flushes traverse the real wire codec
+/// ([`encode_batch`]/[`decode_batch`]) into the collector. Same seed,
+/// same records → bit-identical collector state.
+pub struct LossyExporter {
+    rng: phi_workload::SeedRng,
+    loss_prob: f64,
+    capacity: usize,
+    pending: Vec<IpfixRecord>,
+    lost: u64,
+    dropped: u64,
+    shipped: u64,
+}
+
+impl LossyExporter {
+    /// A lossy exporter dropping each record with probability `loss_prob`,
+    /// staging at most `capacity` records between flushes.
+    pub fn new(capacity: usize, loss_prob: f64, rng: phi_workload::SeedRng) -> Self {
+        assert!(capacity >= 1);
+        assert!((0.0..=1.0).contains(&loss_prob));
+        LossyExporter {
+            rng,
+            loss_prob,
+            capacity,
+            pending: Vec::new(),
+            lost: 0,
+            dropped: 0,
+            shipped: 0,
+        }
+    }
+
+    /// Submit one record. It may be lost in transit (counted in
+    /// [`LossyExporter::lost`]) or shed by a full buffer (counted in
+    /// [`LossyExporter::dropped`]).
+    pub fn submit(&mut self, record: IpfixRecord) {
+        if self.rng.chance(self.loss_prob) {
+            self.lost += 1;
+            return;
+        }
+        if self.pending.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        self.pending.push(record);
+    }
+
+    /// Drain the staging buffer into `collector` through the wire codec.
+    pub fn flush_into(&mut self, collector: &mut Collector) {
+        for chunk in self.pending.chunks(MAX_BATCH) {
+            let wire = encode_batch(chunk).expect("chunked below MAX_BATCH");
+            let records = decode_batch(&wire).expect("codec round-trip");
+            collector.ingest_batch(&records);
+            self.shipped += records.len() as u64;
+        }
+        self.pending.clear();
+    }
+
+    /// Records lost in transit.
+    pub fn lost(&self) -> u64 {
+        self.lost
+    }
+
+    /// Records shed by the bounded staging buffer.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Records delivered to the collector.
     pub fn shipped(&self) -> u64 {
         self.shipped
     }
@@ -343,6 +459,70 @@ mod tests {
         }
         assert!(server.stats().errors.load(Ordering::Relaxed) >= 1);
         server.shutdown();
+    }
+
+    #[test]
+    fn bounded_exporter_sheds_over_capacity_and_accounts() {
+        let collector = shared_collector(Collector::new());
+        let server = CollectorServer::start("127.0.0.1:0", collector.clone()).expect("bind");
+        // Batch of 10 but room for only 3: records 4 and 5 are shed.
+        let mut e = ExporterClient::connect_bounded(server.addr(), 10, 3).expect("connect");
+        for i in 0..5 {
+            e.submit(rec(i)).expect("submit");
+        }
+        assert_eq!(e.dropped(), 2);
+        e.flush().expect("flush");
+        assert_eq!(e.shipped(), 3);
+        wait_for_records(&server, 3);
+        assert_eq!(collector.lock().expect("lock").record_count(), 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn lossy_exporter_accounts_for_every_record() {
+        let mut c = Collector::new();
+        let mut e = LossyExporter::new(64, 0.3, phi_workload::SeedRng::new(9));
+        for i in 0..1000 {
+            e.submit(rec(i));
+            if i % 50 == 49 {
+                e.flush_into(&mut c);
+            }
+        }
+        e.flush_into(&mut c);
+        assert_eq!(e.shipped() + e.lost() + e.dropped(), 1000);
+        assert!(e.lost() > 200 && e.lost() < 400, "lost {}", e.lost());
+        assert_eq!(c.record_count(), e.shipped());
+    }
+
+    #[test]
+    fn lossy_exporter_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut c = Collector::new();
+            let mut e = LossyExporter::new(16, 0.5, phi_workload::SeedRng::new(seed));
+            for i in 0..200 {
+                e.submit(rec(i));
+                if i % 16 == 15 {
+                    e.flush_into(&mut c);
+                }
+            }
+            e.flush_into(&mut c);
+            (e.shipped(), e.lost(), e.dropped(), c.record_count())
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3).1, run(4).1, "different seeds, different losses");
+    }
+
+    #[test]
+    fn lossy_exporter_sheds_when_buffer_fills() {
+        let mut c = Collector::new();
+        let mut e = LossyExporter::new(4, 0.0, phi_workload::SeedRng::new(1));
+        for i in 0..10 {
+            e.submit(rec(i)); // no flush: only 4 fit
+        }
+        assert_eq!(e.dropped(), 6);
+        e.flush_into(&mut c);
+        assert_eq!(e.shipped(), 4);
+        assert_eq!(c.record_count(), 4);
     }
 
     #[test]

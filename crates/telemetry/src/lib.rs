@@ -29,7 +29,9 @@ pub mod synth;
 pub use analysis::SharingCdf;
 pub use codec::{decode_batch, encode_batch, CodecError};
 pub use collector::{Bucket, BucketId, Collector};
-pub use export::{shared_collector, CollectorServer, ExporterClient, SharedCollector};
+pub use export::{
+    shared_collector, CollectorServer, ExporterClient, LossyExporter, SharedCollector,
+};
 pub use record::{FlowKey, IpfixRecord, Subnet24};
 pub use sampler::{Mode, Sampler, PAPER_RATE};
 pub use synth::{generate_flows, EgressConfig, SynthFlow};

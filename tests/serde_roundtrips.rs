@@ -82,11 +82,15 @@ fn reports_and_metrics_roundtrip() {
         retransmits: 3,
         timeouts: 1,
         recoveries: 2,
+        aborted: true,
+        idle_restarts: 4,
     };
     let back = roundtrip(&report);
     assert_eq!(back.bytes, report.bytes);
     assert_eq!(back.min_rtt, report.min_rtt);
     assert_eq!(back.duration(), report.duration());
+    assert!(back.aborted);
+    assert_eq!(back.idle_restarts, 4);
 
     let metrics = RunMetrics {
         throughput_mbps: 2.5,
@@ -95,10 +99,12 @@ fn reports_and_metrics_roundtrip() {
         mean_rtt_ms: 180.0,
         utilization: 0.7,
         flows_completed: 55,
+        flows_aborted: 3,
         bytes: 9_999,
     };
     let back = roundtrip(&metrics);
     assert_eq!(back.flows_completed, 55);
+    assert_eq!(back.flows_aborted, 3);
     assert!((back.throughput_mbps - 2.5).abs() < 1e-12);
 }
 
