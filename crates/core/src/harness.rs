@@ -21,6 +21,7 @@ use phi_workload::{OnOffConfig, OnOffSource, SeedRng};
 use serde::{Deserialize, Serialize};
 
 use crate::context::{ContextStore, PathKey, StoreConfig};
+use crate::crash::{HaHook, HaPlane, HaReport, HaSpec};
 use crate::hooks::{fault_counters, shared, FaultPlan, FaultyHook, PracticalHook, SharedStore};
 use crate::policy::PolicyTable;
 use crate::runpool::{derive_seed, RunPool};
@@ -57,6 +58,13 @@ pub struct ExperimentSpec {
     pub store: StoreConfig,
     /// Bottleneck queueing discipline.
     pub queue: BottleneckQueue,
+    /// Replicated context plane with deterministic server-crash
+    /// injection, for HA-provisioned senders. `None` (the default, and
+    /// what every pre-existing spec deserializes to) runs the classic
+    /// single shared store and draws nothing from the crash RNG stream,
+    /// so established run digests are untouched.
+    #[serde(default)]
+    pub ha: Option<HaSpec>,
 }
 
 impl ExperimentSpec {
@@ -76,6 +84,7 @@ impl ExperimentSpec {
             dupack_threshold: 3,
             store,
             queue: BottleneckQueue::DropTail,
+            ha: None,
         }
     }
 
@@ -100,6 +109,9 @@ pub struct ProvisionCtx<'a> {
     /// the workload streams) for stochastic provisioning such as fault
     /// injection. Fork it further by label before drawing.
     pub rng: SeedRng,
+    /// The run's replicated crash-injected context plane, when the spec
+    /// carries an [`ExperimentSpec::ha`] section (clones share state).
+    pub ha: Option<HaPlane>,
 }
 
 /// What a provisioner returns for one sender.
@@ -126,6 +138,8 @@ pub struct RunResult {
     pub store: ContextStore,
     /// Events the simulator processed (determinism checks, perf metrics).
     pub events: u64,
+    /// What the crash-injected HA plane did, when the spec carried one.
+    pub ha: Option<HaReport>,
 }
 
 impl RunResult {
@@ -181,6 +195,12 @@ pub fn run_experiment(
     });
     let store = shared(ContextStore::new(spec.store));
     let root = SeedRng::new(spec.seed);
+    // Fork the crash stream only when a plan exists: specs without an HA
+    // section must replay bit-for-bit against their pre-HA digests.
+    let ha_plane = spec
+        .ha
+        .as_ref()
+        .map(|ha| HaPlane::new(spec.store, ha, root.fork("server-crash"), spec.duration));
 
     let mut sender_ids = Vec::with_capacity(spec.dumbbell.pairs);
     for i in 0..spec.dumbbell.pairs {
@@ -190,6 +210,7 @@ pub fn run_experiment(
             store: &store,
             path: DUMBBELL_PATH,
             rng: root.fork_indexed("provision", i as u64),
+            ha: ha_plane.clone(),
         });
         let mut cfg = SenderConfig::new(net.receivers[i], 80, 10);
         cfg.dupack_threshold = spec.dupack_threshold;
@@ -244,6 +265,7 @@ pub fn run_experiment(
         base_rtt_ms: spec.base_rtt_ms(),
         store,
         events: sim.events_processed(),
+        ha: ha_plane.map(|p| p.report_summary()),
     }
 }
 
@@ -302,6 +324,37 @@ pub fn provision_cubic_phi_faulty(
                 ctx.rng.fork("faults"),
                 counters,
             ))),
+        }
+    }
+}
+
+/// [`provision_cubic_phi`] against the replicated, crash-injected
+/// context plane: each sender's lookups and reports go to the run's
+/// [`HaPlane`] (primary + backup with replication lag and epoch-fenced
+/// failover) instead of the always-up shared store. While a failover is
+/// in flight, lookups return no context and the
+/// [`phi_tcp::hook::DegradingHook`] wrapper drops the sender back to
+/// vanilla behaviour — the §2.2.2 degradation arm under server crashes.
+///
+/// Requires [`ExperimentSpec::ha`] to be set; panics otherwise (a
+/// missing plan means the caller wanted [`provision_cubic_phi`]).
+pub fn provision_cubic_phi_ha(
+    policy: PolicyTable,
+) -> impl Fn(ProvisionCtx<'_>) -> Provisioned + Sync {
+    move |ctx| {
+        let policy = policy.clone();
+        let plane = ctx
+            .ha
+            .expect("provision_cubic_phi_ha requires ExperimentSpec::ha");
+        Provisioned {
+            factory: Box::new(move |snap| {
+                let params = match snap {
+                    Some(s) => policy.params_for(s),
+                    None => CubicParams::default(),
+                };
+                Box::new(Cubic::new(params))
+            }),
+            hook: Box::new(DegradingHook::new(HaHook::new(plane, ctx.path))),
         }
     }
 }

@@ -12,6 +12,9 @@
 //!   lookups/reports (§2.2.2).
 //! * [`hooks`] — in-simulation session hooks: the practical
 //!   lookup-at-start/report-at-end design, and the idealized live oracle.
+//! * [`crash`] — deterministic server-crash injection: a seeded
+//!   [`crash::ServerCrashPlan`] drives an in-sim primary/backup context
+//!   plane ([`crash::HaPlane`]) through epoch-fenced failovers.
 //! * [`policy`] — the shared-knowledge table mapping context →
 //!   recommended Cubic parameters (§2.2.1).
 //! * [`optimizer`] — Table 2 parameter sweeps, the `P_l` objective argmax,
@@ -36,6 +39,7 @@
 
 pub mod adapt;
 pub mod context;
+pub mod crash;
 pub mod harness;
 pub mod hooks;
 pub mod optimizer;
@@ -47,11 +51,12 @@ pub mod runpool;
 pub mod server;
 pub mod wire;
 
-pub use context::{ContextStore, FlowSummary, PathKey, StoreConfig};
+pub use context::{ContextStore, FlowSummary, PathKey, SnapshotError, StoreConfig};
+pub use crash::{CrashCounters, HaHook, HaPlane, HaReport, HaSpec, ServerCrashPlan};
 pub use harness::{
-    is_modified, provision_cubic, provision_cubic_phi, provision_cubic_phi_faulty, provision_mixed,
-    run_experiment, run_repeated, run_repeated_on, ExperimentSpec, ProvisionCtx, Provisioned,
-    RunResult, DUMBBELL_PATH,
+    is_modified, provision_cubic, provision_cubic_phi, provision_cubic_phi_faulty,
+    provision_cubic_phi_ha, provision_mixed, run_experiment, run_repeated, run_repeated_on,
+    ExperimentSpec, ProvisionCtx, Provisioned, RunResult, DUMBBELL_PATH,
 };
 pub use hooks::{
     fault_counters, shared, summarize, FaultCounters, FaultPlan, FaultyHook, Flap, IdealOracleHook,
@@ -65,6 +70,7 @@ pub use policy::{PolicyEntry, PolicyTable};
 pub use power::{log_power, power, power_loss, score, Objective};
 pub use runpool::{derive_seed, RunPool};
 pub use server::{
-    sync_store, ClientConfig, ClientError, ContextClient, ContextServer, ResilienceConfig,
-    ResilienceStats, ResilientClient, ServerConfig, ServerStats, SyncStore,
+    sync_store, ClientConfig, ClientError, ContextClient, ContextServer, HaOptions,
+    ResilienceConfig, ResilienceStats, ResilientClient, ServerConfig, ServerStats, SyncStore,
 };
+pub use wire::{ErrorCode, ReplOp, Role};

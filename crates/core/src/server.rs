@@ -39,17 +39,18 @@
 //! connection is answered with one `ERROR 503` (overload) frame and
 //! closed, and [`ServerStats::rejected`] counts the shed connections.
 
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
 use phi_tcp::hook::ContextSnapshot;
 
-use crate::context::{ContextStore, FlowSummary, PathKey};
-use crate::wire::{code, encode, DecodeError, Decoder, Message};
+use crate::context::{ContextStore, FlowSummary, PathKey, SnapshotError};
+use crate::wire::{code, encode, DecodeError, Decoder, Message, ReplOp, Role};
 
 /// A thread-safe context store handle, shared by server handlers and any
 /// in-process instrumentation.
@@ -73,6 +74,14 @@ pub struct ServerStats {
     pub reports: AtomicU64,
     /// Protocol errors answered.
     pub protocol_errors: AtomicU64,
+    /// Requests rejected with `409 FENCED` (stale epoch or not primary).
+    pub fenced: AtomicU64,
+    /// Replicated ops applied (as a backup).
+    pub repl_applied: AtomicU64,
+    /// Full snapshot syncs accepted (as a backup).
+    pub repl_syncs: AtomicU64,
+    /// Deltas + snapshots this server shipped to backups (as a primary).
+    pub repl_sent: AtomicU64,
 }
 
 /// Server tuning knobs.
@@ -91,13 +100,125 @@ impl Default for ServerConfig {
     }
 }
 
+/// High-availability settings for [`ContextServer::start_ha`]. Kept out
+/// of [`ServerConfig`] so plain single-server deployments are untouched.
+#[derive(Debug, Clone)]
+pub struct HaOptions {
+    /// Fencing token this server starts at. A restarted server must pass
+    /// an epoch strictly greater than the one it crashed at (restore it
+    /// from the snapshot blob and add one).
+    pub epoch: u64,
+    /// Role at startup. A [`Role::Backup`] fences every client request
+    /// until promoted or until a higher-epoch primary syncs it.
+    pub role: Role,
+    /// Backup servers a primary streams deltas to. Empty = no replication.
+    pub backups: Vec<SocketAddr>,
+    /// Timeouts for the replication client connections.
+    pub repl_client: ClientConfig,
+}
+
+impl Default for HaOptions {
+    fn default() -> Self {
+        HaOptions {
+            epoch: 1,
+            role: Role::Primary,
+            backups: Vec::new(),
+            repl_client: ClientConfig::default(),
+        }
+    }
+}
+
+const ROLE_PRIMARY_U8: u8 = 1;
+const ROLE_BACKUP_U8: u8 = 2;
+
+/// Epoch + role, shared between the accept loop, every handler, and the
+/// replication thread. The epoch is the *fencing token*: all mutating
+/// traffic (client requests on a primary, replication on a backup)
+/// carries it, and the lower side always loses.
+#[derive(Debug)]
+struct HaShared {
+    epoch: AtomicU64,
+    role: AtomicU8,
+}
+
+impl HaShared {
+    fn new(epoch: u64, role: Role) -> Self {
+        HaShared {
+            epoch: AtomicU64::new(epoch),
+            role: AtomicU8::new(role_to_u8(role)),
+        }
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    fn role(&self) -> Role {
+        role_from_u8(self.role.load(Ordering::Acquire))
+    }
+
+    fn set(&self, epoch: u64, role: Role) {
+        self.epoch.store(epoch, Ordering::Release);
+        self.role.store(role_to_u8(role), Ordering::Release);
+    }
+}
+
+fn role_to_u8(role: Role) -> u8 {
+    match role {
+        Role::Primary => ROLE_PRIMARY_U8,
+        Role::Backup => ROLE_BACKUP_U8,
+    }
+}
+
+fn role_from_u8(v: u8) -> Role {
+    if v == ROLE_PRIMARY_U8 {
+        Role::Primary
+    } else {
+        Role::Backup
+    }
+}
+
+/// Entries the replication thread has not yet confirmed on every backup.
+/// Appends happen *while the handler holds the store write lock*, so a
+/// snapshot taken under the store read lock together with this lock is
+/// consistent with a log position (`next_seq - 1`).
+#[derive(Debug, Default)]
+struct ReplLog {
+    next_seq: u64,
+    entries: VecDeque<(u64, ReplOp)>,
+}
+
+/// Entries kept before the oldest are dropped; a backup that has fallen
+/// further behind than this is resynced with a full snapshot.
+const MAX_REPL_LOG: usize = 4096;
+
+impl ReplLog {
+    fn append(&mut self, op: ReplOp) {
+        self.next_seq += 1;
+        self.entries.push_back((self.next_seq, op));
+        while self.entries.len() > MAX_REPL_LOG {
+            self.entries.pop_front();
+        }
+    }
+
+    /// Drop entries every synced backup has acknowledged.
+    fn prune(&mut self, acked: u64) {
+        while self.entries.front().is_some_and(|&(seq, _)| seq <= acked) {
+            self.entries.pop_front();
+        }
+    }
+}
+
 /// A running context server.
 pub struct ContextServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    repl_thread: Option<std::thread::JoinHandle<()>>,
     handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
     stats: Arc<ServerStats>,
+    store: SyncStore,
+    ha: Arc<HaShared>,
 }
 
 /// How long handler reads block before re-checking the shutdown flag.
@@ -127,6 +248,19 @@ impl ContextServer {
         store: SyncStore,
         config: ServerConfig,
     ) -> std::io::Result<ContextServer> {
+        Self::start_ha(addr, store, config, HaOptions::default())
+    }
+
+    /// Start a replica: serve at `ha.epoch` in `ha.role`, streaming state
+    /// deltas to `ha.backups` (when primary). A plain
+    /// [`ContextServer::start`] is exactly `start_ha` with the default
+    /// [`HaOptions`] — a lone primary at epoch 1.
+    pub fn start_ha(
+        addr: impl ToSocketAddrs,
+        store: SyncStore,
+        config: ServerConfig,
+        ha: HaOptions,
+    ) -> std::io::Result<ContextServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -136,12 +270,17 @@ impl ContextServer {
             Arc::new(Mutex::new(Vec::new()));
         let stats = Arc::new(ServerStats::default());
         let active = Arc::new(AtomicUsize::new(0));
-        let epoch = Instant::now();
+        let started = Instant::now();
+        let ha_shared = Arc::new(HaShared::new(ha.epoch, ha.role));
+        let log = Arc::new(Mutex::new(ReplLog::default()));
 
         let accept_thread = {
             let shutdown = shutdown.clone();
             let handlers = handlers.clone();
             let stats = stats.clone();
+            let store = store.clone();
+            let ha_shared = ha_shared.clone();
+            let log = log.clone();
             std::thread::Builder::new()
                 .name("phi-ctx-accept".into())
                 .spawn(move || {
@@ -160,11 +299,15 @@ impl ContextServer {
                                 let shutdown = shutdown.clone();
                                 let store = store.clone();
                                 let stats = stats.clone();
+                                let ha = ha_shared.clone();
+                                let log = log.clone();
                                 let handle = std::thread::Builder::new()
                                     .name("phi-ctx-conn".into())
                                     .spawn(move || {
                                         let _guard = guard;
-                                        handle_connection(stream, store, stats, shutdown, epoch)
+                                        handle_connection(
+                                            stream, store, stats, shutdown, started, ha, log,
+                                        )
                                     })
                                     .expect("spawn handler thread");
                                 handlers.lock().push(handle);
@@ -179,12 +322,41 @@ impl ContextServer {
                 .expect("spawn accept thread")
         };
 
+        let repl_thread = if ha.backups.is_empty() {
+            None
+        } else {
+            let shutdown = shutdown.clone();
+            let stats = stats.clone();
+            let store = store.clone();
+            let ha_shared = ha_shared.clone();
+            let log = log.clone();
+            Some(
+                std::thread::Builder::new()
+                    .name("phi-ctx-repl".into())
+                    .spawn(move || {
+                        replicate_to_backups(
+                            &ha.backups,
+                            ha.repl_client,
+                            store,
+                            ha_shared,
+                            log,
+                            stats,
+                            shutdown,
+                        )
+                    })
+                    .expect("spawn replication thread"),
+            )
+        };
+
         Ok(ContextServer {
             addr,
             shutdown,
             accept_thread: Some(accept_thread),
+            repl_thread,
             handlers,
             stats,
+            store,
+            ha: ha_shared,
         })
     }
 
@@ -198,6 +370,36 @@ impl ContextServer {
         &self.stats
     }
 
+    /// The fencing epoch this server currently serves at.
+    pub fn epoch(&self) -> u64 {
+        self.ha.epoch()
+    }
+
+    /// The role this server currently plays.
+    pub fn role(&self) -> Role {
+        self.ha.role()
+    }
+
+    /// Promote this server to primary at `epoch`. Fails (returns `false`)
+    /// unless `epoch` is strictly greater than the current one — the new
+    /// epoch is what fences the deposed primary, so reusing the old value
+    /// would invite split-brain.
+    pub fn promote(&self, epoch: u64) -> bool {
+        if epoch <= self.ha.epoch() {
+            return false;
+        }
+        self.ha.set(epoch, Role::Primary);
+        true
+    }
+
+    /// The full store state as a versioned snapshot blob (tagged with the
+    /// current epoch) — what an operator persists before a planned
+    /// restart, and what [`crate::context::ContextStore::decode_snapshot`]
+    /// restores.
+    pub fn snapshot_blob(&self) -> Vec<u8> {
+        self.store.read().encode_snapshot(self.ha.epoch())
+    }
+
     /// Stop accepting, drain handlers, and join all threads.
     pub fn shutdown(mut self) {
         self.stop();
@@ -206,6 +408,9 @@ impl ContextServer {
     fn stop(&mut self) {
         self.shutdown.store(true, Ordering::Release);
         if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.repl_thread.take() {
             let _ = t.join();
         }
         let handlers = std::mem::take(&mut *self.handlers.lock());
@@ -254,12 +459,25 @@ fn shed_connection(stream: TcpStream) {
     }));
 }
 
+/// One `409 FENCED` reply, naming the epoch the server is actually at so
+/// the rejected peer can tell "I'm stale" from "you're a backup".
+fn fenced_reply(ha: &HaShared, stats: &ServerStats, why: &str) -> Message {
+    stats.fenced.fetch_add(1, Ordering::Relaxed);
+    Message::Error {
+        code: code::FENCED,
+        message: format!("{why} (serving epoch {} as {:?})", ha.epoch(), ha.role()),
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // threaded server plumbing, all Arcs
 fn handle_connection(
     stream: TcpStream,
     store: SyncStore,
     stats: Arc<ServerStats>,
     shutdown: Arc<AtomicBool>,
-    epoch: Instant,
+    started: Instant,
+    ha: Arc<HaShared>,
+    log: Arc<Mutex<ReplLog>>,
 ) {
     let mut stream = stream;
     if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
@@ -282,22 +500,115 @@ fn handle_connection(
             Err(_) => return,
         }
         loop {
-            let now_ns = epoch.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            let now_ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
             let reply = match decoder.next() {
+                // -- client data path: primary only ---------------------
                 Ok(Message::Lookup { path }) => {
-                    stats.lookups.fetch_add(1, Ordering::Relaxed);
-                    let snap = store.write().lookup(path, now_ns);
-                    Message::Context(snap)
+                    if ha.role() != Role::Primary {
+                        fenced_reply(&ha, &stats, "lookup refused")
+                    } else {
+                        stats.lookups.fetch_add(1, Ordering::Relaxed);
+                        let snap = {
+                            let mut st = store.write();
+                            let snap = st.lookup(path, now_ns);
+                            // Append under the store write lock so the log
+                            // order matches the store's mutation order.
+                            log.lock().append(ReplOp::Lookup { path, now_ns });
+                            snap
+                        };
+                        Message::Context(snap)
+                    }
                 }
                 Ok(Message::Report { path, summary }) => {
-                    stats.reports.fetch_add(1, Ordering::Relaxed);
-                    store.write().report(path, now_ns, &summary);
-                    Message::ReportOk
+                    if ha.role() != Role::Primary {
+                        fenced_reply(&ha, &stats, "report refused")
+                    } else {
+                        stats.reports.fetch_add(1, Ordering::Relaxed);
+                        {
+                            let mut st = store.write();
+                            st.report(path, now_ns, &summary);
+                            log.lock().append(ReplOp::Report {
+                                path,
+                                now_ns,
+                                summary,
+                            });
+                        }
+                        Message::ReportOk
+                    }
                 }
                 Ok(Message::Snapshot { limit }) => {
-                    let mut paths = store.read().snapshot(now_ns);
-                    paths.truncate(usize::from(limit).min(crate::wire::MAX_SNAPSHOT_PATHS));
-                    Message::Paths(paths)
+                    if ha.role() != Role::Primary {
+                        fenced_reply(&ha, &stats, "snapshot refused")
+                    } else {
+                        let mut paths = store.read().snapshot(now_ns);
+                        paths.truncate(usize::from(limit).min(crate::wire::MAX_SNAPSHOT_PATHS));
+                        Message::Paths(paths)
+                    }
+                }
+                // -- health/handshake: answered in any role -------------
+                Ok(Message::EpochQuery) => Message::Epoch {
+                    epoch: ha.epoch(),
+                    role: ha.role(),
+                },
+                // -- replication stream: epoch-fenced -------------------
+                Ok(Message::Replicate { epoch, seq: _, op }) => {
+                    match epoch.cmp(&ha.epoch()) {
+                        std::cmp::Ordering::Less => {
+                            fenced_reply(&ha, &stats, "replication from a deposed primary")
+                        }
+                        std::cmp::Ordering::Equal if ha.role() == Role::Primary => {
+                            // Two primaries at one epoch must never both
+                            // accept traffic; the replicator self-deposes
+                            // on this reply.
+                            fenced_reply(&ha, &stats, "already primary at this epoch")
+                        }
+                        _ => {
+                            // A (possibly newer) primary's delta: adopt
+                            // its epoch, stay/become backup, apply.
+                            ha.set(epoch, Role::Backup);
+                            stats.repl_applied.fetch_add(1, Ordering::Relaxed);
+                            let mut st = store.write();
+                            match op {
+                                ReplOp::Lookup { path, now_ns } => {
+                                    st.lookup(path, now_ns);
+                                }
+                                ReplOp::Report {
+                                    path,
+                                    now_ns,
+                                    summary,
+                                } => st.report(path, now_ns, &summary),
+                            }
+                            Message::ReportOk
+                        }
+                    }
+                }
+                Ok(Message::SnapshotSync { epoch, blob }) => {
+                    if epoch < ha.epoch() || (epoch == ha.epoch() && ha.role() == Role::Primary) {
+                        fenced_reply(&ha, &stats, "snapshot sync from a stale epoch")
+                    } else {
+                        match ContextStore::decode_snapshot(&blob) {
+                            Ok((restored, _blob_epoch)) => {
+                                ha.set(epoch, Role::Backup);
+                                stats.repl_syncs.fetch_add(1, Ordering::Relaxed);
+                                *store.write() = restored;
+                                Message::ReportOk
+                            }
+                            Err(SnapshotError::UnsupportedVersion(v)) => {
+                                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                                Message::Error {
+                                    code: code::UNSUPPORTED,
+                                    message: format!("snapshot version {v} not supported"),
+                                }
+                            }
+                            Err(e) => {
+                                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                                Message::Error {
+                                    code: code::BAD_REQUEST,
+                                    message: format!("bad snapshot blob: {e}"),
+                                }
+                            }
+                        }
+                    }
                 }
                 Ok(other) => {
                     stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
@@ -307,6 +618,16 @@ fn handle_connection(
                     }
                 }
                 Err(DecodeError::Incomplete) => break,
+                Err(e) if e.is_recoverable() => {
+                    // Forward compatibility: a well-delimited frame of an
+                    // unknown (future) type. The stream is still aligned,
+                    // so answer 501 and keep serving the connection.
+                    stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    Message::Error {
+                        code: code::UNSUPPORTED,
+                        message: e.to_string(),
+                    }
+                }
                 Err(e) => {
                     stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
                     let _ = stream.write_all(&encode(&Message::Error {
@@ -319,6 +640,173 @@ fn handle_connection(
             if stream.write_all(&encode(&reply)).is_err() {
                 return;
             }
+        }
+    }
+}
+
+/// State of one primary → backup replication link.
+struct BackupLink {
+    addr: SocketAddr,
+    conn: Option<ContextClient>,
+    /// Highest log seq this backup has acknowledged. `None` until a full
+    /// snapshot sync establishes a baseline.
+    acked: Option<u64>,
+}
+
+/// The primary's replication loop: keep every backup within one snapshot
+/// plus a tail of deltas of the live store. Runs until shutdown or until
+/// a backup's `409 FENCED` reply reveals this server was deposed — then
+/// it self-deposes (role := backup) so it can never again feed clients
+/// stale context.
+fn replicate_to_backups(
+    backups: &[SocketAddr],
+    client_cfg: ClientConfig,
+    store: SyncStore,
+    ha: Arc<HaShared>,
+    log: Arc<Mutex<ReplLog>>,
+    stats: Arc<ServerStats>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let mut links: Vec<BackupLink> = backups
+        .iter()
+        .map(|&addr| BackupLink {
+            addr,
+            conn: None,
+            acked: None,
+        })
+        .collect();
+
+    while !shutdown.load(Ordering::Acquire) {
+        if ha.role() != Role::Primary {
+            // Deposed (or started as a backup): nothing to stream. Stay
+            // alive — a later `promote()` resumes replication.
+            std::thread::sleep(Duration::from_millis(5));
+            continue;
+        }
+        let epoch = ha.epoch();
+        let mut deposed = false;
+        for link in &mut links {
+            if link.conn.is_none() {
+                link.conn = ContextClient::connect_with(link.addr, client_cfg).ok();
+                link.acked = None; // new connection: re-establish baseline
+                if link.conn.is_none() {
+                    continue;
+                }
+            }
+
+            // A backup with no baseline — or one that fell behind the
+            // pruned log — gets a full snapshot consistent with a log
+            // position: both locks held while reading (store read lock
+            // blocks mutators, which append under the write lock).
+            let needs_sync = {
+                let log = log.lock();
+                match link.acked {
+                    None => true,
+                    Some(acked) => log
+                        .entries
+                        .front()
+                        .is_some_and(|&(front, _)| front > acked + 1),
+                }
+            };
+            if needs_sync {
+                let (blob, sync_seq) = {
+                    let st = store.read();
+                    let log = log.lock();
+                    (st.encode_snapshot(epoch), log.next_seq)
+                };
+                match send_repl(link, &Message::SnapshotSync { epoch, blob }) {
+                    ReplSend::Acked => {
+                        stats.repl_sent.fetch_add(1, Ordering::Relaxed);
+                        link.acked = Some(sync_seq);
+                    }
+                    ReplSend::Fenced => {
+                        deposed = true;
+                        break;
+                    }
+                    ReplSend::Failed => continue,
+                }
+            }
+
+            // Stream the delta tail.
+            let mut sent_any = false;
+            loop {
+                let next = {
+                    let log = log.lock();
+                    let acked = link.acked.unwrap_or(0);
+                    log.entries.iter().find(|&&(seq, _)| seq > acked).cloned()
+                };
+                let Some((seq, op)) = next else { break };
+                match send_repl(link, &Message::Replicate { epoch, seq, op }) {
+                    ReplSend::Acked => {
+                        stats.repl_sent.fetch_add(1, Ordering::Relaxed);
+                        link.acked = Some(seq);
+                        sent_any = true;
+                    }
+                    ReplSend::Fenced => {
+                        deposed = true;
+                        break;
+                    }
+                    ReplSend::Failed => break,
+                }
+            }
+            if deposed {
+                break;
+            }
+
+            // Idle heartbeat: an EpochQuery reveals a promoted backup
+            // even when no client traffic is generating deltas.
+            if !sent_any {
+                if let Some(conn) = link.conn.as_mut() {
+                    match conn.request(&Message::EpochQuery) {
+                        Ok(Message::Epoch { epoch: theirs, .. }) if theirs > epoch => {
+                            deposed = true;
+                            break;
+                        }
+                        Ok(_) => {}
+                        Err(_) => link.conn = None,
+                    }
+                }
+            }
+        }
+
+        if deposed {
+            // A backup answered from a newer epoch: this server lost the
+            // primaryship. Self-depose — never serve another client at
+            // the stale epoch — and force full resyncs if re-promoted.
+            ha.set(epoch, Role::Backup);
+            for link in &mut links {
+                link.acked = None;
+                link.conn = None;
+            }
+            continue;
+        }
+
+        // Entries every live backup has confirmed are dead weight.
+        if let Some(min_acked) = links.iter().filter_map(|l| l.acked).min() {
+            if links.iter().all(|l| l.acked.is_some()) {
+                log.lock().prune(min_acked);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+enum ReplSend {
+    Acked,
+    Fenced,
+    Failed,
+}
+
+fn send_repl(link: &mut BackupLink, msg: &Message) -> ReplSend {
+    let Some(conn) = link.conn.as_mut() else {
+        return ReplSend::Failed;
+    };
+    match conn.request(msg) {
+        Ok(Message::ReportOk) => ReplSend::Acked,
+        Ok(Message::Error { code: c, .. }) if c == code::FENCED => ReplSend::Fenced,
+        Ok(_) | Err(_) => {
+            link.conn = None;
+            ReplSend::Failed
         }
     }
 }
@@ -343,6 +831,10 @@ pub enum ClientError {
         /// Error detail from the server.
         message: String,
     },
+    /// The server replied with a well-delimited frame of a type this
+    /// build doesn't know (a newer peer). The stream stayed aligned, so
+    /// the connection is *not* poisoned — but the reply is unusable.
+    Unsupported(u8),
     /// The reply could not be decoded or had the wrong type. The framing
     /// state is unknown, so the connection is poisoned.
     Protocol(String),
@@ -368,6 +860,7 @@ impl std::fmt::Display for ClientError {
             ClientError::Deadline => write!(f, "request deadline exceeded"),
             ClientError::Poisoned => write!(f, "connection poisoned by an earlier failure"),
             ClientError::Server { code, message } => write!(f, "server error {code}: {message}"),
+            ClientError::Unsupported(t) => write!(f, "unsupported reply type {t}"),
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
         }
     }
@@ -498,6 +991,10 @@ impl ContextClient {
             match self.decoder.next() {
                 Ok(m) => return Ok(m),
                 Err(DecodeError::Incomplete) => {}
+                // Forward compatibility: an unknown-but-well-delimited
+                // reply type leaves the stream aligned — typed error, no
+                // poison, connection stays usable.
+                Err(DecodeError::BadType(t)) => return Err(ClientError::Unsupported(t)),
                 Err(e) => return Err(ClientError::Protocol(e.to_string())),
             }
             // Budget the read by what's left of the whole-request deadline
@@ -542,6 +1039,15 @@ impl ContextClient {
             other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
         }
     }
+
+    /// The server's current fencing epoch and role (health probe).
+    pub fn epoch(&mut self) -> Result<(u64, Role), ClientError> {
+        match self.request(&Message::EpochQuery)? {
+            Message::Epoch { epoch, role } => Ok((epoch, role)),
+            Message::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
 }
 
 /// [`ResilientClient`] tuning knobs.
@@ -560,8 +1066,11 @@ pub struct ResilienceConfig {
     /// the circuit breaker.
     pub breaker_threshold: u32,
     /// How long an open breaker short-circuits requests before the next
-    /// probe is allowed.
+    /// probe is allowed. Each failed half-open probe doubles the wait,
+    /// up to [`ResilienceConfig::breaker_cooldown_max`].
     pub breaker_cooldown: Duration,
+    /// Ceiling on the doubled half-open cooldown.
+    pub breaker_cooldown_max: Duration,
     /// Seed for the deterministic jitter stream.
     pub jitter_seed: u64,
 }
@@ -575,6 +1084,7 @@ impl Default for ResilienceConfig {
             backoff_max: Duration::from_millis(500),
             breaker_threshold: 3,
             breaker_cooldown: Duration::from_secs(1),
+            breaker_cooldown_max: Duration::from_secs(30),
             jitter_seed: 0x5EED_CAFE,
         }
     }
@@ -593,6 +1103,12 @@ pub struct ResilienceStats {
     pub breaker_trips: u64,
     /// Requests answered "no context" instantly by an open breaker.
     pub short_circuited: u64,
+    /// Half-open probes that failed (each doubles the cooldown).
+    pub probe_failures: u64,
+    /// Times the client moved on to the next endpoint in its list.
+    pub failovers: u64,
+    /// Replies (or handshakes) rejected for a stale epoch / backup role.
+    pub fenced: u64,
 }
 
 /// A self-healing context-plane client embodying the §2.2.2 contract:
@@ -603,12 +1119,30 @@ pub struct ResilienceStats {
 /// infallible: any exhausted failure degrades to "no context" (`None` /
 /// `false`), which callers map to vanilla-TCP behaviour — never an error
 /// the data path has to handle, never an unbounded block.
+///
+/// ## Failover
+///
+/// Constructed with [`ResilientClient::multi`], the client holds an
+/// ordered endpoint list. Every (re)connect is an epoch-checked health
+/// probe: the client sends an `EpochQuery` and only accepts the endpoint
+/// if it answers as a **primary** at an epoch at least as new as the
+/// highest this client has ever seen. A `409 FENCED` reply (or a backup
+/// role) rotates to the next endpoint — so a deposed primary's context
+/// can never reach the sender, and split-brain degrades to "no context"
+/// rather than stale guidance.
 pub struct ResilientClient {
-    addr: SocketAddr,
+    endpoints: Vec<SocketAddr>,
+    current: usize,
+    /// Highest epoch any endpoint ever answered with; replies from below
+    /// it are fenced client-side even if a stale primary still talks.
+    max_epoch: u64,
     config: ResilienceConfig,
     conn: Option<ContextClient>,
     consecutive_failures: u32,
     open_until: Option<Instant>,
+    /// Consecutive open periods without a successful probe; the cooldown
+    /// doubles with each (bounded by `breaker_cooldown_max`).
+    open_streak: u32,
     jitter: u64,
     stats: ResilienceStats,
 }
@@ -628,15 +1162,25 @@ impl ResilientClient {
         let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
             std::io::Error::new(std::io::ErrorKind::InvalidInput, "no addresses resolved")
         })?;
-        Ok(ResilientClient {
-            addr,
+        Ok(Self::multi(vec![addr], config))
+    }
+
+    /// A failover client over an ordered endpoint list (primary first,
+    /// then backups in preference order). The list must be non-empty.
+    pub fn multi(endpoints: Vec<SocketAddr>, config: ResilienceConfig) -> ResilientClient {
+        assert!(!endpoints.is_empty(), "endpoint list must be non-empty");
+        ResilientClient {
+            endpoints,
+            current: 0,
+            max_epoch: 0,
             config,
             conn: None,
             consecutive_failures: 0,
             open_until: None,
+            open_streak: 0,
             jitter: config.jitter_seed | 1,
             stats: ResilienceStats::default(),
-        })
+        }
     }
 
     /// Failure-handling counters.
@@ -648,6 +1192,27 @@ impl ResilientClient {
     /// short-circuited to "no context" until the cooldown elapses).
     pub fn breaker_open(&self) -> bool {
         self.open_until.is_some_and(|t| Instant::now() < t)
+    }
+
+    /// The cooldown the breaker will apply on its next trip or failed
+    /// probe: `breaker_cooldown * 2^open_streak`, capped. Deterministic,
+    /// so tests can assert the doubling exactly.
+    pub fn current_cooldown(&self) -> Duration {
+        let doubled = self
+            .config
+            .breaker_cooldown
+            .saturating_mul(1u32 << self.open_streak.min(16));
+        doubled.min(self.config.breaker_cooldown_max)
+    }
+
+    /// The endpoint the next request will try first.
+    pub fn current_endpoint(&self) -> SocketAddr {
+        self.endpoints[self.current]
+    }
+
+    /// Highest epoch any endpoint has answered with so far.
+    pub fn observed_epoch(&self) -> u64 {
+        self.max_epoch
     }
 
     /// Look up the context for `path`; `None` means "no context" — the
@@ -684,7 +1249,8 @@ impl ResilientClient {
                 return None;
             }
             // Cooldown elapsed: half-open. Fall through with one probe
-            // request; success closes the breaker, failure re-arms it.
+            // request; success closes the breaker, failure re-opens it
+            // with a doubled cooldown.
         }
         for attempt in 0..=self.config.max_retries {
             if attempt > 0 {
@@ -699,15 +1265,29 @@ impl ResilientClient {
                     // The server shed us; it will close the connection.
                     self.conn = None;
                 }
+                Ok(Message::Error { code: c, .. }) if c == code::FENCED => {
+                    // This endpoint was deposed under us (or demoted to
+                    // backup). Never retry it with this request — fail
+                    // over to the next endpoint in the list.
+                    self.stats.fenced += 1;
+                    self.fail_over();
+                }
                 Ok(reply) => {
                     self.consecutive_failures = 0;
                     self.open_until = None;
+                    self.open_streak = 0;
                     return Some(reply);
+                }
+                Err(ClientError::Unsupported(_)) => {
+                    // The reply is unusable but the connection is fine;
+                    // treat as a failed attempt without reconnecting.
                 }
                 Err(_) => {
                     // Poisoned, timed out, or transport-dead: drop the
-                    // connection so the next attempt starts clean.
+                    // connection and let the next attempt try the next
+                    // endpoint in the list.
                     self.conn = None;
+                    self.fail_over();
                 }
             }
         }
@@ -715,27 +1295,73 @@ impl ResilientClient {
         None
     }
 
+    /// Advance to the next endpoint in the ordered list.
+    fn fail_over(&mut self) {
+        if self.endpoints.len() > 1 {
+            self.current = (self.current + 1) % self.endpoints.len();
+            self.stats.failovers += 1;
+        }
+        self.conn = None;
+    }
+
+    /// (Re)establish a connection, health-probing the endpoint with an
+    /// `EpochQuery` first: only a primary at `>= max_epoch` is accepted;
+    /// backups and stale primaries rotate the list.
     fn ensure_conn(&mut self) -> Option<&mut ContextClient> {
-        if self.conn.is_none() {
-            match ContextClient::connect_with(self.addr, self.config.client) {
-                Ok(c) => {
+        if self.conn.is_some() {
+            return self.conn.as_mut();
+        }
+        for _ in 0..self.endpoints.len() {
+            let addr = self.endpoints[self.current];
+            match ContextClient::connect_with(addr, self.config.client) {
+                Ok(mut c) => {
+                    match c.request(&Message::EpochQuery) {
+                        Ok(Message::Epoch { epoch, role }) => {
+                            if epoch < self.max_epoch || role != Role::Primary {
+                                // Fenced client-side: a backup, or a
+                                // primary older than one we've already
+                                // talked to.
+                                self.stats.fenced += 1;
+                                self.fail_over();
+                                continue;
+                            }
+                            self.max_epoch = epoch;
+                        }
+                        // A pre-HA server answers BAD_REQUEST (or an
+                        // unknown-type error): no epochs to enforce, but
+                        // the endpoint is alive and serving.
+                        Ok(Message::Error { .. }) | Err(ClientError::Unsupported(_)) => {}
+                        Ok(_) | Err(_) => {
+                            self.fail_over();
+                            continue;
+                        }
+                    }
                     self.stats.connects += 1;
                     self.conn = Some(c);
+                    return self.conn.as_mut();
                 }
-                Err(_) => return None,
+                Err(_) => {
+                    self.fail_over();
+                }
             }
         }
-        self.conn.as_mut()
+        None
     }
 
     fn on_exhausted(&mut self) {
         self.stats.failures += 1;
         self.consecutive_failures = self.consecutive_failures.saturating_add(1);
-        if self.consecutive_failures >= self.config.breaker_threshold {
-            if self.open_until.is_none() {
-                self.stats.breaker_trips += 1;
-            }
-            self.open_until = Some(Instant::now() + self.config.breaker_cooldown);
+        if self.open_until.is_some() {
+            // A half-open probe failed: re-open for twice as long.
+            self.stats.probe_failures += 1;
+            let wait = self.current_cooldown();
+            self.open_until = Some(Instant::now() + wait);
+            self.open_streak = self.open_streak.saturating_add(1);
+        } else if self.consecutive_failures >= self.config.breaker_threshold {
+            self.stats.breaker_trips += 1;
+            let wait = self.current_cooldown();
+            self.open_until = Some(Instant::now() + wait);
+            self.open_streak = self.open_streak.saturating_add(1);
         }
     }
 
@@ -1063,7 +1689,7 @@ mod tests {
             backoff_max: Duration::from_millis(4),
             breaker_threshold: 2,
             breaker_cooldown: Duration::from_millis(200),
-            jitter_seed: 7,
+            ..ResilienceConfig::default()
         };
         let mut rc = ResilientClient::with_config(addr, cfg).expect("resolve");
 
@@ -1120,6 +1746,331 @@ mod tests {
         let revived = ContextServer::start(addr, store).expect("rebind");
         assert!(rc.lookup(PathKey(5)).is_some(), "should reconnect");
         assert!(rc.stats().connects >= 2, "stats: {:?}", rc.stats());
+        revived.shutdown();
+    }
+
+    fn start_ha_server(ha: HaOptions) -> (ContextServer, SocketAddr) {
+        let store = sync_store(ContextStore::new(StoreConfig::default()));
+        let server = ContextServer::start_ha("127.0.0.1:0", store, ServerConfig::default(), ha)
+            .expect("bind");
+        let addr = server.addr();
+        (server, addr)
+    }
+
+    fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !cond() {
+            assert!(Instant::now() < deadline, "timed out waiting for {what}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn epoch_query_reports_epoch_and_role() {
+        let (server, addr) = start_ha_server(HaOptions {
+            epoch: 7,
+            ..HaOptions::default()
+        });
+        let mut c = ContextClient::connect(addr).expect("connect");
+        assert_eq!(c.epoch().expect("epoch query"), (7, Role::Primary));
+        assert_eq!(server.epoch(), 7);
+        assert_eq!(server.role(), Role::Primary);
+        server.shutdown();
+    }
+
+    #[test]
+    fn backup_fences_client_requests_with_409() {
+        let (server, addr) = start_ha_server(HaOptions {
+            role: Role::Backup,
+            ..HaOptions::default()
+        });
+        let mut c = ContextClient::connect(addr).expect("connect");
+        // Epoch queries are answered by any role (that's how probes work)…
+        assert_eq!(c.epoch().expect("epoch query"), (1, Role::Backup));
+        // …but context traffic is fenced: a backup's store may be stale.
+        match c.lookup(PathKey(1)) {
+            Err(ClientError::Server { code: c, .. }) => assert_eq!(c, code::FENCED),
+            other => panic!("expected 409 FENCED, got {other:?}"),
+        }
+        match c.report(PathKey(1), summary(1_000)) {
+            Err(ClientError::Server { code: c, .. }) => assert_eq!(c, code::FENCED),
+            other => panic!("expected 409 FENCED, got {other:?}"),
+        }
+        assert_eq!(server.stats().fenced.load(Ordering::Relaxed), 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn replication_streams_deltas_to_backup() {
+        let (backup, backup_addr) = start_ha_server(HaOptions {
+            role: Role::Backup,
+            ..HaOptions::default()
+        });
+        let (primary, primary_addr) = start_ha_server(HaOptions {
+            backups: vec![backup_addr],
+            repl_client: quick_config(),
+            ..HaOptions::default()
+        });
+
+        let mut c = ContextClient::connect(primary_addr).expect("connect");
+        c.lookup(PathKey(4)).expect("lookup");
+        c.report(PathKey(4), summary(2_000_000)).expect("report");
+
+        // The delta stream carries both mutations to the backup.
+        wait_until("backup to apply the deltas", || {
+            let (store, _) = ContextStore::decode_snapshot(&backup.snapshot_blob())
+                .expect("backup snapshot decodes");
+            store.traffic_counters(PathKey(4)) == (1, 1)
+        });
+        let (bstore, bepoch) =
+            ContextStore::decode_snapshot(&backup.snapshot_blob()).expect("decode");
+        assert_eq!(bepoch, 1);
+        assert!(bstore.loss_signal(PathKey(4)).is_some());
+        assert!(primary.stats().repl_sent.load(Ordering::Relaxed) >= 2);
+        assert!(backup.stats().repl_applied.load(Ordering::Relaxed) >= 2);
+        primary.shutdown();
+        backup.shutdown();
+    }
+
+    #[test]
+    fn backup_catches_up_via_snapshot_sync() {
+        // Reserve a port for the backup, but don't start it yet.
+        let placeholder = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let backup_addr = placeholder.local_addr().unwrap();
+        drop(placeholder);
+
+        let (primary, primary_addr) = start_ha_server(HaOptions {
+            backups: vec![backup_addr],
+            repl_client: quick_config(),
+            ..HaOptions::default()
+        });
+        // State accumulates while the backup is down.
+        let mut c = ContextClient::connect(primary_addr).expect("connect");
+        c.lookup(PathKey(9)).expect("lookup");
+        c.report(PathKey(9), summary(3_000_000)).expect("report");
+
+        // The backup comes up late: a full snapshot must bring it level.
+        let bstore = sync_store(ContextStore::new(StoreConfig::default()));
+        let backup = ContextServer::start_ha(
+            backup_addr,
+            bstore,
+            ServerConfig::default(),
+            HaOptions {
+                role: Role::Backup,
+                ..HaOptions::default()
+            },
+        )
+        .expect("bind backup");
+
+        wait_until("snapshot sync to land", || {
+            let (store, _) = ContextStore::decode_snapshot(&backup.snapshot_blob())
+                .expect("backup snapshot decodes");
+            store.traffic_counters(PathKey(9)) == (1, 1)
+        });
+        assert!(backup.stats().repl_syncs.load(Ordering::Relaxed) >= 1);
+        primary.shutdown();
+        backup.shutdown();
+    }
+
+    #[test]
+    fn promotion_fences_the_deposed_primary() {
+        let (backup, backup_addr) = start_ha_server(HaOptions {
+            role: Role::Backup,
+            ..HaOptions::default()
+        });
+        let (old_primary, old_addr) = start_ha_server(HaOptions {
+            backups: vec![backup_addr],
+            repl_client: quick_config(),
+            ..HaOptions::default()
+        });
+        let mut c = ContextClient::connect(old_addr).expect("connect");
+        c.report(PathKey(2), summary(1_000_000)).expect("report");
+        wait_until("backup to sync", || {
+            backup.stats().repl_applied.load(Ordering::Relaxed) >= 1
+                || backup.stats().repl_syncs.load(Ordering::Relaxed) >= 1
+        });
+
+        // Promotion demands a strictly greater epoch — the new epoch IS
+        // the fence, so reusing the old one is rejected.
+        assert!(!backup.promote(1), "equal epoch must not promote");
+        assert!(backup.promote(2));
+        assert!(!backup.promote(2), "stale re-promotion must fail");
+        assert_eq!(backup.role(), Role::Primary);
+        assert_eq!(backup.epoch(), 2);
+
+        // The old primary discovers the higher epoch through its own
+        // replication stream and deposes itself rather than split-brain.
+        wait_until("old primary to self-depose", || {
+            old_primary.role() == Role::Backup
+        });
+        match c.lookup(PathKey(2)) {
+            Err(ClientError::Server { code: c, .. }) => assert_eq!(c, code::FENCED),
+            other => panic!("deposed primary must fence, got {other:?}"),
+        }
+
+        // A failover client walks the endpoint list: the deposed primary
+        // is rejected at the handshake, the promoted backup serves.
+        let mut rc = ResilientClient::multi(
+            vec![old_addr, backup_addr],
+            ResilienceConfig {
+                client: quick_config(),
+                max_retries: 1,
+                backoff_base: Duration::from_millis(1),
+                backoff_max: Duration::from_millis(4),
+                ..ResilienceConfig::default()
+            },
+        );
+        let snap = rc.lookup(PathKey(2)).expect("promoted backup serves");
+        assert!(snap.utilization > 0.0, "replicated state survived");
+        assert_eq!(rc.observed_epoch(), 2);
+        assert!(rc.stats().fenced >= 1, "stats: {:?}", rc.stats());
+        assert_eq!(rc.current_endpoint(), backup_addr);
+        old_primary.shutdown();
+        backup.shutdown();
+    }
+
+    #[test]
+    fn resilient_client_fails_over_between_endpoints() {
+        let (a, addr_a) = start_server();
+        let (b, addr_b) = start_server();
+        let mut rc = ResilientClient::multi(
+            vec![addr_a, addr_b],
+            ResilienceConfig {
+                client: quick_config(),
+                max_retries: 2,
+                backoff_base: Duration::from_millis(1),
+                backoff_max: Duration::from_millis(4),
+                ..ResilienceConfig::default()
+            },
+        );
+        assert!(rc.lookup(PathKey(1)).is_some());
+        assert_eq!(rc.current_endpoint(), addr_a);
+
+        // First endpoint dies: the same client keeps serving from the
+        // second, within the same degraded-free request.
+        a.shutdown();
+        assert!(rc.lookup(PathKey(1)).is_some(), "failover should serve");
+        assert_eq!(rc.current_endpoint(), addr_b);
+        assert!(rc.stats().failovers >= 1, "stats: {:?}", rc.stats());
+        b.shutdown();
+    }
+
+    #[test]
+    fn half_open_probe_failure_doubles_cooldown() {
+        // A port with nothing behind it: every probe fails.
+        let placeholder = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = placeholder.local_addr().unwrap();
+        drop(placeholder);
+
+        let cooldown = Duration::from_millis(50);
+        let mut rc = ResilientClient::with_config(
+            addr,
+            ResilienceConfig {
+                client: quick_config(),
+                max_retries: 0,
+                backoff_base: Duration::from_millis(1),
+                backoff_max: Duration::from_millis(2),
+                breaker_threshold: 1,
+                breaker_cooldown: cooldown,
+                breaker_cooldown_max: Duration::from_secs(30),
+                ..ResilienceConfig::default()
+            },
+        )
+        .expect("resolve");
+
+        // First failure trips the breaker at the base cooldown; the next
+        // period is already scheduled to double.
+        assert_eq!(rc.lookup(PathKey(1)), None);
+        assert!(rc.breaker_open());
+        assert_eq!(rc.stats().breaker_trips, 1);
+        assert_eq!(rc.current_cooldown(), cooldown * 2);
+
+        // Past the cooldown the breaker goes half-open; the probe fails
+        // against the dead port and re-opens for twice as long.
+        std::thread::sleep(cooldown + Duration::from_millis(20));
+        assert!(!rc.breaker_open(), "cooldown elapsed → half-open");
+        assert_eq!(rc.lookup(PathKey(1)), None);
+        assert_eq!(rc.stats().probe_failures, 1);
+        assert!(rc.breaker_open(), "failed probe re-opens");
+        assert_eq!(rc.current_cooldown(), cooldown * 4);
+
+        // While re-opened, requests short-circuit without touching the net.
+        let started = Instant::now();
+        assert_eq!(rc.lookup(PathKey(1)), None);
+        assert!(started.elapsed() < Duration::from_millis(20));
+        assert!(rc.stats().short_circuited >= 1);
+    }
+
+    #[test]
+    fn half_open_probe_success_closes_and_resets_cooldown() {
+        let placeholder = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = placeholder.local_addr().unwrap();
+        drop(placeholder);
+
+        let cooldown = Duration::from_millis(100);
+        let mut rc = ResilientClient::with_config(
+            addr,
+            ResilienceConfig {
+                client: quick_config(),
+                max_retries: 0,
+                backoff_base: Duration::from_millis(1),
+                backoff_max: Duration::from_millis(2),
+                breaker_threshold: 1,
+                breaker_cooldown: cooldown,
+                breaker_cooldown_max: Duration::from_secs(30),
+                ..ResilienceConfig::default()
+            },
+        )
+        .expect("resolve");
+
+        assert_eq!(rc.lookup(PathKey(1)), None);
+        assert!(rc.breaker_open());
+        assert_eq!(rc.current_cooldown(), cooldown * 2, "doubling scheduled");
+
+        // A server appears; the half-open probe succeeds, the breaker
+        // closes, and the doubling streak resets to the base cooldown.
+        let store = sync_store(ContextStore::new(StoreConfig::default()));
+        let server = ContextServer::start(addr, store).expect("rebind");
+        std::thread::sleep(cooldown + Duration::from_millis(50));
+        assert!(rc.lookup(PathKey(1)).is_some(), "probe should succeed");
+        assert!(!rc.breaker_open());
+        assert_eq!(rc.stats().probe_failures, 0);
+        assert_eq!(rc.current_cooldown(), cooldown, "streak reset");
+        server.shutdown();
+    }
+
+    #[test]
+    fn snapshot_blob_restarts_at_a_greater_epoch() {
+        let (server, addr) = start_ha_server(HaOptions {
+            epoch: 3,
+            ..HaOptions::default()
+        });
+        let mut c = ContextClient::connect(addr).expect("connect");
+        c.lookup(PathKey(11)).expect("lookup");
+        c.report(PathKey(11), summary(4_000_000)).expect("report");
+        let blob = server.snapshot_blob();
+        drop(c);
+        server.shutdown();
+
+        // Operator restart: restore the store from the blob and come back
+        // at a strictly greater epoch so the old incarnation is fenced.
+        let (restored, old_epoch) = ContextStore::decode_snapshot(&blob).expect("snapshot decodes");
+        assert_eq!(old_epoch, 3);
+        assert_eq!(restored.traffic_counters(PathKey(11)), (1, 1));
+        let revived = ContextServer::start_ha(
+            "127.0.0.1:0",
+            sync_store(restored),
+            ServerConfig::default(),
+            HaOptions {
+                epoch: old_epoch + 1,
+                ..HaOptions::default()
+            },
+        )
+        .expect("restart");
+        let mut c = ContextClient::connect(revived.addr()).expect("connect");
+        assert_eq!(c.epoch().expect("epoch"), (4, Role::Primary));
+        let snap = c.lookup(PathKey(11)).expect("lookup");
+        assert!(snap.utilization > 0.0, "restored state lost");
         revived.shutdown();
     }
 }

@@ -18,6 +18,14 @@
 //! SNAPSHOT (6): u16 limit — dashboard query: the busiest paths
 //! PATHS    (7): u16 count, count x (u64 path, f64 utilization,
 //!               f64 queue_ms, u32 competing)
+//! EPOCH_QUERY (8): empty — which epoch/role are you?
+//! EPOCH    (9): u64 epoch, u8 role (1 = primary, 2 = backup)
+//! REPLICATE(10): u64 epoch, u64 seq, u8 op tag, op payload
+//!               (1 = LOOKUP: u64 path, u64 now_ns;
+//!                2 = REPORT: u64 path, u64 now_ns, REPORT summary body)
+//! SNAPSHOT_SYNC (11): u64 epoch, u32 len, len snapshot-blob bytes
+//!               (blob format is versioned separately — see
+//!               [`crate::context::ContextStore::encode_snapshot`])
 //! ```
 //!
 //! Framing follows the length-prefix pattern: the decoder accumulates
@@ -42,9 +50,23 @@ const TYPE_REPORT_OK: u8 = 4;
 const TYPE_ERROR: u8 = 5;
 const TYPE_SNAPSHOT: u8 = 6;
 const TYPE_PATHS: u8 = 7;
+const TYPE_EPOCH_QUERY: u8 = 8;
+const TYPE_EPOCH: u8 = 9;
+const TYPE_REPLICATE: u8 = 10;
+const TYPE_SNAPSHOT_SYNC: u8 = 11;
+
+const OP_LOOKUP: u8 = 1;
+const OP_REPORT: u8 = 2;
+
+const ROLE_PRIMARY: u8 = 1;
+const ROLE_BACKUP: u8 = 2;
 
 /// Most paths a PATHS reply may carry (bounded by `MAX_FRAME`).
 pub const MAX_SNAPSHOT_PATHS: usize = 1024;
+
+/// Largest snapshot blob a SNAPSHOT_SYNC frame may carry; the rest of
+/// the frame (length, version, type, epoch, blob length) needs 18 bytes.
+pub const MAX_SNAPSHOT_BLOB: usize = MAX_FRAME - 18;
 
 /// Machine-readable codes carried by [`Message::Error`] frames.
 ///
@@ -56,16 +78,123 @@ pub const MAX_SNAPSHOT_PATHS: usize = 1024;
 /// circuit breaker); all other codes poison nothing — the reply was a
 /// well-formed frame and the connection stays usable.
 pub mod code {
+    use super::ErrorCode;
+
     /// The request was well-framed but semantically wrong (e.g. a reply
     /// type sent in the client → server direction).
-    pub const BAD_REQUEST: u16 = 400;
+    pub const BAD_REQUEST: u16 = ErrorCode::BadRequest.as_u16();
     /// The frame could not be decoded; the connection is dropped after
     /// this error is sent (framing state is unrecoverable).
-    pub const MALFORMED: u16 = 422;
+    pub const MALFORMED: u16 = ErrorCode::Malformed.as_u16();
+    /// The request reached a deposed primary (or a backup): its epoch is
+    /// stale and its context must not be trusted. Clients drop the
+    /// connection and fail over to the next endpoint.
+    pub const FENCED: u16 = ErrorCode::Fenced.as_u16();
+    /// The frame was well-formed but this server does not implement the
+    /// requested operation (e.g. an unknown-but-well-framed message type,
+    /// or a snapshot blob from a future format version). The connection
+    /// stays usable.
+    pub const UNSUPPORTED: u16 = ErrorCode::Unsupported.as_u16();
     /// The server is at its connection cap and sheds this connection
     /// before serving any request. Retry later, against another replica,
     /// or degrade to no context.
-    pub const OVERLOADED: u16 = 503;
+    pub const OVERLOADED: u16 = ErrorCode::Overloaded.as_u16();
+}
+
+/// The closed set of error codes a server may emit. The `u16` constants
+/// in [`code`] are derived from this enum, and every accessor below is
+/// an exhaustive `match` — adding a variant without extending each
+/// mapping fails to compile, which is exactly the audit we want.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// 400 — well-framed but semantically wrong request.
+    BadRequest,
+    /// 409 — epoch fencing: the replica is deposed (or never primary).
+    Fenced,
+    /// 422 — undecodable frame; connection dropped after the error.
+    Malformed,
+    /// 501 — recognized framing, unimplemented operation or version.
+    Unsupported,
+    /// 503 — connection cap reached; shed before serving.
+    Overloaded,
+}
+
+impl ErrorCode {
+    /// Every defined code, for exhaustiveness tests and doc tables.
+    pub const ALL: [ErrorCode; 5] = [
+        ErrorCode::BadRequest,
+        ErrorCode::Fenced,
+        ErrorCode::Malformed,
+        ErrorCode::Unsupported,
+        ErrorCode::Overloaded,
+    ];
+
+    /// The stable on-wire value.
+    pub const fn as_u16(self) -> u16 {
+        match self {
+            ErrorCode::BadRequest => 400,
+            ErrorCode::Fenced => 409,
+            ErrorCode::Malformed => 422,
+            ErrorCode::Unsupported => 501,
+            ErrorCode::Overloaded => 503,
+        }
+    }
+
+    /// Parse an on-wire value; `None` for codes this build doesn't know
+    /// (a *newer* peer may legitimately send one — treat as a generic,
+    /// non-poisoning server error).
+    pub const fn from_u16(code: u16) -> Option<ErrorCode> {
+        match code {
+            400 => Some(ErrorCode::BadRequest),
+            409 => Some(ErrorCode::Fenced),
+            422 => Some(ErrorCode::Malformed),
+            501 => Some(ErrorCode::Unsupported),
+            503 => Some(ErrorCode::Overloaded),
+            _ => None,
+        }
+    }
+
+    /// One-line human description, for traces and error messages.
+    pub const fn description(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad request",
+            ErrorCode::Fenced => "fenced: stale epoch",
+            ErrorCode::Malformed => "malformed frame",
+            ErrorCode::Unsupported => "unsupported operation",
+            ErrorCode::Overloaded => "overloaded",
+        }
+    }
+}
+
+/// Which side of the replication pair a server is currently playing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Serves lookups/reports and streams deltas to backups.
+    Primary,
+    /// Applies replicated deltas; fences client requests with 409.
+    Backup,
+}
+
+/// A replicated state mutation, exactly mirroring the two mutating
+/// client requests so a backup's store replays the primary's history.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplOp {
+    /// A sender registered on `path` at `now_ns`.
+    Lookup {
+        /// The path the sender registered on.
+        path: PathKey,
+        /// Server-side clock when the lookup was applied.
+        now_ns: u64,
+    },
+    /// A sender on `path` finished and filed `summary` at `now_ns`.
+    Report {
+        /// The path the report is for.
+        path: PathKey,
+        /// Server-side clock when the report was applied.
+        now_ns: u64,
+        /// The finished flow's summary.
+        summary: FlowSummary,
+    },
 }
 
 /// A protocol message.
@@ -101,20 +230,59 @@ pub enum Message {
     },
     /// Server → client: per-path contexts, busiest first.
     Paths(Vec<(PathKey, ContextSnapshot)>),
+    /// Client → server: which epoch and role are you serving at?
+    EpochQuery,
+    /// Server → client: current epoch and role.
+    Epoch {
+        /// Monotonically increasing fencing token.
+        epoch: u64,
+        /// Primary or backup.
+        role: Role,
+    },
+    /// Primary → backup: one state delta, fenced by epoch.
+    Replicate {
+        /// The primary's epoch; stale epochs are rejected with 409.
+        epoch: u64,
+        /// Position in the primary's replication log (strictly increasing).
+        seq: u64,
+        /// The mutation itself.
+        op: ReplOp,
+    },
+    /// Primary → backup (or operator → restarted server): full state.
+    SnapshotSync {
+        /// The sender's epoch; stale epochs are rejected with 409.
+        epoch: u64,
+        /// Versioned snapshot blob — see
+        /// [`crate::context::ContextStore::encode_snapshot`].
+        blob: Vec<u8>,
+    },
 }
 
-/// Decoding failures. Frame errors are fatal for the connection;
-/// [`DecodeError::Incomplete`] just means "feed me more bytes".
+/// Decoding failures. [`DecodeError::Incomplete`] just means "feed me
+/// more bytes"; [`DecodeError::BadType`] is *recoverable* — the unknown
+/// frame was well-delimited and fully consumed, so the decoder stays
+/// aligned and the connection stays usable (forward compatibility with
+/// newer peers). Everything else is fatal for the connection.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DecodeError {
     /// Not enough buffered bytes for a full frame yet.
     Incomplete,
     /// The peer speaks a different protocol version.
     BadVersion(u8),
-    /// Unknown message type.
+    /// Unknown message type. The frame is consumed whole; decoding may
+    /// continue with the next frame.
     BadType(u8),
     /// Length field out of bounds or payload malformed.
     Malformed(&'static str),
+}
+
+impl DecodeError {
+    /// `true` if the stream is still frame-aligned after this error and
+    /// decoding may continue — i.e. the error names a frame we skipped,
+    /// not a corrupted stream.
+    pub fn is_recoverable(&self) -> bool {
+        matches!(self, DecodeError::BadType(_))
+    }
 }
 
 impl std::fmt::Display for DecodeError {
@@ -148,12 +316,7 @@ pub fn encode(msg: &Message) -> Bytes {
         Message::Report { path, summary } => {
             payload.put_u8(TYPE_REPORT);
             payload.put_u64(path.0);
-            payload.put_u64(summary.bytes);
-            payload.put_u64(summary.duration_ns);
-            payload.put_f64(summary.mean_rtt_ms);
-            payload.put_f64(summary.min_rtt_ms);
-            payload.put_u32(summary.retransmits);
-            payload.put_u32(summary.timeouts);
+            put_summary(&mut payload, summary);
         }
         Message::ReportOk => {
             payload.put_u8(TYPE_REPORT_OK);
@@ -181,11 +344,74 @@ pub fn encode(msg: &Message) -> Bytes {
             payload.put_u16(len as u16);
             payload.put_slice(&message.as_bytes()[..len]);
         }
+        Message::EpochQuery => {
+            payload.put_u8(TYPE_EPOCH_QUERY);
+        }
+        Message::Epoch { epoch, role } => {
+            payload.put_u8(TYPE_EPOCH);
+            payload.put_u64(*epoch);
+            payload.put_u8(match role {
+                Role::Primary => ROLE_PRIMARY,
+                Role::Backup => ROLE_BACKUP,
+            });
+        }
+        Message::Replicate { epoch, seq, op } => {
+            payload.put_u8(TYPE_REPLICATE);
+            payload.put_u64(*epoch);
+            payload.put_u64(*seq);
+            match op {
+                ReplOp::Lookup { path, now_ns } => {
+                    payload.put_u8(OP_LOOKUP);
+                    payload.put_u64(path.0);
+                    payload.put_u64(*now_ns);
+                }
+                ReplOp::Report {
+                    path,
+                    now_ns,
+                    summary,
+                } => {
+                    payload.put_u8(OP_REPORT);
+                    payload.put_u64(path.0);
+                    payload.put_u64(*now_ns);
+                    put_summary(&mut payload, summary);
+                }
+            }
+        }
+        Message::SnapshotSync { epoch, blob } => {
+            payload.put_u8(TYPE_SNAPSHOT_SYNC);
+            payload.put_u64(*epoch);
+            let len = blob.len().min(MAX_SNAPSHOT_BLOB);
+            payload.put_u32(len as u32);
+            payload.put_slice(&blob[..len]);
+        }
     }
     let mut frame = BytesMut::with_capacity(4 + payload.len());
     frame.put_u32(payload.len() as u32);
     frame.extend_from_slice(&payload);
     frame.freeze()
+}
+
+fn put_summary(payload: &mut BytesMut, s: &FlowSummary) {
+    payload.put_u64(s.bytes);
+    payload.put_u64(s.duration_ns);
+    payload.put_f64(s.mean_rtt_ms);
+    payload.put_f64(s.min_rtt_ms);
+    payload.put_u32(s.retransmits);
+    payload.put_u32(s.timeouts);
+}
+
+/// Byte size of an encoded [`FlowSummary`].
+const SUMMARY_LEN: usize = 40;
+
+fn get_summary(p: &mut BytesMut) -> FlowSummary {
+    FlowSummary {
+        bytes: p.get_u64(),
+        duration_ns: p.get_u64(),
+        mean_rtt_ms: p.get_f64(),
+        min_rtt_ms: p.get_f64(),
+        retransmits: p.get_u32(),
+        timeouts: p.get_u32(),
+    }
 }
 
 /// Longest prefix length ≤ `max` that ends on a UTF-8 boundary.
@@ -271,17 +497,10 @@ fn decode_payload(p: &mut BytesMut) -> Result<Message, DecodeError> {
             }))
         }
         TYPE_REPORT => {
-            need!(48);
+            need!(8 + SUMMARY_LEN);
             Ok(Message::Report {
                 path: PathKey(p.get_u64()),
-                summary: FlowSummary {
-                    bytes: p.get_u64(),
-                    duration_ns: p.get_u64(),
-                    mean_rtt_ms: p.get_f64(),
-                    min_rtt_ms: p.get_f64(),
-                    retransmits: p.get_u32(),
-                    timeouts: p.get_u32(),
-                },
+                summary: get_summary(p),
             })
         }
         TYPE_REPORT_OK => Ok(Message::ReportOk),
@@ -318,6 +537,52 @@ fn decode_payload(p: &mut BytesMut) -> Result<Message, DecodeError> {
             let message = String::from_utf8(raw.to_vec())
                 .map_err(|_| DecodeError::Malformed("error message not utf-8"))?;
             Ok(Message::Error { code, message })
+        }
+        TYPE_EPOCH_QUERY => Ok(Message::EpochQuery),
+        TYPE_EPOCH => {
+            need!(9);
+            let epoch = p.get_u64();
+            let role = match p.get_u8() {
+                ROLE_PRIMARY => Role::Primary,
+                ROLE_BACKUP => Role::Backup,
+                _ => return Err(DecodeError::Malformed("unknown role")),
+            };
+            Ok(Message::Epoch { epoch, role })
+        }
+        TYPE_REPLICATE => {
+            need!(17);
+            let epoch = p.get_u64();
+            let seq = p.get_u64();
+            let op = match p.get_u8() {
+                OP_LOOKUP => {
+                    need!(16);
+                    ReplOp::Lookup {
+                        path: PathKey(p.get_u64()),
+                        now_ns: p.get_u64(),
+                    }
+                }
+                OP_REPORT => {
+                    need!(16 + SUMMARY_LEN);
+                    ReplOp::Report {
+                        path: PathKey(p.get_u64()),
+                        now_ns: p.get_u64(),
+                        summary: get_summary(p),
+                    }
+                }
+                _ => return Err(DecodeError::Malformed("unknown replication op")),
+            };
+            Ok(Message::Replicate { epoch, seq, op })
+        }
+        TYPE_SNAPSHOT_SYNC => {
+            need!(12);
+            let epoch = p.get_u64();
+            let len = p.get_u32() as usize;
+            if len > MAX_SNAPSHOT_BLOB {
+                return Err(DecodeError::Malformed("snapshot blob too large"));
+            }
+            need!(len);
+            let blob = p.split_to(len).to_vec();
+            Ok(Message::SnapshotSync { epoch, blob })
         }
         other => Err(DecodeError::BadType(other)),
     }
@@ -380,6 +645,121 @@ mod tests {
             code: 404,
             message: "no such path".into(),
         });
+        roundtrip(Message::EpochQuery);
+        roundtrip(Message::Epoch {
+            epoch: 7,
+            role: Role::Primary,
+        });
+        roundtrip(Message::Epoch {
+            epoch: u64::MAX,
+            role: Role::Backup,
+        });
+        roundtrip(Message::Replicate {
+            epoch: 3,
+            seq: 1_000_000,
+            op: ReplOp::Lookup {
+                path: PathKey(9),
+                now_ns: 123_456,
+            },
+        });
+        roundtrip(Message::Replicate {
+            epoch: 3,
+            seq: 1_000_001,
+            op: ReplOp::Report {
+                path: PathKey(9),
+                now_ns: 223_456,
+                summary: FlowSummary {
+                    bytes: 42,
+                    duration_ns: 77,
+                    mean_rtt_ms: 1.5,
+                    min_rtt_ms: 1.0,
+                    retransmits: 2,
+                    timeouts: 0,
+                },
+            },
+        });
+        roundtrip(Message::SnapshotSync {
+            epoch: 12,
+            blob: vec![0xAB; 1024],
+        });
+        roundtrip(Message::SnapshotSync {
+            epoch: 13,
+            blob: Vec::new(),
+        });
+    }
+
+    #[test]
+    fn error_code_mappings_are_exhaustive_and_stable() {
+        // Exhaustive match: adding an `ErrorCode` variant without
+        // extending this test (and the `ALL` table) fails to compile.
+        for c in ErrorCode::ALL {
+            let expected = match c {
+                ErrorCode::BadRequest => 400,
+                ErrorCode::Fenced => 409,
+                ErrorCode::Malformed => 422,
+                ErrorCode::Unsupported => 501,
+                ErrorCode::Overloaded => 503,
+            };
+            assert_eq!(c.as_u16(), expected);
+            assert_eq!(ErrorCode::from_u16(c.as_u16()), Some(c));
+            assert!(!c.description().is_empty());
+        }
+        // The wire constants are derived from the enum.
+        assert_eq!(code::BAD_REQUEST, 400);
+        assert_eq!(code::FENCED, 409);
+        assert_eq!(code::MALFORMED, 422);
+        assert_eq!(code::UNSUPPORTED, 501);
+        assert_eq!(code::OVERLOADED, 503);
+        // Unknown codes parse to None, never panic.
+        assert_eq!(ErrorCode::from_u16(0), None);
+        assert_eq!(ErrorCode::from_u16(599), None);
+    }
+
+    #[test]
+    fn unknown_frame_type_is_recoverable() {
+        // A well-delimited frame of an unknown (future) type must not
+        // desync the stream: the decoder reports BadType, consumes the
+        // frame whole, and yields the next pipelined message intact.
+        let mut stream = Vec::new();
+        let mut unknown = BytesMut::new();
+        unknown.put_u32(2 + 11); // version + type + 11 payload bytes
+        unknown.put_u8(VERSION);
+        unknown.put_u8(200); // type from the future
+        unknown.put_slice(&[0xEE; 11]);
+        stream.extend_from_slice(&unknown);
+        stream.extend_from_slice(&encode(&Message::ReportOk));
+        let mut d = Decoder::new();
+        d.extend(&stream);
+        let err = d.next().unwrap_err();
+        assert_eq!(err, DecodeError::BadType(200));
+        assert!(err.is_recoverable());
+        assert_eq!(d.next().unwrap(), Message::ReportOk);
+        assert_eq!(d.next(), Err(DecodeError::Incomplete));
+    }
+
+    #[test]
+    fn fatal_decode_errors_are_not_recoverable() {
+        assert!(!DecodeError::Incomplete.is_recoverable());
+        assert!(!DecodeError::BadVersion(9).is_recoverable());
+        assert!(!DecodeError::Malformed("x").is_recoverable());
+    }
+
+    #[test]
+    fn oversized_snapshot_blob_rejected() {
+        // Hand-build a SNAPSHOT_SYNC whose blob-length field exceeds the
+        // bound; must be a clean typed error.
+        let mut frame = BytesMut::new();
+        frame.put_u32(2 + 12);
+        frame.put_u8(VERSION);
+        frame.put_u8(11); // TYPE_SNAPSHOT_SYNC
+        frame.put_u64(1); // epoch
+        frame.put_u32(MAX_FRAME as u32); // blob length: too large
+        let mut d = Decoder::new();
+        d.extend(&frame);
+        assert_eq!(
+            d.next(),
+            Err(DecodeError::Malformed("snapshot blob too large"))
+        );
     }
 
     #[test]

@@ -8,10 +8,16 @@ use std::time::Duration;
 
 use proptest::prelude::*;
 
-use phi_core::context::{ContextStore, FlowSummary, PathKey, StoreConfig};
+use phi_core::context::{
+    ContextStore, FlowSummary, PathKey, SnapshotError, StoreConfig, SNAPSHOT_VERSION,
+};
 use phi_core::server::{ClientConfig, ClientError, ContextClient};
-use phi_core::wire::{encode, DecodeError, Decoder, Message};
+use phi_core::wire::{encode, DecodeError, Decoder, Message, ReplOp, Role};
 use phi_tcp::hook::ContextSnapshot;
+
+/// Frame type codes 1..=11 are assigned; everything above is unknown and
+/// must decode as the *recoverable* `BadType`.
+const FIRST_UNKNOWN_TYPE: u8 = 12;
 
 fn arb_summary() -> impl Strategy<Value = FlowSummary> {
     (
@@ -42,6 +48,26 @@ fn arb_snapshot() -> impl Strategy<Value = ContextSnapshot> {
     })
 }
 
+fn arb_role() -> impl Strategy<Value = Role> {
+    prop_oneof![Just(Role::Primary), Just(Role::Backup)]
+}
+
+fn arb_replop() -> impl Strategy<Value = ReplOp> {
+    prop_oneof![
+        (any::<u64>(), any::<u64>()).prop_map(|(p, now_ns)| ReplOp::Lookup {
+            path: PathKey(p),
+            now_ns,
+        }),
+        (any::<u64>(), any::<u64>(), arb_summary()).prop_map(|(p, now_ns, summary)| {
+            ReplOp::Report {
+                path: PathKey(p),
+                now_ns,
+                summary,
+            }
+        }),
+    ]
+}
+
 fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
         any::<u64>().prop_map(|p| Message::Lookup { path: PathKey(p) }),
@@ -56,6 +82,12 @@ fn arb_message() -> impl Strategy<Value = Message> {
         proptest::collection::vec((any::<u64>(), arb_snapshot()), 0..40).prop_map(|entries| {
             Message::Paths(entries.into_iter().map(|(k, s)| (PathKey(k), s)).collect())
         }),
+        Just(Message::EpochQuery),
+        (any::<u64>(), arb_role()).prop_map(|(epoch, role)| Message::Epoch { epoch, role }),
+        (any::<u64>(), any::<u64>(), arb_replop())
+            .prop_map(|(epoch, seq, op)| Message::Replicate { epoch, seq, op }),
+        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..300))
+            .prop_map(|(epoch, blob)| Message::SnapshotSync { epoch, blob }),
     ]
 }
 
@@ -256,14 +288,30 @@ proptest! {
     }
 
     /// An unknown type code is rejected as `BadType` regardless of the
-    /// payload that follows.
+    /// payload that follows — and `BadType` is the one *recoverable*
+    /// decode error: the unknown frame is consumed whole, so a message
+    /// from a future protocol pipelined behind it still decodes. This is
+    /// the wire-level forward-compatibility contract.
     #[test]
-    fn unknown_type_rejected(msg in arb_message(), bad in 8u8..=255) {
+    fn unknown_type_rejected_and_recoverable(
+        msg in arb_message(),
+        follower in arb_message(),
+        bad in FIRST_UNKNOWN_TYPE..=255,
+    ) {
         let mut frame = encode(&msg).to_vec();
         frame[5] = bad;
         let mut d = Decoder::new();
         d.extend(&frame);
-        prop_assert_eq!(d.next(), Err(DecodeError::BadType(bad)));
+        d.extend(&encode(&follower));
+        match d.next() {
+            Err(e @ DecodeError::BadType(t)) => {
+                prop_assert_eq!(t, bad);
+                prop_assert!(e.is_recoverable(), "BadType must be recoverable");
+            }
+            other => prop_assert!(false, "expected BadType, got {:?}", other),
+        }
+        // The stream is still frame-aligned: the follower decodes intact.
+        prop_assert_eq!(d.next().unwrap(), follower);
     }
 
     /// Shortening the payload while keeping the length header honest
@@ -316,6 +364,89 @@ proptest! {
             } else {
                 store.report(path, now, &summary);
                 balance[path_idx as usize] = (balance[path_idx as usize] - 1).max(0);
+            }
+        }
+    }
+
+    /// Snapshot/restore is lossless for any store state reachable through
+    /// the public API, and the epoch tag survives verbatim: the restored
+    /// store is `==` the original (same paths, same EWMA state, same
+    /// recent-report ring), so a restarted server resumes mid-estimate.
+    #[test]
+    fn snapshot_roundtrip_any_store_state(
+        ops in proptest::collection::vec(
+            (any::<bool>(), 0u64..5, 0u64..100_000_000_000, arb_summary()),
+            0..120,
+        ),
+        epoch in any::<u64>(),
+    ) {
+        let mut store = ContextStore::new(StoreConfig {
+            window_ns: 10_000_000_000,
+            capacity_bps: None, // exercise learned capacity too
+            queue_alpha: 0.3,
+        });
+        for (is_lookup, path_idx, now, summary) in ops {
+            if is_lookup {
+                store.lookup(PathKey(path_idx), now);
+            } else {
+                store.report(PathKey(path_idx), now, &summary);
+            }
+        }
+        let blob = store.encode_snapshot(epoch);
+        let (restored, got_epoch) = ContextStore::decode_snapshot(&blob)
+            .expect("own snapshot must decode");
+        prop_assert_eq!(got_epoch, epoch);
+        prop_assert_eq!(&restored, &store, "restore lost state");
+        // Determinism of the encoding itself: same state, same bytes.
+        prop_assert_eq!(restored.encode_snapshot(epoch), blob);
+    }
+
+    /// A snapshot from a *future* format version is a clean typed error —
+    /// never a panic, never a silently misread store — no matter what the
+    /// rest of the blob holds.
+    #[test]
+    fn future_snapshot_version_is_typed_error(
+        version in (SNAPSHOT_VERSION + 1)..=255,
+        body in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let mut blob = vec![version];
+        blob.extend_from_slice(&body);
+        prop_assert_eq!(
+            ContextStore::decode_snapshot(&blob),
+            Err(SnapshotError::UnsupportedVersion(version))
+        );
+    }
+
+    /// Truncating a valid snapshot anywhere past the version byte yields
+    /// a typed error (`Truncated` or `Malformed`), never a panic and
+    /// never a partially-restored store presented as success.
+    #[test]
+    fn truncated_snapshot_is_typed_error(
+        ops in proptest::collection::vec(
+            (any::<bool>(), 0u64..3, 0u64..50_000_000_000, arb_summary()),
+            1..40,
+        ),
+    ) {
+        let mut store = ContextStore::new(StoreConfig::default());
+        for (is_lookup, path_idx, now, summary) in ops {
+            if is_lookup {
+                store.lookup(PathKey(path_idx), now);
+            } else {
+                store.report(PathKey(path_idx), now, &summary);
+            }
+        }
+        let blob = store.encode_snapshot(1);
+        let stride = (blob.len() / 48).max(1);
+        for cut in (1..blob.len()).step_by(stride) {
+            match ContextStore::decode_snapshot(&blob[..cut]) {
+                Err(SnapshotError::Truncated) | Err(SnapshotError::Malformed(_)) => {}
+                Ok(_) => prop_assert!(
+                    false,
+                    "truncation at {} of {} decoded successfully",
+                    cut,
+                    blob.len()
+                ),
+                Err(e) => prop_assert!(false, "unexpected error at {}: {:?}", cut, e),
             }
         }
     }

@@ -4,7 +4,7 @@
 //! from the trainer to the fleet.
 
 use phi::core::harness::BottleneckQueue;
-use phi::core::{ExperimentSpec, FlowSummary, PolicyTable, StoreConfig};
+use phi::core::{ExperimentSpec, FlowSummary, HaSpec, PolicyTable, ServerCrashPlan, StoreConfig};
 use phi::remy::{Action, WhiskerTree};
 use phi::sim::time::Dur;
 use phi::tcp::report::{FlowReport, RunMetrics};
@@ -30,6 +30,59 @@ fn experiment_spec_roundtrips() {
     assert_eq!(back.queue, BottleneckQueue::Red);
     assert_eq!(back.dupack_threshold, 5);
     assert_eq!(back.workload, OnOffConfig::fig2());
+}
+
+/// The HA section is additive: a spec serialized before the field
+/// existed (no `"ha"` key) must still deserialize — to `None`, the
+/// classic single-store plane — so stored experiment configs and
+/// EXPERIMENTS provenance stay readable forever.
+#[test]
+fn pre_ha_spec_json_deserializes_to_no_ha_plane() {
+    let spec = ExperimentSpec::new(4, OnOffConfig::fig2(), Dur::from_secs(30), 7);
+    let mut json = serde_json::to_string(&spec).expect("serialize");
+    assert!(
+        json.contains("\"ha\""),
+        "field should serialize when present"
+    );
+    // Strip the field the way an old writer simply wouldn't have had it.
+    json = json.replace(",\"ha\":null", "");
+    assert!(
+        !json.contains("\"ha\""),
+        "test must actually remove the key"
+    );
+    let back: ExperimentSpec = serde_json::from_str(&json).expect("old JSON must deserialize");
+    assert_eq!(back.ha, None);
+    assert_eq!(back.seed, 7);
+}
+
+#[test]
+fn ha_spec_and_crash_plans_roundtrip() {
+    for plan in [
+        ServerCrashPlan::none(),
+        ServerCrashPlan::crash_at(Dur::from_secs(5)),
+        ServerCrashPlan::crash_restart(Dur::from_secs(5), Dur::from_secs(2)),
+        ServerCrashPlan::flapping(
+            Dur::from_secs(3),
+            Dur::from_millis(500),
+            Dur::from_secs(2),
+            4,
+            0.25,
+        ),
+    ] {
+        assert_eq!(roundtrip(&plan), plan);
+        let ha = HaSpec {
+            plan,
+            repl_lag: Dur::from_millis(75),
+            failover_delay: Dur::from_millis(300),
+        };
+        assert_eq!(roundtrip(&ha), ha);
+
+        // And through the full spec, where it rides as Option<HaSpec>.
+        let mut spec = ExperimentSpec::new(2, OnOffConfig::fig2(), Dur::from_secs(10), 1);
+        spec.ha = Some(ha.clone());
+        let back = roundtrip(&spec);
+        assert_eq!(back.ha, Some(ha));
+    }
 }
 
 #[test]

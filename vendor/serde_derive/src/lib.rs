@@ -10,10 +10,16 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// What we learned about the item under the derive.
 enum Shape {
-    NamedStruct { name: String, fields: Vec<String> },
+    NamedStruct { name: String, fields: Vec<Field> },
     TupleStruct { name: String, arity: usize },
     UnitStruct { name: String },
     Enum { name: String, variants: Vec<Variant> },
+}
+
+/// One named field and whether it carries `#[serde(default)]`.
+struct Field {
+    name: String,
+    default: bool,
 }
 
 struct Variant {
@@ -24,11 +30,11 @@ struct Variant {
 enum VariantKind {
     Unit,
     Tuple(usize),
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
 }
 
 /// Derive `serde::Serialize` (vendored value-tree flavor).
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let shape = parse_item(input);
     let src = match &shape {
@@ -36,6 +42,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             let entries: Vec<String> = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"
                     )
@@ -99,8 +106,10 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                             )
                         }
                         VariantKind::Struct(fields) => {
-                            let binds = fields.join(", ");
-                            let entries: Vec<String> = fields
+                            let names: Vec<&str> =
+                                fields.iter().map(|f| f.name.as_str()).collect();
+                            let binds = names.join(", ");
+                            let entries: Vec<String> = names
                                 .iter()
                                 .map(|f| format!(
                                     "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
@@ -128,7 +137,11 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derive `serde::Deserialize` (vendored value-tree flavor).
-#[proc_macro_derive(Deserialize)]
+///
+/// `#[serde(default)]` on a named field makes a missing key fall back to
+/// `Default::default()` instead of erroring — the forward-compatibility
+/// escape hatch for fields added after payloads were written.
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let shape = parse_item(input);
     let src = match &shape {
@@ -136,9 +149,19 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             let inits: Vec<String> = fields
                 .iter()
                 .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::from_value(::serde::get_field(map, \"{f}\")?)?"
-                    )
+                    let (f, default) = (&f.name, f.default);
+                    if default {
+                        format!(
+                            "{f}: match ::serde::get_field(map, \"{f}\") {{\n\
+                                 ::std::result::Result::Ok(v) => ::serde::Deserialize::from_value(v)?,\n\
+                                 ::std::result::Result::Err(_) => ::std::default::Default::default(),\n\
+                             }}"
+                        )
+                    } else {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(::serde::get_field(map, \"{f}\")?)?"
+                        )
+                    }
                 })
                 .collect();
             format!(
@@ -215,9 +238,12 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                         VariantKind::Struct(fields) => {
                             let inits: Vec<String> = fields
                                 .iter()
-                                .map(|f| format!(
-                                    "{f}: ::serde::Deserialize::from_value(::serde::get_field(inner, \"{f}\")?)?"
-                                ))
+                                .map(|f| {
+                                    let f = &f.name;
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(::serde::get_field(inner, \"{f}\")?)?"
+                                    )
+                                })
                                 .collect();
                             Some(format!(
                                 "\"{vn}\" => {{\n\
@@ -291,10 +317,15 @@ fn parse_item(input: TokenStream) -> Shape {
 }
 
 /// Advance past `#[...]` attributes (incl. doc comments) and visibility.
-fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+/// Returns whether a `#[serde(default)]` was among the skipped attributes.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut serde_default = false;
     loop {
         match tokens.get(*i) {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+                    serde_default |= attr_is_serde_default(g);
+                }
                 *i += 2; // '#' then the bracket group
             }
             Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
@@ -305,8 +336,28 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
                     }
                 }
             }
-            _ => return,
+            _ => return serde_default,
         }
+    }
+}
+
+/// Does this `[...]` attribute group spell `serde(default)`?
+fn attr_is_serde_default(g: &proc_macro::Group) -> bool {
+    if g.delimiter() != Delimiter::Bracket {
+        return false;
+    }
+    let tokens: Vec<TokenTree> = g.stream().into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args)))
+            if id.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+            matches!(
+                (inner.first(), inner.len()),
+                (Some(TokenTree::Ident(arg)), 1) if arg.to_string() == "default"
+            )
+        }
+        _ => false,
     }
 }
 
@@ -352,15 +403,15 @@ fn count_top_level_commas(stream: TokenStream) -> usize {
     items
 }
 
-/// Field names of a `{ ... }` struct body.
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// Fields (name + `#[serde(default)]` flag) of a `{ ... }` struct body.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut i = 0;
     let mut fields = Vec::new();
     while i < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut i);
+        let default = skip_attrs_and_vis(&tokens, &mut i);
         let Some(name) = ident_at(&tokens, &mut i) else { break };
-        fields.push(name);
+        fields.push(Field { name, default });
         // Skip ':' and the type, up to the comma at angle depth zero.
         let mut depth = 0i32;
         while i < tokens.len() {
