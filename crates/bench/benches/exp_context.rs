@@ -1,0 +1,252 @@
+//! Context-plane scale bench: reports/sec and query latency of the live
+//! `ContextServer` as sender count and shard count grow.
+//!
+//! The paper's provider-run context plane must absorb end-of-connection
+//! reports from millions of senders and answer lookups at connection
+//! setup. This bench drives a real server over loopback TCP with a grid
+//! of (senders × shards) and measures, per cell:
+//!
+//! - single-frame reports/sec (one `Report` frame per report — the
+//!   pre-batch protocol),
+//! - batched reports/sec (`BatchReport` frames carrying 64 reports — the
+//!   write-behind flush path),
+//! - p50/p99 single-query latency against the loaded store.
+//!
+//! Full mode writes `BENCH_context.json` at the repo root for cross-PR
+//! comparison (same convention as `BENCH_engine.json`); `--test` runs a
+//! reduced grid for CI smoke.
+
+use std::net::SocketAddr;
+use std::time::Instant;
+
+use phi_core::context::{FlowSummary, PathKey, StoreConfig};
+use phi_core::server::{ContextClient, ContextServer, ServerConfig};
+use serde::Serialize;
+
+/// Reports shipped per batch frame in the batched phase — the default
+/// write-behind `max_items`.
+const BATCH: usize = 64;
+
+/// Client threads driving each phase. The container is small, so a few
+/// threads saturate the server; the *senders* axis scales the keyspace
+/// and per-path state, not the thread count.
+const THREADS: usize = 4;
+
+fn summary(i: u64) -> FlowSummary {
+    FlowSummary {
+        bytes: 200_000 + i * 1_000,
+        duration_ns: 1_500_000_000,
+        mean_rtt_ms: 165.0,
+        min_rtt_ms: 150.0,
+        retransmits: i.is_multiple_of(7) as u32,
+        timeouts: 0,
+    }
+}
+
+/// Pre-connected clients, each owning a contiguous slice of the sender
+/// index space. Connection setup stays *outside* every timed region —
+/// the plane's steady state serves long-lived connections, so a cell's
+/// number must not be dominated by accept/handshake cost.
+fn connect_workers(addr: SocketAddr, senders: usize) -> Vec<(ContextClient, usize, usize)> {
+    let per = senders.div_ceil(THREADS);
+    (0..THREADS)
+        .map(|t| (t * per, ((t + 1) * per).min(senders)))
+        .filter(|(lo, hi)| lo < hi)
+        .map(|(lo, hi)| (ContextClient::connect(addr).expect("connect"), lo, hi))
+        .collect()
+}
+
+/// Ship `reports_per_sender` reports for every sender, one wire frame
+/// per report. Returns reports/sec.
+fn drive_single(addr: SocketAddr, senders: usize, reports_per_sender: usize) -> f64 {
+    let workers = connect_workers(addr, senders);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for (mut c, lo, hi) in workers {
+            scope.spawn(move || {
+                for r in 0..reports_per_sender {
+                    for s in lo..hi {
+                        c.report(PathKey(s as u64), summary(r as u64))
+                            .expect("report");
+                    }
+                }
+            });
+        }
+    });
+    (senders * reports_per_sender) as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Ship the same reports through `BatchReport` frames of `BATCH` items
+/// (the write-behind flush path). Returns reports/sec.
+fn drive_batched(addr: SocketAddr, senders: usize, reports_per_sender: usize) -> f64 {
+    let workers = connect_workers(addr, senders);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for (mut c, lo, hi) in workers {
+            scope.spawn(move || {
+                let mut buf: Vec<(PathKey, FlowSummary)> = Vec::with_capacity(BATCH);
+                for r in 0..reports_per_sender {
+                    for s in lo..hi {
+                        buf.push((PathKey(s as u64), summary(r as u64)));
+                        if buf.len() == BATCH {
+                            c.report_batch(&buf).expect("batch report");
+                            buf.clear();
+                        }
+                    }
+                }
+                if !buf.is_empty() {
+                    c.report_batch(&buf).expect("batch report");
+                }
+            });
+        }
+    });
+    (senders * reports_per_sender) as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// `queries` single lookups round-robin over the keyspace, measured
+/// individually. Returns (p50_ms, p99_ms).
+fn drive_queries(addr: SocketAddr, senders: usize, queries: usize) -> (f64, f64) {
+    let mut c = ContextClient::connect(addr).expect("connect");
+    let mut lat_ms: Vec<f64> = Vec::with_capacity(queries);
+    for q in 0..queries {
+        let path = PathKey((q % senders) as u64);
+        let t0 = Instant::now();
+        c.lookup(path).expect("lookup");
+        lat_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    lat_ms.sort_by(|a, b| a.total_cmp(b));
+    let pick =
+        |p: f64| lat_ms[((lat_ms.len() as f64 * p).ceil() as usize - 1).min(lat_ms.len() - 1)];
+    (pick(0.50), pick(0.99))
+}
+
+#[derive(Serialize)]
+struct Cell {
+    senders: usize,
+    shards: usize,
+    single_reports_per_sec: f64,
+    batch_reports_per_sec: f64,
+    batch_speedup: f64,
+    query_p50_ms: f64,
+    query_p99_ms: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    batch_items: usize,
+    client_threads: usize,
+    reports_per_sender: usize,
+    queries: usize,
+    grid: Vec<Cell>,
+}
+
+/// One grid cell: a fresh sharded server per phase so the single and
+/// batched paths load identical (empty) stores. Each phase is the best
+/// of `iters` passes — the box is small and shared, so a single pass
+/// can eat an arbitrary scheduling stall.
+fn run_cell(
+    senders: usize,
+    shards: usize,
+    reports_per_sender: usize,
+    queries: usize,
+    iters: usize,
+) -> Cell {
+    let fresh = || {
+        ContextServer::start_sharded(
+            "127.0.0.1:0",
+            StoreConfig::default(),
+            ServerConfig::default(),
+            shards,
+        )
+        .expect("bind")
+    };
+    let best = |f: &dyn Fn(SocketAddr) -> f64| {
+        let server = fresh();
+        let rate = (0..iters).map(|_| f(server.addr())).fold(0.0f64, f64::max);
+        server.shutdown();
+        rate
+    };
+
+    let single_rps = best(&|addr| drive_single(addr, senders, reports_per_sender));
+    let batch_rps = best(&|addr| drive_batched(addr, senders, reports_per_sender));
+
+    // Queries run against a batch-loaded server: every path has state.
+    let server = fresh();
+    drive_batched(server.addr(), senders, reports_per_sender);
+    let (p50_ms, p99_ms) = drive_queries(server.addr(), senders, queries);
+    server.shutdown();
+
+    let round = |v: f64, places: f64| (v * places).round() / places;
+    Cell {
+        senders,
+        shards,
+        single_reports_per_sec: round(single_rps, 10.0),
+        batch_reports_per_sec: round(batch_rps, 10.0),
+        batch_speedup: round(batch_rps / single_rps, 100.0),
+        query_p50_ms: round(p50_ms, 1000.0),
+        query_p99_ms: round(p99_ms, 1000.0),
+    }
+}
+
+fn main() {
+    // Cargo passes `--bench`; CI's smoke step passes `--test` for a
+    // reduced grid that still exercises every phase end to end.
+    let quick = std::env::args().any(|a| a == "--test");
+    let (sender_grid, shard_grid, reports_per_sender, queries, iters) = if quick {
+        (vec![16, 64], vec![1, 4], 2, 200, 1)
+    } else {
+        (vec![64, 256, 1024], vec![1, 8], 8, 2_000, 5)
+    };
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &shards in &shard_grid {
+        for &senders in &sender_grid {
+            let cell = run_cell(senders, shards, reports_per_sender, queries, iters);
+            println!(
+                "context/{shards}shard_{senders}senders          single: {:.3e} rep/s  \
+                 batch({BATCH}): {:.3e} rep/s  ({:.1}x)  query p50: {:.3} ms  p99: {:.3} ms",
+                cell.single_reports_per_sec,
+                cell.batch_reports_per_sec,
+                cell.batch_speedup,
+                cell.query_p50_ms,
+                cell.query_p99_ms,
+            );
+            cells.push(cell);
+        }
+    }
+
+    // The tentpole claim, checked where it matters most: at the largest
+    // sender count the batch path must amortize codec + syscall cost to
+    // at least 2x the single-frame path. Enforced in full mode only —
+    // the CI smoke grid is too small for a stable ratio.
+    let largest = *sender_grid.iter().max().expect("non-empty grid");
+    for cell in cells.iter().filter(|c| c.senders == largest) {
+        let speedup = cell.batch_speedup;
+        println!(
+            "context/claim {}shard_{}senders            batch speedup {speedup:.1}x (need >= 2x)",
+            cell.shards, cell.senders,
+        );
+        assert!(
+            quick || speedup >= 2.0,
+            "batch path only {speedup:.2}x single at {} senders / {} shards",
+            cell.senders,
+            cell.shards
+        );
+    }
+
+    if !quick {
+        let report = BenchReport {
+            batch_items: BATCH,
+            client_threads: THREADS,
+            reports_per_sender,
+            queries,
+            grid: cells,
+        };
+        let json = serde_json::to_string_pretty(&report).expect("serialize") + "\n";
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_context.json");
+        match std::fs::write(path, json) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+}

@@ -21,7 +21,7 @@ use phi_workload::{OnOffConfig, OnOffSource, SeedRng};
 use serde::{Deserialize, Serialize};
 
 use crate::context::{ContextStore, PathKey, StoreConfig};
-use crate::crash::{HaHook, HaPlane, HaReport, HaSpec};
+use crate::crash::{HaHook, HaPlane, HaPlaneSet, HaReport, HaSpec, ServerCrashPlan};
 use crate::hooks::{fault_counters, shared, FaultPlan, FaultyHook, PracticalHook, SharedStore};
 use crate::policy::PolicyTable;
 use crate::runpool::{derive_seed, RunPool};
@@ -109,9 +109,11 @@ pub struct ProvisionCtx<'a> {
     /// the workload streams) for stochastic provisioning such as fault
     /// injection. Fork it further by label before drawing.
     pub rng: SeedRng,
-    /// The run's replicated crash-injected context plane, when the spec
-    /// carries an [`ExperimentSpec::ha`] section (clones share state).
-    pub ha: Option<HaPlane>,
+    /// The run's replicated crash-injected context planes (one per
+    /// shard; a single-element set unless the spec shards the plane),
+    /// when the spec carries an [`ExperimentSpec::ha`] section (clones
+    /// share state).
+    pub ha: Option<HaPlaneSet>,
 }
 
 /// What a provisioner returns for one sender.
@@ -138,8 +140,12 @@ pub struct RunResult {
     pub store: ContextStore,
     /// Events the simulator processed (determinism checks, perf metrics).
     pub events: u64,
-    /// What the crash-injected HA plane did, when the spec carried one.
+    /// What the crash-injected HA plane did, when the spec carried an
+    /// unsharded one ([`HaSpec::shards`] absent or `count <= 1`).
     pub ha: Option<HaReport>,
+    /// Per-shard HA reports, in shard order, when the spec sharded the
+    /// plane ([`HaSpec::shards`] with `count > 1`); `None` otherwise.
+    pub ha_shards: Option<Vec<HaReport>>,
 }
 
 impl RunResult {
@@ -196,11 +202,33 @@ pub fn run_experiment(
     let store = shared(ContextStore::new(spec.store));
     let root = SeedRng::new(spec.seed);
     // Fork the crash stream only when a plan exists: specs without an HA
-    // section must replay bit-for-bit against their pre-HA digests.
-    let ha_plane = spec
-        .ha
-        .as_ref()
-        .map(|ha| HaPlane::new(spec.store, ha, root.fork("server-crash"), spec.duration));
+    // section must replay bit-for-bit against their pre-HA digests. An
+    // unsharded plane keeps the original `server-crash` fork for the
+    // same reason; only a sharded spec consumes the per-shard streams.
+    let ha_planes = spec.ha.as_ref().map(|ha| match ha.shards {
+        Some(sh) if sh.count > 1 => HaPlaneSet::new(
+            (0..sh.count)
+                .map(|s| {
+                    let mut shard_spec = ha.clone();
+                    if s != sh.crash_shard {
+                        shard_spec.plan = ServerCrashPlan::none();
+                    }
+                    HaPlane::new(
+                        spec.store,
+                        &shard_spec,
+                        root.fork_indexed("server-crash-shard", u64::from(s)),
+                        spec.duration,
+                    )
+                })
+                .collect(),
+        ),
+        _ => HaPlaneSet::single(HaPlane::new(
+            spec.store,
+            ha,
+            root.fork("server-crash"),
+            spec.duration,
+        )),
+    });
 
     let mut sender_ids = Vec::with_capacity(spec.dumbbell.pairs);
     for i in 0..spec.dumbbell.pairs {
@@ -210,7 +238,7 @@ pub fn run_experiment(
             store: &store,
             path: DUMBBELL_PATH,
             rng: root.fork_indexed("provision", i as u64),
-            ha: ha_plane.clone(),
+            ha: ha_planes.clone(),
         });
         let mut cfg = SenderConfig::new(net.receivers[i], 80, 10);
         cfg.dupack_threshold = spec.dupack_threshold;
@@ -258,6 +286,11 @@ pub fn run_experiment(
     );
 
     let store = store.borrow().clone();
+    let (ha, ha_shards) = match ha_planes {
+        Some(set) if set.shard_count() > 1 => (None, Some(set.reports())),
+        Some(set) => (Some(set.plane(0).report_summary()), None),
+        None => (None, None),
+    };
     RunResult {
         metrics,
         per_sender,
@@ -265,7 +298,8 @@ pub fn run_experiment(
         base_rtt_ms: spec.base_rtt_ms(),
         store,
         events: sim.events_processed(),
-        ha: ha_plane.map(|p| p.report_summary()),
+        ha,
+        ha_shards,
     }
 }
 
@@ -345,7 +379,10 @@ pub fn provision_cubic_phi_ha(
         let policy = policy.clone();
         let plane = ctx
             .ha
-            .expect("provision_cubic_phi_ha requires ExperimentSpec::ha");
+            .as_ref()
+            .expect("provision_cubic_phi_ha requires ExperimentSpec::ha")
+            .plane_for(ctx.path)
+            .clone();
         Provisioned {
             factory: Box::new(move |snap| {
                 let params = match snap {

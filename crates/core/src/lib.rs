@@ -31,8 +31,13 @@
 //! * [`privacy`] — additive secret-sharing aggregation, the §3.1 building
 //!   block for a cross-provider "network weather" barometer that reveals
 //!   only the aggregate.
+//! * [`shard`] — the sharded context store: N independent shards keyed
+//!   by a stable hash of the path, observably equivalent to the classic
+//!   store (paths never interact), each shard with its own lock,
+//!   replication log, and failover epoch in the server.
 //! * [`wire`] / [`server`] — a real context server: length-prefixed binary
-//!   protocol, threaded TCP service, blocking client.
+//!   protocol (single and batch frames), threaded TCP service, blocking
+//!   client with a write-behind report buffer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,10 +54,13 @@ pub mod priority;
 pub mod privacy;
 pub mod runpool;
 pub mod server;
+pub mod shard;
 pub mod wire;
 
 pub use context::{ContextStore, FlowSummary, PathKey, SnapshotError, StoreConfig};
-pub use crash::{CrashCounters, HaHook, HaPlane, HaReport, HaSpec, ServerCrashPlan};
+pub use crash::{
+    CrashCounters, HaHook, HaPlane, HaPlaneSet, HaReport, HaSpec, ServerCrashPlan, ShardedHa,
+};
 pub use harness::{
     is_modified, provision_cubic, provision_cubic_phi, provision_cubic_phi_faulty,
     provision_cubic_phi_ha, provision_mixed, run_experiment, run_repeated, run_repeated_on,
@@ -72,5 +80,7 @@ pub use runpool::{derive_seed, RunPool};
 pub use server::{
     sync_store, ClientConfig, ClientError, ContextClient, ContextServer, HaOptions,
     ResilienceConfig, ResilienceStats, ResilientClient, ServerConfig, ServerStats, SyncStore,
+    WriteBehindConfig,
 };
+pub use shard::{shard_index, ShardedStore};
 pub use wire::{ErrorCode, ReplOp, Role};

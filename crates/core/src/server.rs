@@ -49,7 +49,8 @@ use std::time::{Duration, Instant};
 use parking_lot::{Mutex, RwLock};
 use phi_tcp::hook::ContextSnapshot;
 
-use crate::context::{ContextStore, FlowSummary, PathKey, SnapshotError};
+use crate::context::{ContextStore, FlowSummary, PathKey, SnapshotError, StoreConfig};
+use crate::shard::shard_index;
 use crate::wire::{code, encode, DecodeError, Decoder, Message, ReplOp, Role};
 
 /// A thread-safe context store handle, shared by server handlers and any
@@ -68,9 +69,9 @@ pub struct ServerStats {
     pub connections: AtomicU64,
     /// Connections shed with an overload error frame (cap reached).
     pub rejected: AtomicU64,
-    /// Lookup requests served.
+    /// Lookup requests served (a batch query adds one per path).
     pub lookups: AtomicU64,
-    /// Reports accepted.
+    /// Reports accepted (a batch report adds one per item).
     pub reports: AtomicU64,
     /// Protocol errors answered.
     pub protocol_errors: AtomicU64,
@@ -209,6 +210,24 @@ impl ReplLog {
     }
 }
 
+/// One shard of the serving state: its own store (behind its own lock),
+/// its own replication log, and its own fencing epoch/role — so shards
+/// fail over independently and never contend on each other's locks.
+/// A classic single-store server is exactly a one-shard server.
+#[derive(Clone)]
+struct ShardState {
+    store: SyncStore,
+    ha: Arc<HaShared>,
+    log: Arc<Mutex<ReplLog>>,
+}
+
+/// Which shard serves `path`. Every route in the server goes through
+/// this, so a path's store, log entries, and fencing epoch always live
+/// together on one shard.
+fn shard_for(shards: &[ShardState], path: PathKey) -> &ShardState {
+    &shards[shard_index(path, shards.len())]
+}
+
 /// A running context server.
 pub struct ContextServer {
     addr: SocketAddr,
@@ -217,8 +236,7 @@ pub struct ContextServer {
     repl_thread: Option<std::thread::JoinHandle<()>>,
     handlers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
     stats: Arc<ServerStats>,
-    store: SyncStore,
-    ha: Arc<HaShared>,
+    shards: Arc<Vec<ShardState>>,
 }
 
 /// How long handler reads block before re-checking the shutdown flag.
@@ -261,6 +279,45 @@ impl ContextServer {
         config: ServerConfig,
         ha: HaOptions,
     ) -> std::io::Result<ContextServer> {
+        let shard = ShardState {
+            store,
+            ha: Arc::new(HaShared::new(ha.epoch, ha.role)),
+            log: Arc::new(Mutex::new(ReplLog::default())),
+        };
+        let repl = (!ha.backups.is_empty()).then_some((ha.backups, ha.repl_client));
+        Self::launch(addr, vec![shard], config, repl)
+    }
+
+    /// Start a sharded server: `shards` independent stores (at least one),
+    /// each configured with `cfg` and carrying its own lock, replication
+    /// log, and fencing epoch. Requests route by
+    /// [`shard_index`]`(path, shards)`, so batch traffic for disjoint
+    /// paths never serializes on one lock. Every shard starts as a lone
+    /// primary at epoch 1; HA replication composes *per shard* — each
+    /// shard of a sharded deployment is backed by its own replica pair
+    /// (see `DESIGN.md`), which is why there is no `backups` knob here.
+    pub fn start_sharded(
+        addr: impl ToSocketAddrs,
+        cfg: StoreConfig,
+        config: ServerConfig,
+        shards: usize,
+    ) -> std::io::Result<ContextServer> {
+        let shards = (0..shards.max(1))
+            .map(|_| ShardState {
+                store: sync_store(ContextStore::new(cfg)),
+                ha: Arc::new(HaShared::new(1, Role::Primary)),
+                log: Arc::new(Mutex::new(ReplLog::default())),
+            })
+            .collect();
+        Self::launch(addr, shards, config, None)
+    }
+
+    fn launch(
+        addr: impl ToSocketAddrs,
+        shards: Vec<ShardState>,
+        config: ServerConfig,
+        repl: Option<(Vec<SocketAddr>, ClientConfig)>,
+    ) -> std::io::Result<ContextServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -271,16 +328,13 @@ impl ContextServer {
         let stats = Arc::new(ServerStats::default());
         let active = Arc::new(AtomicUsize::new(0));
         let started = Instant::now();
-        let ha_shared = Arc::new(HaShared::new(ha.epoch, ha.role));
-        let log = Arc::new(Mutex::new(ReplLog::default()));
+        let shards = Arc::new(shards);
 
         let accept_thread = {
             let shutdown = shutdown.clone();
             let handlers = handlers.clone();
             let stats = stats.clone();
-            let store = store.clone();
-            let ha_shared = ha_shared.clone();
-            let log = log.clone();
+            let shards = shards.clone();
             std::thread::Builder::new()
                 .name("phi-ctx-accept".into())
                 .spawn(move || {
@@ -297,17 +351,13 @@ impl ContextServer {
                                 active.fetch_add(1, Ordering::AcqRel);
                                 let guard = ConnGuard(active.clone());
                                 let shutdown = shutdown.clone();
-                                let store = store.clone();
                                 let stats = stats.clone();
-                                let ha = ha_shared.clone();
-                                let log = log.clone();
+                                let shards = shards.clone();
                                 let handle = std::thread::Builder::new()
                                     .name("phi-ctx-conn".into())
                                     .spawn(move || {
                                         let _guard = guard;
-                                        handle_connection(
-                                            stream, store, stats, shutdown, started, ha, log,
-                                        )
+                                        handle_connection(stream, shards, stats, shutdown, started)
                                     })
                                     .expect("spawn handler thread");
                                 handlers.lock().push(handle);
@@ -322,31 +372,27 @@ impl ContextServer {
                 .expect("spawn accept thread")
         };
 
-        let repl_thread = if ha.backups.is_empty() {
-            None
-        } else {
+        // Replication (single-shard deployments only; a sharded
+        // deployment replicates shard-by-shard with one pair per shard).
+        let repl_thread = repl.map(|(backups, repl_client)| {
             let shutdown = shutdown.clone();
             let stats = stats.clone();
-            let store = store.clone();
-            let ha_shared = ha_shared.clone();
-            let log = log.clone();
-            Some(
-                std::thread::Builder::new()
-                    .name("phi-ctx-repl".into())
-                    .spawn(move || {
-                        replicate_to_backups(
-                            &ha.backups,
-                            ha.repl_client,
-                            store,
-                            ha_shared,
-                            log,
-                            stats,
-                            shutdown,
-                        )
-                    })
-                    .expect("spawn replication thread"),
-            )
-        };
+            let shard = shards[0].clone();
+            std::thread::Builder::new()
+                .name("phi-ctx-repl".into())
+                .spawn(move || {
+                    replicate_to_backups(
+                        &backups,
+                        repl_client,
+                        shard.store,
+                        shard.ha,
+                        shard.log,
+                        stats,
+                        shutdown,
+                    )
+                })
+                .expect("spawn replication thread")
+        });
 
         Ok(ContextServer {
             addr,
@@ -355,8 +401,7 @@ impl ContextServer {
             repl_thread,
             handlers,
             stats,
-            store,
-            ha: ha_shared,
+            shards,
         })
     }
 
@@ -370,34 +415,93 @@ impl ContextServer {
         &self.stats
     }
 
-    /// The fencing epoch this server currently serves at.
+    /// The fencing epoch this server currently serves at — for a sharded
+    /// server, the *lowest* epoch across shards (the conservative answer
+    /// a health probe should see).
     pub fn epoch(&self) -> u64 {
-        self.ha.epoch()
+        self.shards.iter().map(|s| s.ha.epoch()).min().unwrap_or(1)
     }
 
-    /// The role this server currently plays.
+    /// The role this server currently plays: primary only if *every*
+    /// shard is primary (a single-shard server is just that shard).
     pub fn role(&self) -> Role {
-        self.ha.role()
+        if self.shards.iter().all(|s| s.ha.role() == Role::Primary) {
+            Role::Primary
+        } else {
+            Role::Backup
+        }
+    }
+
+    /// Number of independent shards this server serves (1 unless started
+    /// with [`ContextServer::start_sharded`]).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard `shard`'s fencing epoch.
+    pub fn epoch_of(&self, shard: usize) -> u64 {
+        self.shards[shard].ha.epoch()
+    }
+
+    /// Shard `shard`'s role.
+    pub fn role_of(&self, shard: usize) -> Role {
+        self.shards[shard].ha.role()
     }
 
     /// Promote this server to primary at `epoch`. Fails (returns `false`)
-    /// unless `epoch` is strictly greater than the current one — the new
-    /// epoch is what fences the deposed primary, so reusing the old value
-    /// would invite split-brain.
+    /// unless `epoch` is strictly greater than the current one on *every*
+    /// shard — the new epoch is what fences the deposed primary, so
+    /// reusing the old value would invite split-brain.
     pub fn promote(&self, epoch: u64) -> bool {
-        if epoch <= self.ha.epoch() {
+        if self.shards.iter().any(|s| epoch <= s.ha.epoch()) {
             return false;
         }
-        self.ha.set(epoch, Role::Primary);
+        for s in self.shards.iter() {
+            s.ha.set(epoch, Role::Primary);
+        }
+        true
+    }
+
+    /// Promote one shard to primary at `epoch` (strictly greater than the
+    /// shard's current epoch). Shards fence independently, so promoting
+    /// one never touches the others.
+    pub fn promote_shard(&self, shard: usize, epoch: u64) -> bool {
+        let ha = &self.shards[shard].ha;
+        if epoch <= ha.epoch() {
+            return false;
+        }
+        ha.set(epoch, Role::Primary);
         true
     }
 
     /// The full store state as a versioned snapshot blob (tagged with the
     /// current epoch) — what an operator persists before a planned
     /// restart, and what [`crate::context::ContextStore::decode_snapshot`]
-    /// restores.
+    /// restores. On a sharded server this is shard 0; persist every shard
+    /// with [`ContextServer::shard_snapshot_blob`].
     pub fn snapshot_blob(&self) -> Vec<u8> {
-        self.store.read().encode_snapshot(self.ha.epoch())
+        self.shard_snapshot_blob(0)
+    }
+
+    /// Shard `shard`'s state as a snapshot blob tagged with *that shard's*
+    /// epoch (shards fail over independently, so each blob carries its own
+    /// fencing token).
+    pub fn shard_snapshot_blob(&self, shard: usize) -> Vec<u8> {
+        let s = &self.shards[shard];
+        s.store.read().encode_snapshot(s.ha.epoch())
+    }
+
+    /// Shard `shard`'s unpruned replication log (sequence + op), for tests
+    /// asserting that batch and single frames produce identical deltas.
+    #[cfg(test)]
+    fn repl_entries(&self, shard: usize) -> Vec<(u64, ReplOp)> {
+        self.shards[shard]
+            .log
+            .lock()
+            .entries
+            .iter()
+            .cloned()
+            .collect()
     }
 
     /// Stop accepting, drain handlers, and join all threads.
@@ -469,15 +573,12 @@ fn fenced_reply(ha: &HaShared, stats: &ServerStats, why: &str) -> Message {
     }
 }
 
-#[allow(clippy::too_many_arguments)] // threaded server plumbing, all Arcs
 fn handle_connection(
     stream: TcpStream,
-    store: SyncStore,
+    shards: Arc<Vec<ShardState>>,
     stats: Arc<ServerStats>,
     shutdown: Arc<AtomicBool>,
     started: Instant,
-    ha: Arc<HaShared>,
-    log: Arc<Mutex<ReplLog>>,
 ) {
     let mut stream = stream;
     if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
@@ -504,30 +605,32 @@ fn handle_connection(
             let reply = match decoder.next() {
                 // -- client data path: primary only ---------------------
                 Ok(Message::Lookup { path }) => {
-                    if ha.role() != Role::Primary {
-                        fenced_reply(&ha, &stats, "lookup refused")
+                    let sh = shard_for(&shards, path);
+                    if sh.ha.role() != Role::Primary {
+                        fenced_reply(&sh.ha, &stats, "lookup refused")
                     } else {
                         stats.lookups.fetch_add(1, Ordering::Relaxed);
                         let snap = {
-                            let mut st = store.write();
+                            let mut st = sh.store.write();
                             let snap = st.lookup(path, now_ns);
                             // Append under the store write lock so the log
                             // order matches the store's mutation order.
-                            log.lock().append(ReplOp::Lookup { path, now_ns });
+                            sh.log.lock().append(ReplOp::Lookup { path, now_ns });
                             snap
                         };
                         Message::Context(snap)
                     }
                 }
                 Ok(Message::Report { path, summary }) => {
-                    if ha.role() != Role::Primary {
-                        fenced_reply(&ha, &stats, "report refused")
+                    let sh = shard_for(&shards, path);
+                    if sh.ha.role() != Role::Primary {
+                        fenced_reply(&sh.ha, &stats, "report refused")
                     } else {
                         stats.reports.fetch_add(1, Ordering::Relaxed);
                         {
-                            let mut st = store.write();
+                            let mut st = sh.store.write();
                             st.report(path, now_ns, &summary);
-                            log.lock().append(ReplOp::Report {
+                            sh.log.lock().append(ReplOp::Report {
                                 path,
                                 now_ns,
                                 summary,
@@ -536,38 +639,129 @@ fn handle_connection(
                         Message::ReportOk
                     }
                 }
+                // -- batch data path: N items, one frame, one reply -----
+                // Fencing is all-or-nothing: if any item's shard is not
+                // primary the whole batch is refused *before* anything is
+                // applied, so the client never has to untangle a
+                // partially accepted frame.
+                Ok(Message::BatchReport(items)) => {
+                    let n = shards.len();
+                    let fenced = items
+                        .iter()
+                        .map(|&(p, _)| shard_index(p, n))
+                        .find(|&s| shards[s].ha.role() != Role::Primary);
+                    match fenced {
+                        Some(s) => fenced_reply(&shards[s].ha, &stats, "batch report refused"),
+                        None => {
+                            stats
+                                .reports
+                                .fetch_add(items.len() as u64, Ordering::Relaxed);
+                            // Group by shard, then apply each shard's items
+                            // in arrival order under ONE write lock — the
+                            // log this produces is exactly what the same
+                            // items sent as single frames would produce,
+                            // so snapshot-then-delta catch-up can't tell
+                            // batches from singles.
+                            let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); n];
+                            for (k, &(p, _)) in items.iter().enumerate() {
+                                by_shard[shard_index(p, n)].push(k);
+                            }
+                            for (s, idxs) in by_shard.iter().enumerate() {
+                                if idxs.is_empty() {
+                                    continue;
+                                }
+                                let sh = &shards[s];
+                                let mut st = sh.store.write();
+                                let mut log = sh.log.lock();
+                                for &k in idxs {
+                                    let (path, summary) = items[k];
+                                    st.report(path, now_ns, &summary);
+                                    log.append(ReplOp::Report {
+                                        path,
+                                        now_ns,
+                                        summary,
+                                    });
+                                }
+                            }
+                            Message::ReportOk
+                        }
+                    }
+                }
+                Ok(Message::BatchQuery(paths)) => {
+                    let n = shards.len();
+                    let fenced = paths
+                        .iter()
+                        .map(|&p| shard_index(p, n))
+                        .find(|&s| shards[s].ha.role() != Role::Primary);
+                    match fenced {
+                        Some(s) => fenced_reply(&shards[s].ha, &stats, "batch query refused"),
+                        None => {
+                            stats
+                                .lookups
+                                .fetch_add(paths.len() as u64, Ordering::Relaxed);
+                            // Read-only: peeks never register competing
+                            // flows, so nothing is logged or replicated.
+                            let snaps = paths
+                                .iter()
+                                .map(|&p| shard_for(&shards, p).store.read().peek(p, now_ns))
+                                .collect();
+                            Message::BatchReply(snaps)
+                        }
+                    }
+                }
                 Ok(Message::Snapshot { limit }) => {
-                    if ha.role() != Role::Primary {
-                        fenced_reply(&ha, &stats, "snapshot refused")
+                    if shards.iter().any(|s| s.ha.role() != Role::Primary) {
+                        // The dashboard view spans every shard, so it is
+                        // only served when all of them are primary.
+                        fenced_reply(&shards[0].ha, &stats, "snapshot refused")
                     } else {
-                        let mut paths = store.read().snapshot(now_ns);
+                        let mut paths: Vec<(PathKey, ContextSnapshot)> = shards
+                            .iter()
+                            .flat_map(|s| s.store.read().snapshot(now_ns))
+                            .collect();
+                        paths.sort_by(|(ka, a), (kb, b)| {
+                            b.utilization.total_cmp(&a.utilization).then(ka.cmp(kb))
+                        });
                         paths.truncate(usize::from(limit).min(crate::wire::MAX_SNAPSHOT_PATHS));
                         Message::Paths(paths)
                     }
                 }
                 // -- health/handshake: answered in any role -------------
+                // A sharded server answers with its most conservative
+                // view: the lowest shard epoch, primary only if every
+                // shard is (a probe must not trust a half-deposed server).
                 Ok(Message::EpochQuery) => Message::Epoch {
-                    epoch: ha.epoch(),
-                    role: ha.role(),
+                    epoch: shards.iter().map(|s| s.ha.epoch()).min().unwrap_or(1),
+                    role: if shards.iter().all(|s| s.ha.role() == Role::Primary) {
+                        Role::Primary
+                    } else {
+                        Role::Backup
+                    },
                 },
-                // -- replication stream: epoch-fenced -------------------
+                // -- replication stream: epoch-fenced, per shard --------
                 Ok(Message::Replicate { epoch, seq: _, op }) => {
-                    match epoch.cmp(&ha.epoch()) {
+                    let path = match &op {
+                        ReplOp::Lookup { path, .. } | ReplOp::Report { path, .. } => *path,
+                    };
+                    let sh = shard_for(&shards, path);
+                    match epoch.cmp(&sh.ha.epoch()) {
                         std::cmp::Ordering::Less => {
-                            fenced_reply(&ha, &stats, "replication from a deposed primary")
+                            fenced_reply(&sh.ha, &stats, "replication from a deposed primary")
                         }
-                        std::cmp::Ordering::Equal if ha.role() == Role::Primary => {
+                        std::cmp::Ordering::Equal if sh.ha.role() == Role::Primary => {
                             // Two primaries at one epoch must never both
                             // accept traffic; the replicator self-deposes
                             // on this reply.
-                            fenced_reply(&ha, &stats, "already primary at this epoch")
+                            fenced_reply(&sh.ha, &stats, "already primary at this epoch")
                         }
                         _ => {
                             // A (possibly newer) primary's delta: adopt
-                            // its epoch, stay/become backup, apply.
-                            ha.set(epoch, Role::Backup);
+                            // its epoch, stay/become backup, apply. Only
+                            // the op's own shard is touched — a delta for
+                            // one shard can never depose another.
+                            sh.ha.set(epoch, Role::Backup);
                             stats.repl_applied.fetch_add(1, Ordering::Relaxed);
-                            let mut st = store.write();
+                            let mut st = sh.store.write();
                             match op {
                                 ReplOp::Lookup { path, now_ns } => {
                                     st.lookup(path, now_ns);
@@ -582,15 +776,32 @@ fn handle_connection(
                         }
                     }
                 }
+                Ok(Message::SnapshotSync { epoch, blob }) if shards.len() > 1 => {
+                    // A snapshot blob is one whole store; it cannot be
+                    // split across shards without inventing state. Sharded
+                    // deployments sync shard-by-shard, replica pair by
+                    // replica pair.
+                    let _ = (epoch, blob);
+                    stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    Message::Error {
+                        code: code::UNSUPPORTED,
+                        message: "snapshot sync addresses a single-shard replica; \
+                                  sharded deployments replicate per shard"
+                            .into(),
+                    }
+                }
                 Ok(Message::SnapshotSync { epoch, blob }) => {
-                    if epoch < ha.epoch() || (epoch == ha.epoch() && ha.role() == Role::Primary) {
-                        fenced_reply(&ha, &stats, "snapshot sync from a stale epoch")
+                    let sh = &shards[0];
+                    if epoch < sh.ha.epoch()
+                        || (epoch == sh.ha.epoch() && sh.ha.role() == Role::Primary)
+                    {
+                        fenced_reply(&sh.ha, &stats, "snapshot sync from a stale epoch")
                     } else {
                         match ContextStore::decode_snapshot(&blob) {
                             Ok((restored, _blob_epoch)) => {
-                                ha.set(epoch, Role::Backup);
+                                sh.ha.set(epoch, Role::Backup);
                                 stats.repl_syncs.fetch_add(1, Ordering::Relaxed);
-                                *store.write() = restored;
+                                *sh.store.write() = restored;
                                 Message::ReportOk
                             }
                             Err(SnapshotError::UnsupportedVersion(v)) => {
@@ -900,6 +1111,43 @@ impl Default for ClientConfig {
     }
 }
 
+/// Tuning for the client-side write-behind report buffer.
+///
+/// Reports are end-of-connection telemetry, not queries: nothing blocks
+/// on their reply. Buffering them and shipping one
+/// [`Message::BatchReport`] amortizes codec and syscall cost the same
+/// way the replication delta stream does. The cost is staleness, and
+/// that cost is *bounded*: a buffered report is flushed no later than
+/// the first `buffer_report`/`flush_reports` call after the oldest entry
+/// turns `max_age` old, and no more than `max_items` reports are ever
+/// held. On a flush failure the buffer is dropped, not retried — a dead
+/// context plane degrades to lost telemetry, never to memory growth or
+/// a stalled sender.
+#[derive(Debug, Clone, Copy)]
+pub struct WriteBehindConfig {
+    /// Buffered reports that force a flush (also the largest batch ever
+    /// sent; capped by [`crate::wire::MAX_BATCH_ITEMS`]).
+    pub max_items: usize,
+    /// Staleness bound: how old the oldest buffered report may be before
+    /// the next buffering call flushes.
+    pub max_age: Duration,
+}
+
+impl Default for WriteBehindConfig {
+    fn default() -> Self {
+        WriteBehindConfig {
+            max_items: 64,
+            max_age: Duration::from_millis(100),
+        }
+    }
+}
+
+impl WriteBehindConfig {
+    fn effective_max_items(&self) -> usize {
+        self.max_items.clamp(1, crate::wire::MAX_BATCH_ITEMS)
+    }
+}
+
 /// A blocking context-server client: one TCP connection, synchronous
 /// request/response — matching the one-lookup-one-report cadence of the
 /// practical design.
@@ -913,6 +1161,11 @@ pub struct ContextClient {
     decoder: Decoder,
     config: ClientConfig,
     poisoned: bool,
+    write_behind: WriteBehindConfig,
+    pending: Vec<(PathKey, FlowSummary)>,
+    /// When the oldest entry in `pending` was buffered (the staleness
+    /// clock).
+    oldest: Option<Instant>,
 }
 
 impl ContextClient {
@@ -956,7 +1209,17 @@ impl ContextClient {
             decoder: Decoder::new(),
             config,
             poisoned: false,
+            write_behind: WriteBehindConfig::default(),
+            pending: Vec::new(),
+            oldest: None,
         })
+    }
+
+    /// Replace the write-behind tuning (applies to subsequent
+    /// [`ContextClient::buffer_report`] calls; already-buffered reports
+    /// keep their staleness clock).
+    pub fn set_write_behind(&mut self, cfg: WriteBehindConfig) {
+        self.write_behind = cfg;
     }
 
     /// Whether an earlier failure poisoned this connection (all further
@@ -1038,6 +1301,89 @@ impl ContextClient {
             Message::Error { code, message } => Err(ClientError::Server { code, message }),
             other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
         }
+    }
+
+    /// Ship `items` as one [`Message::BatchReport`] frame — N reports,
+    /// one syscall, one reply. Items beyond
+    /// [`crate::wire::MAX_BATCH_ITEMS`] are sent in follow-up frames.
+    pub fn report_batch(&mut self, items: &[(PathKey, FlowSummary)]) -> Result<(), ClientError> {
+        for chunk in items.chunks(crate::wire::MAX_BATCH_ITEMS.max(1)) {
+            match self.request(&Message::BatchReport(chunk.to_vec()))? {
+                Message::ReportOk => {}
+                Message::Error { code, message } => {
+                    return Err(ClientError::Server { code, message })
+                }
+                other => return Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+            }
+        }
+        Ok(())
+    }
+
+    /// Read the context of many paths in one frame, in query order.
+    /// Side-effect free: unlike [`ContextClient::lookup`] this does *not*
+    /// register the caller as a competing sender on any path.
+    pub fn query_batch(&mut self, paths: &[PathKey]) -> Result<Vec<ContextSnapshot>, ClientError> {
+        let mut out = Vec::with_capacity(paths.len());
+        for chunk in paths.chunks(crate::wire::MAX_BATCH_ITEMS.max(1)) {
+            match self.request(&Message::BatchQuery(chunk.to_vec()))? {
+                Message::BatchReply(snaps) if snaps.len() == chunk.len() => out.extend(snaps),
+                Message::BatchReply(snaps) => {
+                    return Err(ClientError::Protocol(format!(
+                        "batch reply has {} items for {} queries",
+                        snaps.len(),
+                        chunk.len()
+                    )))
+                }
+                Message::Error { code, message } => {
+                    return Err(ClientError::Server { code, message })
+                }
+                other => return Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Buffer a report for a later batched flush (see
+    /// [`WriteBehindConfig`] for the staleness bound). Returns `true` if
+    /// this call flushed. On a flush failure the buffered reports are
+    /// dropped before the error is returned — the buffer never grows past
+    /// `max_items` and a report is never retried into the future.
+    pub fn buffer_report(
+        &mut self,
+        path: PathKey,
+        summary: FlowSummary,
+    ) -> Result<bool, ClientError> {
+        if self.pending.is_empty() {
+            self.oldest = Some(Instant::now());
+        }
+        self.pending.push((path, summary));
+        let over_count = self.pending.len() >= self.write_behind.effective_max_items();
+        let over_age = self
+            .oldest
+            .is_some_and(|t| t.elapsed() >= self.write_behind.max_age);
+        if over_count || over_age {
+            self.flush_reports()?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Flush every buffered report now, as one batch frame. Returns how
+    /// many reports were shipped. The buffer is emptied even on failure
+    /// (degradation over growth).
+    pub fn flush_reports(&mut self) -> Result<usize, ClientError> {
+        if self.pending.is_empty() {
+            return Ok(0);
+        }
+        let items = std::mem::take(&mut self.pending);
+        self.oldest = None;
+        self.report_batch(&items)?;
+        Ok(items.len())
+    }
+
+    /// Reports currently held by the write-behind buffer.
+    pub fn pending_reports(&self) -> usize {
+        self.pending.len()
     }
 
     /// The server's current fencing epoch and role (health probe).
@@ -1145,6 +1491,9 @@ pub struct ResilientClient {
     open_streak: u32,
     jitter: u64,
     stats: ResilienceStats,
+    write_behind: WriteBehindConfig,
+    pending: Vec<(PathKey, FlowSummary)>,
+    oldest: Option<Instant>,
 }
 
 impl ResilientClient {
@@ -1180,7 +1529,15 @@ impl ResilientClient {
             open_streak: 0,
             jitter: config.jitter_seed | 1,
             stats: ResilienceStats::default(),
+            write_behind: WriteBehindConfig::default(),
+            pending: Vec::new(),
+            oldest: None,
         }
+    }
+
+    /// Replace the write-behind tuning (see [`WriteBehindConfig`]).
+    pub fn set_write_behind(&mut self, cfg: WriteBehindConfig) {
+        self.write_behind = cfg;
     }
 
     /// Failure-handling counters.
@@ -1239,6 +1596,71 @@ impl ResilientClient {
             Some(Message::Paths(paths)) => Some(paths),
             _ => None,
         }
+    }
+
+    /// Ship `items` as batch-report frames; `false` means at least one
+    /// batch was lost to a context-plane failure (acceptable: estimates
+    /// degrade gracefully, the data path never stalls).
+    pub fn report_batch(&mut self, items: &[(PathKey, FlowSummary)]) -> bool {
+        let mut ok = true;
+        for chunk in items.chunks(crate::wire::MAX_BATCH_ITEMS.max(1)) {
+            ok &= matches!(
+                self.call(&Message::BatchReport(chunk.to_vec())),
+                Some(Message::ReportOk)
+            );
+        }
+        ok
+    }
+
+    /// Read many paths' context in one frame (side-effect free); `None`
+    /// when the plane is down — the caller falls back to defaults, same
+    /// as a failed [`ResilientClient::lookup`].
+    pub fn query_batch(&mut self, paths: &[PathKey]) -> Option<Vec<ContextSnapshot>> {
+        let mut out = Vec::with_capacity(paths.len());
+        for chunk in paths.chunks(crate::wire::MAX_BATCH_ITEMS.max(1)) {
+            match self.call(&Message::BatchQuery(chunk.to_vec())) {
+                Some(Message::BatchReply(snaps)) if snaps.len() == chunk.len() => out.extend(snaps),
+                _ => return None,
+            }
+        }
+        Some(out)
+    }
+
+    /// Buffer a report for a later batched flush, bounded by the
+    /// configured [`WriteBehindConfig`] staleness bound. Returns `false`
+    /// only when this call triggered a flush and that flush failed (the
+    /// buffered reports are then dropped — a dead plane costs telemetry,
+    /// never memory or data-path stalls: the breaker short-circuits the
+    /// flush without touching the network).
+    pub fn buffer_report(&mut self, path: PathKey, summary: FlowSummary) -> bool {
+        if self.pending.is_empty() {
+            self.oldest = Some(Instant::now());
+        }
+        self.pending.push((path, summary));
+        let over_count = self.pending.len() >= self.write_behind.effective_max_items();
+        let over_age = self
+            .oldest
+            .is_some_and(|t| t.elapsed() >= self.write_behind.max_age);
+        if over_count || over_age {
+            return self.flush_reports();
+        }
+        true
+    }
+
+    /// Flush every buffered report now; `true` when nothing was lost
+    /// (including the empty-buffer case). The buffer empties either way.
+    pub fn flush_reports(&mut self) -> bool {
+        if self.pending.is_empty() {
+            return true;
+        }
+        let items = std::mem::take(&mut self.pending);
+        self.oldest = None;
+        self.report_batch(&items)
+    }
+
+    /// Reports currently held by the write-behind buffer.
+    pub fn pending_reports(&self) -> usize {
+        self.pending.len()
     }
 
     fn call(&mut self, msg: &Message) -> Option<Message> {
@@ -2072,5 +2494,292 @@ mod tests {
         let snap = c.lookup(PathKey(11)).expect("lookup");
         assert!(snap.utilization > 0.0, "restored state lost");
         revived.shutdown();
+    }
+
+    /// The batching/HA seam: one `BatchReport` must leave exactly the
+    /// `ReplLog` deltas the same items sent as single frames leave — op
+    /// for op, in order — so a backup catching up via snapshot-then-delta
+    /// cannot tell (or lose) anything when primaries start batching.
+    #[test]
+    fn batched_report_logs_the_same_deltas_as_singles() {
+        let (batch_srv, batch_addr) = start_server();
+        let (single_srv, single_addr) = start_server();
+        let items = vec![
+            (PathKey(1), summary(1_000_000)),
+            (PathKey(2), summary(2_000_000)),
+            (PathKey(1), summary(3_000_000)),
+        ];
+
+        let mut cb = ContextClient::connect(batch_addr).expect("connect");
+        cb.report_batch(&items).expect("batch report");
+        let mut cs = ContextClient::connect(single_addr).expect("connect");
+        for &(p, s) in &items {
+            cs.report(p, s).expect("single report");
+        }
+
+        // Identical deltas modulo the servers' own clocks: same length,
+        // same sequence numbers, same ops carrying the same payloads.
+        let strip = |entries: Vec<(u64, ReplOp)>| -> Vec<(u64, PathKey, FlowSummary)> {
+            entries
+                .into_iter()
+                .map(|(seq, op)| match op {
+                    ReplOp::Report { path, summary, .. } => (seq, path, summary),
+                    other => panic!("batch must log reports, got {other:?}"),
+                })
+                .collect()
+        };
+        let a = strip(batch_srv.repl_entries(0));
+        let b = strip(single_srv.repl_entries(0));
+        assert_eq!(a.len(), 3);
+        assert_eq!(a, b);
+        assert_eq!(batch_srv.stats().reports.load(Ordering::Relaxed), 3);
+
+        // And the stores agree on everything clock-independent.
+        let (bst, _) = ContextStore::decode_snapshot(&batch_srv.snapshot_blob()).expect("decode");
+        let (sst, _) = ContextStore::decode_snapshot(&single_srv.snapshot_blob()).expect("decode");
+        for p in [PathKey(1), PathKey(2)] {
+            assert_eq!(bst.traffic_counters(p), sst.traffic_counters(p));
+            assert_eq!(bst.loss_signal(p), sst.loss_signal(p));
+        }
+        batch_srv.shutdown();
+        single_srv.shutdown();
+    }
+
+    #[test]
+    fn batch_query_peeks_without_registering_senders() {
+        let (server, addr) = start_server();
+        let mut c = ContextClient::connect(addr).expect("connect");
+        c.report(PathKey(3), summary(4_000_000)).expect("report");
+
+        let snaps = c
+            .query_batch(&[PathKey(3), PathKey(99), PathKey(3)])
+            .expect("batch query");
+        assert_eq!(snaps.len(), 3);
+        assert!(snaps[0].utilization > 0.0);
+        assert_eq!(snaps[0], snaps[2], "same path, same reply");
+        assert_eq!(snaps[1].utilization, 0.0, "unknown path reads empty");
+
+        // Peeks left no competing-sender registrations behind.
+        let after = c.lookup(PathKey(3)).expect("lookup");
+        assert_eq!(after.competing, 0, "batch query must not register senders");
+
+        // Zero-item batches are legal no-ops.
+        assert_eq!(c.query_batch(&[]).expect("empty query").len(), 0);
+        c.report_batch(&[]).expect("empty report");
+        assert_eq!(server.stats().reports.load(Ordering::Relaxed), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn backup_fences_batch_frames_too() {
+        let (server, addr) = start_ha_server(HaOptions {
+            role: Role::Backup,
+            ..HaOptions::default()
+        });
+        let mut c = ContextClient::connect(addr).expect("connect");
+        match c.report_batch(&[(PathKey(1), summary(1_000))]) {
+            Err(ClientError::Server { code: cd, .. }) => assert_eq!(cd, code::FENCED),
+            other => panic!("expected 409 FENCED, got {other:?}"),
+        }
+        match c.query_batch(&[PathKey(1)]) {
+            Err(ClientError::Server { code: cd, .. }) => assert_eq!(cd, code::FENCED),
+            other => panic!("expected 409 FENCED, got {other:?}"),
+        }
+        assert_eq!(server.stats().reports.load(Ordering::Relaxed), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn sharded_server_routes_and_serves_every_shard() {
+        let server = ContextServer::start_sharded(
+            "127.0.0.1:0",
+            StoreConfig::default(),
+            ServerConfig::default(),
+            4,
+        )
+        .expect("bind");
+        assert_eq!(server.shard_count(), 4);
+        let mut c = ContextClient::connect(server.addr()).expect("connect");
+
+        // Traffic on paths covering all four shards.
+        let paths: Vec<PathKey> = (0..32).map(PathKey).collect();
+        let covered: std::collections::HashSet<usize> =
+            paths.iter().map(|&p| shard_index(p, 4)).collect();
+        assert_eq!(covered.len(), 4, "test paths must cover every shard");
+        let items: Vec<(PathKey, FlowSummary)> =
+            paths.iter().map(|&p| (p, summary(500_000))).collect();
+        c.report_batch(&items).expect("batch report");
+
+        // Every path is queryable and the merged dashboard sees them all.
+        let snaps = c.query_batch(&paths).expect("batch query");
+        assert!(snaps.iter().all(|s| s.utilization > 0.0));
+        let top = c.snapshot(100).expect("snapshot");
+        assert_eq!(top.len(), 32);
+        assert!(
+            top.windows(2)
+                .all(|w| w[0].1.utilization >= w[1].1.utilization),
+            "merged snapshot must stay busiest-first"
+        );
+        assert_eq!(server.stats().reports.load(Ordering::Relaxed), 32);
+        server.shutdown();
+    }
+
+    /// Per-shard epochs: deposing one shard (via a higher-epoch replica
+    /// delta for a path it owns) fences exactly that shard's paths; every
+    /// other shard keeps serving, and the health view turns conservative.
+    #[test]
+    fn sharded_server_fences_one_shard_independently() {
+        let server = ContextServer::start_sharded(
+            "127.0.0.1:0",
+            StoreConfig::default(),
+            ServerConfig::default(),
+            4,
+        )
+        .expect("bind");
+        let mut c = ContextClient::connect(server.addr()).expect("connect");
+
+        let p_hit = PathKey(0);
+        let s_hit = shard_index(p_hit, 4);
+        let p_other = (1..64)
+            .map(PathKey)
+            .find(|&p| shard_index(p, 4) != s_hit)
+            .expect("a path on another shard");
+
+        c.lookup(p_hit).expect("served before the depose");
+        c.lookup(p_other).expect("served before the depose");
+
+        // A newer primary's delta for p_hit deposes only p_hit's shard.
+        let reply = c
+            .request(&Message::Replicate {
+                epoch: 5,
+                seq: 1,
+                op: ReplOp::Lookup {
+                    path: p_hit,
+                    now_ns: 0,
+                },
+            })
+            .expect("replicate");
+        assert!(matches!(reply, Message::ReportOk), "got {reply:?}");
+
+        assert_eq!(server.role_of(s_hit), Role::Backup);
+        assert_eq!(server.epoch_of(s_hit), 5);
+        match c.lookup(p_hit) {
+            Err(ClientError::Server { code: cd, .. }) => assert_eq!(cd, code::FENCED),
+            other => panic!("deposed shard must fence, got {other:?}"),
+        }
+        // The other shards never noticed.
+        let s_other = shard_index(p_other, 4);
+        assert_eq!(server.role_of(s_other), Role::Primary);
+        assert_eq!(server.epoch_of(s_other), 1);
+        c.lookup(p_other).expect("healthy shard keeps serving");
+
+        // Health probes answer with the conservative whole-server view…
+        assert_eq!(c.epoch().expect("epoch"), (1, Role::Backup));
+        assert_eq!(server.role(), Role::Backup);
+        // …and re-promoting just that shard restores full service.
+        assert!(!server.promote_shard(s_hit, 5), "stale epoch must fail");
+        assert!(server.promote_shard(s_hit, 6));
+        c.lookup(p_hit).expect("served after shard promotion");
+        assert_eq!(server.role(), Role::Primary);
+        server.shutdown();
+    }
+
+    #[test]
+    fn write_behind_flushes_on_count_and_age_and_demand() {
+        let (server, addr) = start_server();
+        let mut c = ContextClient::connect(addr).expect("connect");
+        c.set_write_behind(WriteBehindConfig {
+            max_items: 3,
+            max_age: Duration::from_millis(80),
+        });
+
+        // Count trigger: nothing is on the server until the 3rd report.
+        assert!(!c.buffer_report(PathKey(1), summary(1_000)).expect("buffer"));
+        assert!(!c.buffer_report(PathKey(1), summary(2_000)).expect("buffer"));
+        assert_eq!(server.stats().reports.load(Ordering::Relaxed), 0);
+        assert_eq!(c.pending_reports(), 2);
+        assert!(c.buffer_report(PathKey(1), summary(3_000)).expect("flush"));
+        assert_eq!(c.pending_reports(), 0);
+        assert_eq!(server.stats().reports.load(Ordering::Relaxed), 3);
+
+        // Age trigger: one stale report rides out on the next buffering
+        // call after the bound elapses.
+        assert!(!c.buffer_report(PathKey(2), summary(4_000)).expect("buffer"));
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(c.buffer_report(PathKey(2), summary(5_000)).expect("flush"));
+        assert_eq!(server.stats().reports.load(Ordering::Relaxed), 5);
+
+        // Explicit flush.
+        assert!(!c.buffer_report(PathKey(3), summary(6_000)).expect("buffer"));
+        assert_eq!(c.flush_reports().expect("flush"), 1);
+        assert_eq!(c.flush_reports().expect("empty flush"), 0);
+        assert_eq!(server.stats().reports.load(Ordering::Relaxed), 6);
+        server.shutdown();
+    }
+
+    #[test]
+    fn write_behind_drops_cleanly_when_the_plane_dies() {
+        let (server, addr) = start_server();
+        let mut c = ContextClient::connect_with(addr, quick_config()).expect("connect");
+        c.set_write_behind(WriteBehindConfig {
+            max_items: 2,
+            max_age: Duration::from_secs(60),
+        });
+        assert!(!c.buffer_report(PathKey(1), summary(1_000)).expect("buffer"));
+        server.shutdown();
+
+        // The triggered flush fails against the dead plane; the buffer is
+        // dropped (degrade), never ballooned, and the call stays bounded.
+        let started = Instant::now();
+        assert!(c.buffer_report(PathKey(1), summary(2_000)).is_err());
+        assert!(
+            started.elapsed() < quick_config().request_deadline * 3,
+            "flush must stay deadline-bounded, took {:?}",
+            started.elapsed()
+        );
+        assert_eq!(c.pending_reports(), 0, "failed flush must drop, not hold");
+    }
+
+    #[test]
+    fn resilient_write_behind_degrades_to_dropped_reports() {
+        // A port with no listener: every flush fails fast or is
+        // short-circuited by the breaker — never an error, never a stall.
+        let placeholder = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = placeholder.local_addr().unwrap();
+        drop(placeholder);
+
+        let mut rc = ResilientClient::with_config(
+            addr,
+            ResilienceConfig {
+                client: quick_config(),
+                max_retries: 0,
+                backoff_base: Duration::from_millis(1),
+                backoff_max: Duration::from_millis(2),
+                breaker_threshold: 1,
+                breaker_cooldown: Duration::from_secs(5),
+                ..ResilienceConfig::default()
+            },
+        )
+        .expect("resolve");
+        rc.set_write_behind(WriteBehindConfig {
+            max_items: 2,
+            max_age: Duration::from_secs(60),
+        });
+
+        assert!(rc.buffer_report(PathKey(1), summary(1_000)), "buffered");
+        assert!(!rc.buffer_report(PathKey(1), summary(2_000)), "flush lost");
+        assert_eq!(rc.pending_reports(), 0);
+        assert!(rc.breaker_open(), "failures still feed the breaker");
+
+        // With the breaker open, further flushes short-circuit instantly.
+        let started = Instant::now();
+        assert!(rc.buffer_report(PathKey(1), summary(3_000)));
+        assert!(!rc.buffer_report(PathKey(1), summary(4_000)));
+        assert!(
+            started.elapsed() < Duration::from_millis(50),
+            "open breaker must not touch the network ({:?})",
+            started.elapsed()
+        );
+        assert!(rc.stats().short_circuited >= 1);
     }
 }

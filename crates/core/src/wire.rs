@@ -26,7 +26,19 @@
 //! SNAPSHOT_SYNC (11): u64 epoch, u32 len, len snapshot-blob bytes
 //!               (blob format is versioned separately — see
 //!               [`crate::context::ContextStore::encode_snapshot`])
+//! BATCH_REPORT (12): u16 count, count x (u64 path, REPORT summary body)
+//!               — many reports, one frame; answered by one REPORT_OK
+//! BATCH_QUERY  (13): u16 count, count x u64 path — bulk read-only peek
+//! BATCH_REPLY  (14): u16 count, count x (f64 utilization, f64 queue_ms,
+//!               u32 competing), one per queried path in order
 //! ```
+//!
+//! The batch frames are *additive*: codes 12–14 were unassigned before
+//! they existed, and unknown type codes decode as the recoverable
+//! [`DecodeError::BadType`], so a pre-batch peer skips them without
+//! desynchronizing the stream. They amortize per-frame codec and syscall
+//! cost the same way the REPLICATE delta stream does — the per-item cost
+//! of a 256-item batch is the item body plus 1/256th of a frame header.
 //!
 //! Framing follows the length-prefix pattern: the decoder accumulates
 //! bytes and yields complete messages, tolerating any fragmentation the
@@ -54,6 +66,9 @@ const TYPE_EPOCH_QUERY: u8 = 8;
 const TYPE_EPOCH: u8 = 9;
 const TYPE_REPLICATE: u8 = 10;
 const TYPE_SNAPSHOT_SYNC: u8 = 11;
+const TYPE_BATCH_REPORT: u8 = 12;
+const TYPE_BATCH_QUERY: u8 = 13;
+const TYPE_BATCH_REPLY: u8 = 14;
 
 const OP_LOOKUP: u8 = 1;
 const OP_REPORT: u8 = 2;
@@ -67,6 +82,13 @@ pub const MAX_SNAPSHOT_PATHS: usize = 1024;
 /// Largest snapshot blob a SNAPSHOT_SYNC frame may carry; the rest of
 /// the frame (length, version, type, epoch, blob length) needs 18 bytes.
 pub const MAX_SNAPSHOT_BLOB: usize = MAX_FRAME - 18;
+
+/// Most items any batch frame (BATCH_REPORT / BATCH_QUERY / BATCH_REPLY)
+/// may carry. Sized by the fattest item: a BATCH_REPORT item is 48 bytes
+/// (path + summary), so 1024 items is ~49 KB — comfortably inside
+/// [`MAX_FRAME`]. Encoders truncate to this bound; decoders reject
+/// counts beyond it as malformed.
+pub const MAX_BATCH_ITEMS: usize = 1024;
 
 /// Machine-readable codes carried by [`Message::Error`] frames.
 ///
@@ -256,6 +278,18 @@ pub enum Message {
         /// [`crate::context::ContextStore::encode_snapshot`].
         blob: Vec<u8>,
     },
+    /// Client → server: many finished connections in one frame. The
+    /// server applies every item (in order) and answers with a single
+    /// [`Message::ReportOk`], so a write-behind client pays one
+    /// round-trip per flush instead of one per report.
+    BatchReport(Vec<(PathKey, FlowSummary)>),
+    /// Client → server: bulk read-only context query. Unlike
+    /// [`Message::Lookup`], a batch query does *not* register competing
+    /// flows — it is a monitoring/prefetch read, answered by one
+    /// [`Message::BatchReply`] with snapshots in query order.
+    BatchQuery(Vec<PathKey>),
+    /// Server → client: one snapshot per queried path, in query order.
+    BatchReply(Vec<ContextSnapshot>),
 }
 
 /// Decoding failures. [`DecodeError::Incomplete`] just means "feed me
@@ -383,6 +417,33 @@ pub fn encode(msg: &Message) -> Bytes {
             let len = blob.len().min(MAX_SNAPSHOT_BLOB);
             payload.put_u32(len as u32);
             payload.put_slice(&blob[..len]);
+        }
+        Message::BatchReport(items) => {
+            payload.put_u8(TYPE_BATCH_REPORT);
+            let n = items.len().min(MAX_BATCH_ITEMS);
+            payload.put_u16(n as u16);
+            for (path, summary) in &items[..n] {
+                payload.put_u64(path.0);
+                put_summary(&mut payload, summary);
+            }
+        }
+        Message::BatchQuery(paths) => {
+            payload.put_u8(TYPE_BATCH_QUERY);
+            let n = paths.len().min(MAX_BATCH_ITEMS);
+            payload.put_u16(n as u16);
+            for path in &paths[..n] {
+                payload.put_u64(path.0);
+            }
+        }
+        Message::BatchReply(snaps) => {
+            payload.put_u8(TYPE_BATCH_REPLY);
+            let n = snaps.len().min(MAX_BATCH_ITEMS);
+            payload.put_u16(n as u16);
+            for ctx in &snaps[..n] {
+                payload.put_f64(ctx.utilization);
+                payload.put_f64(ctx.queue_ms);
+                payload.put_u32(ctx.competing);
+            }
         }
     }
     let mut frame = BytesMut::with_capacity(4 + payload.len());
@@ -584,6 +645,49 @@ fn decode_payload(p: &mut BytesMut) -> Result<Message, DecodeError> {
             let blob = p.split_to(len).to_vec();
             Ok(Message::SnapshotSync { epoch, blob })
         }
+        TYPE_BATCH_REPORT => {
+            need!(2);
+            let n = p.get_u16() as usize;
+            if n > MAX_BATCH_ITEMS {
+                return Err(DecodeError::Malformed("batch too large"));
+            }
+            need!(n * (8 + SUMMARY_LEN));
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push((PathKey(p.get_u64()), get_summary(p)));
+            }
+            Ok(Message::BatchReport(items))
+        }
+        TYPE_BATCH_QUERY => {
+            need!(2);
+            let n = p.get_u16() as usize;
+            if n > MAX_BATCH_ITEMS {
+                return Err(DecodeError::Malformed("batch too large"));
+            }
+            need!(n * 8);
+            let mut paths = Vec::with_capacity(n);
+            for _ in 0..n {
+                paths.push(PathKey(p.get_u64()));
+            }
+            Ok(Message::BatchQuery(paths))
+        }
+        TYPE_BATCH_REPLY => {
+            need!(2);
+            let n = p.get_u16() as usize;
+            if n > MAX_BATCH_ITEMS {
+                return Err(DecodeError::Malformed("batch too large"));
+            }
+            need!(n * 20);
+            let mut snaps = Vec::with_capacity(n);
+            for _ in 0..n {
+                snaps.push(ContextSnapshot {
+                    utilization: p.get_f64(),
+                    queue_ms: p.get_f64(),
+                    competing: p.get_u32(),
+                });
+            }
+            Ok(Message::BatchReply(snaps))
+        }
         other => Err(DecodeError::BadType(other)),
     }
 }
@@ -686,6 +790,160 @@ mod tests {
             epoch: 13,
             blob: Vec::new(),
         });
+        roundtrip(Message::BatchReport(vec![
+            (
+                PathKey(5),
+                FlowSummary {
+                    bytes: 1_000,
+                    duration_ns: 2_000,
+                    mean_rtt_ms: 3.5,
+                    min_rtt_ms: 3.0,
+                    retransmits: 1,
+                    timeouts: 0,
+                },
+            ),
+            (
+                PathKey(6),
+                FlowSummary {
+                    bytes: 9_999,
+                    duration_ns: 8_888,
+                    mean_rtt_ms: 7.5,
+                    min_rtt_ms: 7.0,
+                    retransmits: 0,
+                    timeouts: 2,
+                },
+            ),
+        ]));
+        roundtrip(Message::BatchReport(Vec::new()));
+        roundtrip(Message::BatchQuery(vec![PathKey(1), PathKey(u64::MAX)]));
+        roundtrip(Message::BatchQuery(Vec::new()));
+        roundtrip(Message::BatchReply(vec![
+            ContextSnapshot {
+                utilization: 0.25,
+                queue_ms: 3.0,
+                competing: 4,
+            },
+            ContextSnapshot {
+                utilization: 0.0,
+                queue_ms: 0.0,
+                competing: 0,
+            },
+        ]));
+        roundtrip(Message::BatchReply(Vec::new()));
+    }
+
+    #[test]
+    fn full_size_batches_roundtrip_within_frame_bound() {
+        let summary = FlowSummary {
+            bytes: 1,
+            duration_ns: 2,
+            mean_rtt_ms: 3.0,
+            min_rtt_ms: 4.0,
+            retransmits: 5,
+            timeouts: 6,
+        };
+        let report = Message::BatchReport(
+            (0..MAX_BATCH_ITEMS as u64)
+                .map(|i| (PathKey(i), summary))
+                .collect(),
+        );
+        assert!(
+            encode(&report).len() <= 4 + MAX_FRAME,
+            "batch overflows a frame"
+        );
+        roundtrip(report);
+        roundtrip(Message::BatchQuery(
+            (0..MAX_BATCH_ITEMS as u64).map(PathKey).collect(),
+        ));
+        roundtrip(Message::BatchReply(
+            (0..MAX_BATCH_ITEMS)
+                .map(|i| ContextSnapshot {
+                    utilization: (i % 100) as f64 / 100.0,
+                    queue_ms: i as f64,
+                    competing: i as u32,
+                })
+                .collect(),
+        ));
+    }
+
+    #[test]
+    fn over_cap_batches_truncate_on_encode_and_reject_on_decode() {
+        // Encoding clamps to the cap, like PATHS does.
+        let query = Message::BatchQuery((0..2 * MAX_BATCH_ITEMS as u64).map(PathKey).collect());
+        let mut d = Decoder::new();
+        d.extend(&encode(&query));
+        match d.next().unwrap() {
+            Message::BatchQuery(paths) => assert_eq!(paths.len(), MAX_BATCH_ITEMS),
+            other => panic!("unexpected {other:?}"),
+        }
+        // A hand-built frame claiming more items than the cap is rejected
+        // before any allocation proportional to the claim.
+        for ty in [TYPE_BATCH_REPORT, TYPE_BATCH_QUERY, TYPE_BATCH_REPLY] {
+            let mut frame = BytesMut::new();
+            frame.put_u32(2 + 2);
+            frame.put_u8(VERSION);
+            frame.put_u8(ty);
+            frame.put_u16(MAX_BATCH_ITEMS as u16 + 1);
+            let mut d = Decoder::new();
+            d.extend(&frame);
+            assert_eq!(d.next(), Err(DecodeError::Malformed("batch too large")));
+        }
+    }
+
+    #[test]
+    fn truncated_batch_payload_rejected() {
+        // Claim 3 report items but supply only 2: the honest length
+        // header makes this a complete frame whose payload ends early.
+        let mut frame = BytesMut::new();
+        frame.put_u32(2 + 2 + 2 * 48);
+        frame.put_u8(VERSION);
+        frame.put_u8(TYPE_BATCH_REPORT);
+        frame.put_u16(3);
+        frame.put_slice(&[0u8; 2 * 48]);
+        let mut d = Decoder::new();
+        d.extend(&frame);
+        assert_eq!(d.next(), Err(DecodeError::Malformed("payload too short")));
+    }
+
+    #[test]
+    fn batch_frames_skip_cleanly_on_a_pre_batch_decoder() {
+        // A pre-batch decoder is this decoder with types 12–14 unassigned.
+        // Its skip path never inspects the payload — it consumes `len`
+        // bytes and reports the recoverable BadType — so rewriting a real
+        // batch frame's type byte to a still-unassigned code reproduces
+        // exactly what an old peer does with a batch frame: skip it whole
+        // and keep decoding the pipelined traffic behind it.
+        let batch = Message::BatchReport(vec![(
+            PathKey(3),
+            FlowSummary {
+                bytes: 10,
+                duration_ns: 20,
+                mean_rtt_ms: 1.0,
+                min_rtt_ms: 0.5,
+                retransmits: 0,
+                timeouts: 0,
+            },
+        )]);
+        for original in [
+            batch,
+            Message::BatchQuery(vec![PathKey(1), PathKey(2)]),
+            Message::BatchReply(vec![ContextSnapshot {
+                utilization: 0.5,
+                queue_ms: 1.0,
+                competing: 2,
+            }]),
+        ] {
+            let mut frame = BytesMut::from(&encode(&original)[..]);
+            frame[5] = 15; // first type code not assigned in this build
+            let mut d = Decoder::new();
+            d.extend(&frame);
+            d.extend(&encode(&Message::ReportOk));
+            let err = d.next().unwrap_err();
+            assert_eq!(err, DecodeError::BadType(15));
+            assert!(err.is_recoverable(), "old peers must survive batch frames");
+            assert_eq!(d.next().unwrap(), Message::ReportOk, "stream desynced");
+            assert_eq!(d.next(), Err(DecodeError::Incomplete));
+        }
     }
 
     #[test]

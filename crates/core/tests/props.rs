@@ -12,12 +12,17 @@ use phi_core::context::{
     ContextStore, FlowSummary, PathKey, SnapshotError, StoreConfig, SNAPSHOT_VERSION,
 };
 use phi_core::server::{ClientConfig, ClientError, ContextClient};
+use phi_core::shard::ShardedStore;
 use phi_core::wire::{encode, DecodeError, Decoder, Message, ReplOp, Role};
 use phi_tcp::hook::ContextSnapshot;
 
-/// Frame type codes 1..=11 are assigned; everything above is unknown and
+/// Frame type codes 1..=14 are assigned; everything above is unknown and
 /// must decode as the *recoverable* `BadType`.
-const FIRST_UNKNOWN_TYPE: u8 = 12;
+const FIRST_UNKNOWN_TYPE: u8 = 15;
+
+/// Type codes of the batch frames added after the original 1..=11 set —
+/// the frames a pre-batch decoder must skip recoverably.
+const BATCH_TYPES: std::ops::RangeInclusive<u8> = 12..=14;
 
 fn arb_summary() -> impl Strategy<Value = FlowSummary> {
     (
@@ -88,6 +93,20 @@ fn arb_message() -> impl Strategy<Value = Message> {
             .prop_map(|(epoch, seq, op)| Message::Replicate { epoch, seq, op }),
         (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..300))
             .prop_map(|(epoch, blob)| Message::SnapshotSync { epoch, blob }),
+        arb_batch_message(),
+    ]
+}
+
+/// The three batch frames (including the zero-item case — a legal,
+/// if pointless, frame).
+fn arb_batch_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        proptest::collection::vec((any::<u64>(), arb_summary()), 0..40).prop_map(|items| {
+            Message::BatchReport(items.into_iter().map(|(p, s)| (PathKey(p), s)).collect())
+        }),
+        proptest::collection::vec(any::<u64>(), 0..60)
+            .prop_map(|paths| Message::BatchQuery(paths.into_iter().map(PathKey).collect())),
+        proptest::collection::vec(arb_snapshot(), 0..60).prop_map(Message::BatchReply),
     ]
 }
 
@@ -449,5 +468,87 @@ proptest! {
                 Err(e) => prop_assert!(false, "unexpected error at {}: {:?}", cut, e),
             }
         }
+    }
+
+    /// The sharding tentpole's correctness contract: a `ShardedStore`
+    /// with any shard count is *observably equivalent* to the classic
+    /// store for any interleaving of lookups and reports — identical
+    /// snapshots returned to every query, identical counters, identical
+    /// loss signals, identical dashboard views. Paths never interact in
+    /// the store, so splitting the keyspace must be invisible.
+    #[test]
+    fn sharded_store_matches_classic_for_any_interleaving(
+        ops in proptest::collection::vec(
+            (any::<bool>(), 0u64..16, 0u64..100_000_000_000, arb_summary()),
+            1..200,
+        ),
+    ) {
+        let cfg = StoreConfig {
+            window_ns: 10_000_000_000,
+            capacity_bps: Some(10_000_000.0),
+            queue_alpha: 0.3,
+        };
+        for shards in [1usize, 4, 16] {
+            let mut classic = ContextStore::new(cfg);
+            let mut sharded = ShardedStore::new(cfg, shards);
+            for &(is_lookup, path_idx, now, summary) in &ops {
+                let path = PathKey(path_idx);
+                if is_lookup {
+                    prop_assert_eq!(
+                        sharded.lookup(path, now),
+                        classic.lookup(path, now),
+                        "lookup diverged at {} shards",
+                        shards
+                    );
+                } else {
+                    sharded.report(path, now, &summary);
+                    classic.report(path, now, &summary);
+                }
+                prop_assert_eq!(sharded.peek(path, now), classic.peek(path, now));
+            }
+            prop_assert_eq!(sharded.path_count(), classic.path_count());
+            prop_assert_eq!(
+                sharded.snapshot(100_000_000_000),
+                classic.snapshot(100_000_000_000),
+                "merged snapshot diverged at {} shards",
+                shards
+            );
+            for p in 0..16u64 {
+                let p = PathKey(p);
+                prop_assert_eq!(sharded.loss_signal(p), classic.loss_signal(p));
+                prop_assert_eq!(sharded.traffic_counters(p), classic.traffic_counters(p));
+            }
+        }
+    }
+
+    /// Forward compatibility of the batch extension: to a pre-batch
+    /// decoder, type codes 12..=14 are exactly "unknown types" — the
+    /// decoder never inspects an unknown frame's payload, so remapping a
+    /// real batch frame's type code into today's unknown range *is* a
+    /// pre-batch decoder seeing a batch frame. It must surface the
+    /// recoverable `BadType` and stay frame-aligned: a message pipelined
+    /// behind the batch still decodes intact, whatever the batch held
+    /// (zero items, full items, any payload).
+    #[test]
+    fn batch_frames_skip_recoverably_on_a_pre_batch_decoder(
+        batch in arb_batch_message(),
+        follower in arb_message(),
+    ) {
+        let mut frame = encode(&batch).to_vec();
+        let batch_type = frame[5];
+        prop_assert!(BATCH_TYPES.contains(&batch_type), "not a batch frame: {}", batch_type);
+        let unknown = FIRST_UNKNOWN_TYPE + (batch_type - BATCH_TYPES.start());
+        frame[5] = unknown;
+        let mut d = Decoder::new();
+        d.extend(&frame);
+        d.extend(&encode(&follower));
+        match d.next() {
+            Err(e @ DecodeError::BadType(t)) => {
+                prop_assert_eq!(t, unknown);
+                prop_assert!(e.is_recoverable(), "pre-batch decoders must keep serving");
+            }
+            other => prop_assert!(false, "expected BadType, got {:?}", other),
+        }
+        prop_assert_eq!(d.next().unwrap(), follower, "stream desynchronized");
     }
 }

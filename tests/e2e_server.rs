@@ -11,7 +11,8 @@ use std::time::Duration;
 use phi::core::wire;
 use phi::core::{
     provision_cubic, run_experiment, summarize, sync_store, ClientError, ContextClient,
-    ContextServer, ContextStore, ExperimentSpec, PathKey, ServerConfig, StoreConfig,
+    ContextServer, ContextStore, ExperimentSpec, FlowSummary, PathKey, ResilienceConfig,
+    ResilientClient, ServerConfig, StoreConfig, WriteBehindConfig,
 };
 use phi::sim::time::Dur;
 use phi::tcp::CubicParams;
@@ -177,4 +178,173 @@ fn overloaded_server_sheds_with_error_frame_and_counts_rejections() {
 
     drop(parked);
     server.shutdown();
+}
+
+fn summary(bytes: u64) -> FlowSummary {
+    FlowSummary {
+        bytes,
+        duration_ns: 1_000_000_000,
+        mean_rtt_ms: 170.0,
+        min_rtt_ms: 150.0,
+        retransmits: 1,
+        timeouts: 0,
+    }
+}
+
+fn server_reports(server: &ContextServer) -> u64 {
+    server
+        .stats()
+        .reports
+        .load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// The write-behind staleness bound, end to end against a live sharded
+/// server: buffered reports stay client-side — invisible to every other
+/// sender — until the count bound, the age bound, or an explicit flush
+/// ships them, and after any of those they are visible server-side. A
+/// report is never held longer than the bound allows.
+#[test]
+fn write_behind_reports_land_within_the_staleness_bound() {
+    let server = ContextServer::start_sharded(
+        "127.0.0.1:0",
+        StoreConfig::default(),
+        ServerConfig::default(),
+        4,
+    )
+    .expect("bind");
+    let addr = server.addr();
+    let mut client = ContextClient::connect(addr).expect("connect");
+    client.set_write_behind(WriteBehindConfig {
+        max_items: 8,
+        max_age: Duration::from_millis(150),
+    });
+    // Paths spread across shards: the flushed batch exercises the
+    // group-by-shard path on the server, not just one shard's lock.
+    let path = |i: u64| PathKey(i);
+
+    // Count bound: seven reports sit in the buffer, invisible to the
+    // server; the eighth crosses `max_items` and the whole batch lands.
+    for i in 0..7u64 {
+        let flushed = client
+            .buffer_report(path(i), summary(100_000))
+            .expect("buffer");
+        assert!(!flushed, "report {i} flushed before the count bound");
+    }
+    assert_eq!(client.pending_reports(), 7);
+    assert_eq!(server_reports(&server), 0, "buffered reports leaked early");
+    assert!(client
+        .buffer_report(path(7), summary(100_000))
+        .expect("flush"));
+    assert_eq!(client.pending_reports(), 0);
+    assert_eq!(
+        server_reports(&server),
+        8,
+        "count-bound flush must land all"
+    );
+
+    // Age bound: a lone report older than `max_age` is shipped by the
+    // next buffer call — the bound is on the *oldest* buffered report,
+    // so nothing can be held past it while traffic keeps arriving.
+    assert!(!client
+        .buffer_report(path(1), summary(50_000))
+        .expect("buffer"));
+    std::thread::sleep(Duration::from_millis(200));
+    assert!(
+        client
+            .buffer_report(path(2), summary(50_000))
+            .expect("age flush"),
+        "a report older than max_age must force the flush"
+    );
+    assert_eq!(server_reports(&server), 10);
+
+    // Explicit flush: the staleness bound is an upper bound, not a delay —
+    // a caller can always cut it to zero.
+    assert!(!client
+        .buffer_report(path(3), summary(25_000))
+        .expect("buffer"));
+    assert_eq!(client.flush_reports().expect("flush"), 1);
+    assert_eq!(client.flush_reports().expect("empty flush"), 0);
+    assert_eq!(server_reports(&server), 11);
+
+    // And the landed reports are really in the stores: every reported
+    // path answers with accumulated context through the batch-query path.
+    let snaps = client
+        .query_batch(&(0..8).map(path).collect::<Vec<_>>())
+        .expect("batch query");
+    assert_eq!(snaps.len(), 8);
+    for (i, s) in snaps.iter().enumerate() {
+        assert!(s.utilization > 0.0, "path {i} shows no context: {s:?}");
+    }
+    server.shutdown();
+}
+
+/// A dead plane costs buffered telemetry, never the data path: once the
+/// server is gone, buffering keeps accepting reports, a triggered flush
+/// reports the loss and empties the buffer, and after the circuit breaker
+/// opens every call short-circuits without touching the network.
+#[test]
+fn dead_plane_write_behind_degrades_without_stalling() {
+    let store = sync_store(ContextStore::new(StoreConfig::default()));
+    let server = ContextServer::start("127.0.0.1:0", store).expect("bind");
+    let addr = server.addr();
+
+    let mut cfg = ResilienceConfig {
+        max_retries: 0,
+        backoff_base: Duration::from_millis(1),
+        breaker_threshold: 1,
+        breaker_cooldown: Duration::from_secs(30),
+        ..ResilienceConfig::default()
+    };
+    cfg.client.connect_timeout = Duration::from_millis(100);
+    cfg.client.request_deadline = Duration::from_millis(100);
+    let mut client = ResilientClient::with_config(addr, cfg).expect("resolve");
+    client.set_write_behind(WriteBehindConfig {
+        max_items: 4,
+        max_age: Duration::from_secs(3600), // count bound only: timing-proof
+    });
+
+    // Healthy plane: a full buffer flushes and lands.
+    for i in 0..4u64 {
+        client.buffer_report(PathKey(i), summary(10_000));
+    }
+    assert_eq!(client.pending_reports(), 0);
+    assert_eq!(server_reports(&server), 4);
+
+    server.shutdown();
+
+    // Dead plane: buffering itself never fails...
+    for i in 0..3u64 {
+        assert!(client.buffer_report(PathKey(i), summary(10_000)));
+    }
+    // ...the flush that hits the dead server reports the loss and drops
+    // the batch — the buffer must not grow or retry into the future...
+    assert!(
+        !client.buffer_report(PathKey(3), summary(10_000)),
+        "flush against a dead plane must report the loss"
+    );
+    assert_eq!(client.pending_reports(), 0, "dropped, not retained");
+
+    // ...and with the breaker open, a full buffer cycle is pure CPU: no
+    // connects, no timeouts, no stalls on the caller's path.
+    assert!(client.breaker_open(), "one exhausted request must trip it");
+    let before = client.stats().short_circuited;
+    let start = std::time::Instant::now();
+    for i in 0..400u64 {
+        client.buffer_report(PathKey(i), summary(10_000));
+    }
+    assert!(
+        start.elapsed() < Duration::from_millis(500),
+        "buffering against an open breaker stalled: {:?}",
+        start.elapsed()
+    );
+    assert!(
+        client.stats().short_circuited > before,
+        "flushes should short-circuit, not touch the network"
+    );
+    assert_eq!(client.pending_reports() % 4, client.pending_reports());
+    assert!(
+        client.query_batch(&[PathKey(1)]).is_none(),
+        "degrade to no context"
+    );
+    assert!(client.lookup(PathKey(1)).is_none());
 }

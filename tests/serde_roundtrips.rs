@@ -4,7 +4,9 @@
 //! from the trainer to the fleet.
 
 use phi::core::harness::BottleneckQueue;
-use phi::core::{ExperimentSpec, FlowSummary, HaSpec, PolicyTable, ServerCrashPlan, StoreConfig};
+use phi::core::{
+    ExperimentSpec, FlowSummary, HaSpec, PolicyTable, ServerCrashPlan, ShardedHa, StoreConfig,
+};
 use phi::remy::{Action, WhiskerTree};
 use phi::sim::time::Dur;
 use phi::tcp::report::{FlowReport, RunMetrics};
@@ -74,6 +76,7 @@ fn ha_spec_and_crash_plans_roundtrip() {
             plan,
             repl_lag: Dur::from_millis(75),
             failover_delay: Dur::from_millis(300),
+            shards: None,
         };
         assert_eq!(roundtrip(&ha), ha);
 
@@ -83,6 +86,34 @@ fn ha_spec_and_crash_plans_roundtrip() {
         let back = roundtrip(&spec);
         assert_eq!(back.ha, Some(ha));
     }
+}
+
+/// The sharded-plane section of [`HaSpec`] rides the same additive
+/// contract the `ha` field itself does: it round-trips when present, and
+/// JSON written before the field existed (no `"shards"` key) still
+/// deserializes — to `None`, the classic single plane.
+#[test]
+fn sharded_ha_roundtrips_and_pre_shards_json_still_deserializes() {
+    let mut ha = HaSpec {
+        plan: ServerCrashPlan::crash_restart(Dur::from_secs(5), Dur::from_secs(2)),
+        repl_lag: Dur::from_millis(50),
+        failover_delay: Dur::from_secs(1),
+        shards: Some(ShardedHa {
+            count: 4,
+            crash_shard: 2,
+        }),
+    };
+    assert_eq!(roundtrip(&ha), ha);
+
+    // A pre-shards writer simply never had the key.
+    ha.shards = None;
+    let mut json = serde_json::to_string(&ha).expect("serialize");
+    assert!(json.contains("\"shards\""), "field serializes when present");
+    json = json.replace(",\"shards\":null", "");
+    assert!(!json.contains("\"shards\""), "key must actually be removed");
+    let back: HaSpec = serde_json::from_str(&json).expect("old JSON must deserialize");
+    assert_eq!(back.shards, None);
+    assert_eq!(back, ha);
 }
 
 #[test]
