@@ -1,0 +1,201 @@
+//! Fluid fast-path scale bench: how many flows the flow-level solver
+//! simulates per wall-clock second, and the end-to-end harness demo of
+//! a ≥10⁵-flow run.
+//!
+//! The packet engine costs ~74 ns/event and a short flow is hundreds of
+//! events, which caps a run near 10⁴ flows; the fluid solver schedules
+//! only flow arrivals and departures (two events per flow), so the same
+//! budget covers 10⁵–10⁶ flows. This bench measures both layers:
+//!
+//! - **harness**: a full `run_experiment` with `ExperimentSpec::fluid`
+//!   set — reports, metrics, utilization, the works — sized so a single
+//!   run completes well over 10⁵ flows (the ISSUE 7 acceptance bar).
+//! - **solver**: a bare `FluidSim` driven at ~10⁶ flows to measure the
+//!   solver's raw event rate without report-building overhead.
+//!
+//! Full mode writes `BENCH_fluid.json` at the repo root for cross-PR
+//! comparison (same convention as `BENCH_engine.json`); `--test` runs a
+//! reduced sweep for CI smoke.
+
+use std::time::Instant;
+
+use phi_core::harness::{provision_cubic, run_experiment, ExperimentSpec};
+use phi_sim::prelude::*;
+use phi_tcp::cubic::{steady_state_rate_bps, CubicParams};
+use phi_workload::{OnOffConfig, OnOffSource, SeedRng};
+use serde::Serialize;
+
+/// The scale workload: many short flows with brief think times, the
+/// regime where packet-level simulation is hopeless and flow-level
+/// approximation shines (mean 25 KB on, 100 ms off, both exponential).
+fn scale_workload() -> OnOffConfig {
+    OnOffConfig {
+        mean_on_bytes: 25_000.0,
+        mean_off_secs: 0.1,
+        deterministic: false,
+    }
+}
+
+/// A provider-scale dumbbell: per-pair access links far below the
+/// aggregate bottleneck, 20 ms RTT.
+fn scale_dumbbell(pairs: usize) -> DumbbellSpec {
+    DumbbellSpec {
+        pairs,
+        bottleneck_bps: 1_000_000 * pairs as u64, // contended but not starved
+        rtt: Dur::from_millis(20),
+        buffer_bdp_multiple: 5.0,
+        access_bps: 50_000_000,
+    }
+}
+
+#[derive(Serialize)]
+struct Row {
+    mode: &'static str,
+    senders: usize,
+    duration_secs: f64,
+    flows: u64,
+    events: u64,
+    wall_secs: f64,
+    flows_per_sec: f64,
+    events_per_sec: f64,
+}
+
+fn row(
+    mode: &'static str,
+    senders: usize,
+    duration_secs: f64,
+    flows: u64,
+    events: u64,
+    wall_secs: f64,
+) -> Row {
+    let round = |v: f64| (v * 10.0).round() / 10.0;
+    let row = Row {
+        mode,
+        senders,
+        duration_secs,
+        flows,
+        events,
+        wall_secs: (wall_secs * 1e4).round() / 1e4,
+        flows_per_sec: round(flows as f64 / wall_secs),
+        events_per_sec: round(events as f64 / wall_secs),
+    };
+    println!(
+        "fluid/{mode}_{senders}x{duration_secs}s          flows: {flows}  events: {events}  \
+         wall: {:.3} s  ({:.3e} flows/s, {:.3e} events/s)",
+        row.wall_secs, row.flows_per_sec, row.events_per_sec,
+    );
+    row
+}
+
+/// End-to-end harness run through `run_experiment` with the fluid path
+/// enabled. Returns (completed flows, events, wall seconds).
+fn drive_harness(pairs: usize, secs: u64) -> Row {
+    let mut spec =
+        ExperimentSpec::new(pairs, scale_workload(), Dur::from_secs(secs), 0xF1_07).with_fluid();
+    spec.dumbbell = scale_dumbbell(pairs);
+    let t0 = Instant::now();
+    let result = run_experiment(&spec, provision_cubic(CubicParams::default()));
+    let wall = t0.elapsed().as_secs_f64();
+    row(
+        "harness",
+        pairs,
+        secs as f64,
+        result.metrics.flows_completed as u64,
+        result.events,
+        wall,
+    )
+}
+
+/// Bare solver run: same topology shape and workload, no report
+/// building, no slow-start model — the solver's raw event rate.
+fn drive_solver(senders: usize, secs: u64) -> Row {
+    let spec = scale_dumbbell(senders);
+    let payload_frac = f64::from(wire::MSS) / f64::from(wire::FULL_SEGMENT);
+    let mut fsim = FluidSim::new();
+    let bottleneck = fsim.add_link(spec.bottleneck_bps as f64 * payload_frac);
+    let cubic_cap = steady_state_rate_bps(
+        &CubicParams::default(),
+        spec.rtt.as_secs_f64(),
+        1e-4,
+        f64::from(wire::MSS),
+    );
+    let class = fsim.add_class(
+        vec![bottleneck],
+        (spec.access_bps as f64 * payload_frac).min(cubic_cap),
+    );
+    let root = SeedRng::new(0xF1_05);
+    let workload = scale_workload();
+    for i in 0..senders {
+        let mut source = OnOffSource::new(workload, root.fork_indexed("sender", i as u64));
+        fsim.add_sender(
+            class,
+            Box::new(move || {
+                let plan = source.next_flow();
+                FluidFlowPlan {
+                    bytes: plan.bytes.max(1),
+                    off_ns: plan.off_ns,
+                }
+            }),
+        );
+    }
+
+    let t0 = Instant::now();
+    fsim.run_until(Time::ZERO + Dur::from_secs(secs));
+    let wall = t0.elapsed().as_secs_f64();
+    assert!(
+        fsim.census().conserved(1e-6),
+        "fluid byte-conservation violated at scale: {:?}",
+        fsim.census()
+    );
+    row(
+        "solver",
+        senders,
+        secs as f64,
+        fsim.records().len() as u64,
+        fsim.events(),
+        wall,
+    )
+}
+
+fn main() {
+    // Cargo passes `--bench`; CI's smoke step passes `--test` for a
+    // reduced sweep that still exercises both layers end to end.
+    let quick = std::env::args().any(|a| a == "--test");
+    let (harness_pairs, harness_secs, solver_senders, solver_secs) = if quick {
+        (40, 5, 100, 5)
+    } else {
+        (400, 100, 2_000, 120)
+    };
+
+    let harness = drive_harness(harness_pairs, harness_secs);
+    let solver = drive_solver(solver_senders, solver_secs);
+
+    // The tentpole claims, checked in full mode only (the smoke sweep is
+    // sized for CI wall-clock, not for the flow-count bar): the harness
+    // path must clear 10⁵ flows in one run, and the bare solver must
+    // reach the 10⁶-flow regime.
+    println!(
+        "fluid/claim harness {} flows (need >= 1e5), solver {} flows (need >= 1e6)",
+        harness.flows, solver.flows,
+    );
+    assert!(
+        quick || harness.flows >= 100_000,
+        "harness fluid run completed only {} flows",
+        harness.flows
+    );
+    assert!(
+        quick || solver.flows >= 1_000_000,
+        "solver fluid run completed only {} flows",
+        solver.flows
+    );
+
+    if !quick {
+        let report = vec![harness, solver];
+        let json = serde_json::to_string_pretty(&report).expect("serialize") + "\n";
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fluid.json");
+        match std::fs::write(path, json) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+}

@@ -293,23 +293,40 @@ impl ContextServer {
     /// log, and fencing epoch. Requests route by
     /// [`shard_index`]`(path, shards)`, so batch traffic for disjoint
     /// paths never serializes on one lock. Every shard starts as a lone
-    /// primary at epoch 1; HA replication composes *per shard* — each
-    /// shard of a sharded deployment is backed by its own replica pair
-    /// (see `DESIGN.md`), which is why there is no `backups` knob here.
+    /// primary at epoch 1; for a sharded deployment with backups, use
+    /// [`ContextServer::start_sharded_ha`].
     pub fn start_sharded(
         addr: impl ToSocketAddrs,
         cfg: StoreConfig,
         config: ServerConfig,
         shards: usize,
     ) -> std::io::Result<ContextServer> {
+        Self::start_sharded_ha(addr, cfg, config, shards, HaOptions::default())
+    }
+
+    /// Start a sharded replica: `shards` independent stores, each serving
+    /// at `ha.epoch` in `ha.role`, with every shard streamed to every
+    /// address in `ha.backups`. Shard state syncs with the shard-scoped
+    /// SHARD_SNAPSHOT_SYNC frame (falling back to the legacy whole-store
+    /// frame when `shards == 1`), so a backup must be started with the
+    /// *same* shard count — the delta stream routes by path and the two
+    /// sides must agree on `shard_index`.
+    pub fn start_sharded_ha(
+        addr: impl ToSocketAddrs,
+        cfg: StoreConfig,
+        config: ServerConfig,
+        shards: usize,
+        ha: HaOptions,
+    ) -> std::io::Result<ContextServer> {
         let shards = (0..shards.max(1))
             .map(|_| ShardState {
                 store: sync_store(ContextStore::new(cfg)),
-                ha: Arc::new(HaShared::new(1, Role::Primary)),
+                ha: Arc::new(HaShared::new(ha.epoch, ha.role)),
                 log: Arc::new(Mutex::new(ReplLog::default())),
             })
             .collect();
-        Self::launch(addr, shards, config, None)
+        let repl = (!ha.backups.is_empty()).then_some((ha.backups, ha.repl_client));
+        Self::launch(addr, shards, config, repl)
     }
 
     fn launch(
@@ -372,25 +389,14 @@ impl ContextServer {
                 .expect("spawn accept thread")
         };
 
-        // Replication (single-shard deployments only; a sharded
-        // deployment replicates shard-by-shard with one pair per shard).
+        // Replication: one thread streams every shard to every backup.
         let repl_thread = repl.map(|(backups, repl_client)| {
             let shutdown = shutdown.clone();
             let stats = stats.clone();
-            let shard = shards[0].clone();
+            let shards = shards.clone();
             std::thread::Builder::new()
                 .name("phi-ctx-repl".into())
-                .spawn(move || {
-                    replicate_to_backups(
-                        &backups,
-                        repl_client,
-                        shard.store,
-                        shard.ha,
-                        shard.log,
-                        stats,
-                        shutdown,
-                    )
-                })
+                .spawn(move || replicate_to_backups(&backups, repl_client, shards, stats, shutdown))
                 .expect("spawn replication thread")
         });
 
@@ -561,6 +567,38 @@ fn shed_connection(stream: TcpStream) {
         code: code::OVERLOADED,
         message: "server overloaded: connection cap reached".into(),
     }));
+}
+
+/// Apply a full-state snapshot blob to one shard, with the same epoch
+/// fence as every other mutating path: stale epochs bounce with 409, an
+/// equal epoch is refused while the shard itself is primary (two
+/// primaries at one epoch must never both accept state).
+fn apply_snapshot_sync(sh: &ShardState, epoch: u64, blob: &[u8], stats: &ServerStats) -> Message {
+    if epoch < sh.ha.epoch() || (epoch == sh.ha.epoch() && sh.ha.role() == Role::Primary) {
+        return fenced_reply(&sh.ha, stats, "snapshot sync from a stale epoch");
+    }
+    match ContextStore::decode_snapshot(blob) {
+        Ok((restored, _blob_epoch)) => {
+            sh.ha.set(epoch, Role::Backup);
+            stats.repl_syncs.fetch_add(1, Ordering::Relaxed);
+            *sh.store.write() = restored;
+            Message::ReportOk
+        }
+        Err(SnapshotError::UnsupportedVersion(v)) => {
+            stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            Message::Error {
+                code: code::UNSUPPORTED,
+                message: format!("snapshot version {v} not supported"),
+            }
+        }
+        Err(e) => {
+            stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            Message::Error {
+                code: code::BAD_REQUEST,
+                message: format!("bad snapshot blob: {e}"),
+            }
+        }
+    }
 }
 
 /// One `409 FENCED` reply, naming the epoch the server is actually at so
@@ -777,48 +815,35 @@ fn handle_connection(
                     }
                 }
                 Ok(Message::SnapshotSync { epoch, blob }) if shards.len() > 1 => {
-                    // A snapshot blob is one whole store; it cannot be
-                    // split across shards without inventing state. Sharded
-                    // deployments sync shard-by-shard, replica pair by
-                    // replica pair.
+                    // A whole-store snapshot blob cannot be split across
+                    // shards without inventing state. Sharded receivers
+                    // take SHARD_SNAPSHOT_SYNC, one blob per shard.
                     let _ = (epoch, blob);
                     stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
                     Message::Error {
                         code: code::UNSUPPORTED,
-                        message: "snapshot sync addresses a single-shard replica; \
-                                  sharded deployments replicate per shard"
+                        message: "whole-store snapshot sync addresses a single-shard \
+                                  replica; sync a sharded server shard by shard with \
+                                  SHARD_SNAPSHOT_SYNC"
                             .into(),
                     }
                 }
                 Ok(Message::SnapshotSync { epoch, blob }) => {
-                    let sh = &shards[0];
-                    if epoch < sh.ha.epoch()
-                        || (epoch == sh.ha.epoch() && sh.ha.role() == Role::Primary)
-                    {
-                        fenced_reply(&sh.ha, &stats, "snapshot sync from a stale epoch")
-                    } else {
-                        match ContextStore::decode_snapshot(&blob) {
-                            Ok((restored, _blob_epoch)) => {
-                                sh.ha.set(epoch, Role::Backup);
-                                stats.repl_syncs.fetch_add(1, Ordering::Relaxed);
-                                *sh.store.write() = restored;
-                                Message::ReportOk
-                            }
-                            Err(SnapshotError::UnsupportedVersion(v)) => {
-                                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                                Message::Error {
-                                    code: code::UNSUPPORTED,
-                                    message: format!("snapshot version {v} not supported"),
-                                }
-                            }
-                            Err(e) => {
-                                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                                Message::Error {
-                                    code: code::BAD_REQUEST,
-                                    message: format!("bad snapshot blob: {e}"),
-                                }
+                    apply_snapshot_sync(&shards[0], epoch, &blob, &stats)
+                }
+                Ok(Message::ShardSnapshotSync { shard, epoch, blob }) => {
+                    match shards.get(shard as usize) {
+                        None => {
+                            stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                            Message::Error {
+                                code: code::BAD_REQUEST,
+                                message: format!(
+                                    "shard {shard} out of range ({} shards)",
+                                    shards.len()
+                                ),
                             }
                         }
+                        Some(sh) => apply_snapshot_sync(sh, epoch, &blob, &stats),
                     }
                 }
                 Ok(other) => {
@@ -859,119 +884,155 @@ fn handle_connection(
 struct BackupLink {
     addr: SocketAddr,
     conn: Option<ContextClient>,
-    /// Highest log seq this backup has acknowledged. `None` until a full
-    /// snapshot sync establishes a baseline.
-    acked: Option<u64>,
+    /// Highest log seq this backup has acknowledged, per shard. `None`
+    /// until that shard's full snapshot sync establishes a baseline.
+    acked: Vec<Option<u64>>,
 }
 
 /// The primary's replication loop: keep every backup within one snapshot
-/// plus a tail of deltas of the live store. Runs until shutdown or until
-/// a backup's `409 FENCED` reply reveals this server was deposed — then
-/// it self-deposes (role := backup) so it can never again feed clients
-/// stale context.
+/// plus a tail of deltas of every shard's live store. Runs until
+/// shutdown; a backup's `409 FENCED` reply (or a heartbeat revealing a
+/// newer epoch) deposes the affected shard — role := backup, so that
+/// shard can never again feed clients stale context — while the other
+/// shards keep replicating.
+///
+/// Single-shard deployments sync with the legacy whole-store
+/// SNAPSHOT_SYNC frame (old backups stay syncable); multi-shard
+/// deployments use SHARD_SNAPSHOT_SYNC per shard, which requires the
+/// backup to be sharded identically (the delta stream routes by path, so
+/// shard counts must agree end to end).
 fn replicate_to_backups(
     backups: &[SocketAddr],
     client_cfg: ClientConfig,
-    store: SyncStore,
-    ha: Arc<HaShared>,
-    log: Arc<Mutex<ReplLog>>,
+    shards: Arc<Vec<ShardState>>,
     stats: Arc<ServerStats>,
     shutdown: Arc<AtomicBool>,
 ) {
+    let n = shards.len();
     let mut links: Vec<BackupLink> = backups
         .iter()
         .map(|&addr| BackupLink {
             addr,
             conn: None,
-            acked: None,
+            acked: vec![None; n],
         })
         .collect();
 
     while !shutdown.load(Ordering::Acquire) {
-        if ha.role() != Role::Primary {
-            // Deposed (or started as a backup): nothing to stream. Stay
-            // alive — a later `promote()` resumes replication.
+        if shards.iter().all(|s| s.ha.role() != Role::Primary) {
+            // Deposed (or started as a backup) on every shard: nothing to
+            // stream. Stay alive — a later `promote()` resumes.
             std::thread::sleep(Duration::from_millis(5));
             continue;
         }
-        let epoch = ha.epoch();
-        let mut deposed = false;
+        // Shards deposed during this pass; their baselines are cleared on
+        // *every* link so a re-promotion starts with full resyncs.
+        let mut deposed: Vec<usize> = Vec::new();
         for link in &mut links {
             if link.conn.is_none() {
                 link.conn = ContextClient::connect_with(link.addr, client_cfg).ok();
-                link.acked = None; // new connection: re-establish baseline
+                link.acked = vec![None; n]; // new connection: new baseline
                 if link.conn.is_none() {
                     continue;
                 }
             }
 
-            // A backup with no baseline — or one that fell behind the
-            // pruned log — gets a full snapshot consistent with a log
-            // position: both locks held while reading (store read lock
-            // blocks mutators, which append under the write lock).
-            let needs_sync = {
-                let log = log.lock();
-                match link.acked {
-                    None => true,
-                    Some(acked) => log
-                        .entries
-                        .front()
-                        .is_some_and(|&(front, _)| front > acked + 1),
-                }
-            };
-            if needs_sync {
-                let (blob, sync_seq) = {
-                    let st = store.read();
-                    let log = log.lock();
-                    (st.encode_snapshot(epoch), log.next_seq)
-                };
-                match send_repl(link, &Message::SnapshotSync { epoch, blob }) {
-                    ReplSend::Acked => {
-                        stats.repl_sent.fetch_add(1, Ordering::Relaxed);
-                        link.acked = Some(sync_seq);
-                    }
-                    ReplSend::Fenced => {
-                        deposed = true;
-                        break;
-                    }
-                    ReplSend::Failed => continue,
-                }
-            }
-
-            // Stream the delta tail.
             let mut sent_any = false;
-            loop {
-                let next = {
-                    let log = log.lock();
-                    let acked = link.acked.unwrap_or(0);
-                    log.entries.iter().find(|&&(seq, _)| seq > acked).cloned()
-                };
-                let Some((seq, op)) = next else { break };
-                match send_repl(link, &Message::Replicate { epoch, seq, op }) {
-                    ReplSend::Acked => {
-                        stats.repl_sent.fetch_add(1, Ordering::Relaxed);
-                        link.acked = Some(seq);
-                        sent_any = true;
-                    }
-                    ReplSend::Fenced => {
-                        deposed = true;
-                        break;
-                    }
-                    ReplSend::Failed => break,
+            for (s, sh) in shards.iter().enumerate() {
+                if sh.ha.role() != Role::Primary || deposed.contains(&s) {
+                    continue;
                 }
-            }
-            if deposed {
-                break;
+                let epoch = sh.ha.epoch();
+
+                // A backup with no baseline for this shard — or one that
+                // fell behind the pruned log — gets a full snapshot
+                // consistent with a log position: both locks held while
+                // reading (store read lock blocks mutators, which append
+                // under the write lock).
+                let needs_sync = {
+                    let log = sh.log.lock();
+                    match link.acked[s] {
+                        None => true,
+                        Some(acked) => log
+                            .entries
+                            .front()
+                            .is_some_and(|&(front, _)| front > acked + 1),
+                    }
+                };
+                if needs_sync {
+                    let (blob, sync_seq) = {
+                        let st = sh.store.read();
+                        let log = sh.log.lock();
+                        (st.encode_snapshot(epoch), log.next_seq)
+                    };
+                    let msg = if n == 1 {
+                        Message::SnapshotSync { epoch, blob }
+                    } else {
+                        Message::ShardSnapshotSync {
+                            shard: s as u32,
+                            epoch,
+                            blob,
+                        }
+                    };
+                    match send_repl(link, &msg) {
+                        ReplSend::Acked => {
+                            stats.repl_sent.fetch_add(1, Ordering::Relaxed);
+                            link.acked[s] = Some(sync_seq);
+                            sent_any = true;
+                        }
+                        ReplSend::Fenced => {
+                            sh.ha.set(epoch, Role::Backup);
+                            deposed.push(s);
+                            continue;
+                        }
+                        ReplSend::Failed => break,
+                    }
+                }
+
+                // Stream the delta tail.
+                loop {
+                    let next = {
+                        let log = sh.log.lock();
+                        let acked = link.acked[s].unwrap_or(0);
+                        log.entries.iter().find(|&&(seq, _)| seq > acked).cloned()
+                    };
+                    let Some((seq, op)) = next else { break };
+                    match send_repl(link, &Message::Replicate { epoch, seq, op }) {
+                        ReplSend::Acked => {
+                            stats.repl_sent.fetch_add(1, Ordering::Relaxed);
+                            link.acked[s] = Some(seq);
+                            sent_any = true;
+                        }
+                        ReplSend::Fenced => {
+                            sh.ha.set(epoch, Role::Backup);
+                            deposed.push(s);
+                            break;
+                        }
+                        ReplSend::Failed => break,
+                    }
+                }
+                if link.conn.is_none() {
+                    break; // transport died; retry this link next pass
+                }
             }
 
             // Idle heartbeat: an EpochQuery reveals a promoted backup
-            // even when no client traffic is generating deltas.
+            // even when no client traffic is generating deltas. The reply
+            // carries the backup's most conservative (lowest) epoch, so
+            // any primary shard below it has certainly been superseded.
             if !sent_any {
                 if let Some(conn) = link.conn.as_mut() {
                     match conn.request(&Message::EpochQuery) {
-                        Ok(Message::Epoch { epoch: theirs, .. }) if theirs > epoch => {
-                            deposed = true;
-                            break;
+                        Ok(Message::Epoch { epoch: theirs, .. }) => {
+                            for (s, sh) in shards.iter().enumerate() {
+                                if sh.ha.role() == Role::Primary
+                                    && theirs > sh.ha.epoch()
+                                    && !deposed.contains(&s)
+                                {
+                                    sh.ha.set(sh.ha.epoch(), Role::Backup);
+                                    deposed.push(s);
+                                }
+                            }
                         }
                         Ok(_) => {}
                         Err(_) => link.conn = None,
@@ -980,22 +1041,18 @@ fn replicate_to_backups(
             }
         }
 
-        if deposed {
-            // A backup answered from a newer epoch: this server lost the
-            // primaryship. Self-depose — never serve another client at
-            // the stale epoch — and force full resyncs if re-promoted.
-            ha.set(epoch, Role::Backup);
+        for &s in &deposed {
             for link in &mut links {
-                link.acked = None;
-                link.conn = None;
+                link.acked[s] = None;
             }
-            continue;
         }
 
         // Entries every live backup has confirmed are dead weight.
-        if let Some(min_acked) = links.iter().filter_map(|l| l.acked).min() {
-            if links.iter().all(|l| l.acked.is_some()) {
-                log.lock().prune(min_acked);
+        for (s, sh) in shards.iter().enumerate() {
+            if links.iter().all(|l| l.acked[s].is_some()) {
+                if let Some(min_acked) = links.iter().filter_map(|l| l.acked[s]).min() {
+                    sh.log.lock().prune(min_acked);
+                }
             }
         }
         std::thread::sleep(Duration::from_millis(5));
@@ -1394,6 +1451,46 @@ impl ContextClient {
             other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
         }
     }
+
+    /// Install `blob` as shard `shard`'s full state on the receiving
+    /// server, fenced at `epoch`. The shard index is the *receiver's*
+    /// (`shard_index` of the same path space — primary and backup must be
+    /// sharded identically). Out-of-range shards and stale epochs come
+    /// back as server errors.
+    pub fn sync_shard_snapshot(
+        &mut self,
+        shard: u32,
+        epoch: u64,
+        blob: Vec<u8>,
+    ) -> Result<(), ClientError> {
+        match self.request(&Message::ShardSnapshotSync { shard, epoch, blob })? {
+            Message::ReportOk => Ok(()),
+            Message::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Flush the write-behind buffer and consume the client; returns how
+    /// many buffered reports shipped. Dropping the client flushes too —
+    /// the difference is that `close` surfaces the final flush's error
+    /// where `Drop` must swallow it.
+    pub fn close(mut self) -> Result<usize, ClientError> {
+        self.flush_reports()
+    }
+}
+
+impl Drop for ContextClient {
+    /// Last-chance flush of the write-behind buffer: an orderly teardown
+    /// must not silently discard buffered reports. Best-effort — errors
+    /// are swallowed (use [`ContextClient::close`] to observe them) and
+    /// the single batch request is bounded by the per-request deadline,
+    /// so teardown cannot hang on a dead plane. Skipped while panicking:
+    /// an unwinding thread shouldn't block on the network.
+    fn drop(&mut self) {
+        if !self.pending.is_empty() && !std::thread::panicking() {
+            let _ = self.flush_reports();
+        }
+    }
 }
 
 /// [`ResilientClient`] tuning knobs.
@@ -1663,6 +1760,13 @@ impl ResilientClient {
         self.pending.len()
     }
 
+    /// Flush the write-behind buffer and consume the client; `false`
+    /// when the final flush lost reports. Dropping the client flushes
+    /// too, silently.
+    pub fn close(mut self) -> bool {
+        self.flush_reports()
+    }
+
     fn call(&mut self, msg: &Message) -> Option<Message> {
         self.stats.requests += 1;
         if let Some(until) = self.open_until {
@@ -1801,6 +1905,18 @@ impl ResilientClient {
         self.jitter ^= self.jitter << 17;
         let frac = 0.5 + 0.5 * (self.jitter >> 11) as f64 / (1u64 << 53) as f64;
         capped.mul_f64(frac)
+    }
+}
+
+impl Drop for ResilientClient {
+    /// Last-chance flush of the write-behind buffer on orderly teardown.
+    /// Bounded even against a dead plane: the flush goes through the
+    /// normal retry/breaker machinery, so an open breaker short-circuits
+    /// it without touching the network. Skipped while panicking.
+    fn drop(&mut self) {
+        if !self.pending.is_empty() && !std::thread::panicking() {
+            let _ = self.flush_reports();
+        }
     }
 }
 
@@ -2295,6 +2411,117 @@ mod tests {
     }
 
     #[test]
+    fn sharded_backup_catches_up_via_shard_snapshot_sync() {
+        // The bug this pins: before SHARD_SNAPSHOT_SYNC a multi-shard
+        // server answered every SnapshotSync with 501, so a late-started
+        // sharded backup could never be brought level. Two shards, one
+        // path on each, backup started after the data exists.
+        let placeholder = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let backup_addr = placeholder.local_addr().unwrap();
+        drop(placeholder);
+
+        let primary = ContextServer::start_sharded_ha(
+            "127.0.0.1:0",
+            StoreConfig::default(),
+            ServerConfig::default(),
+            2,
+            HaOptions {
+                backups: vec![backup_addr],
+                repl_client: quick_config(),
+                ..HaOptions::default()
+            },
+        )
+        .expect("bind primary");
+
+        // One path per shard, found by the same hash the router uses.
+        let on_shard = |want: usize| {
+            (0..64)
+                .map(PathKey)
+                .find(|&p| crate::shard::shard_index(p, 2) == want)
+                .expect("a path landing on the shard")
+        };
+        let (p0, p1) = (on_shard(0), on_shard(1));
+        let mut c = ContextClient::connect(primary.addr()).expect("connect");
+        for p in [p0, p1] {
+            c.lookup(p).expect("lookup");
+            c.report(p, summary(2_000_000)).expect("report");
+        }
+
+        let backup = ContextServer::start_sharded_ha(
+            backup_addr,
+            StoreConfig::default(),
+            ServerConfig::default(),
+            2,
+            HaOptions {
+                role: Role::Backup,
+                ..HaOptions::default()
+            },
+        )
+        .expect("bind backup");
+
+        wait_until("both shards to sync", || {
+            [p0, p1].iter().all(|&p| {
+                let s = crate::shard::shard_index(p, 2);
+                let (store, _) = ContextStore::decode_snapshot(&backup.shard_snapshot_blob(s))
+                    .expect("backup shard snapshot decodes");
+                store.traffic_counters(p) == (1, 1)
+            })
+        });
+        assert!(backup.stats().repl_syncs.load(Ordering::Relaxed) >= 2);
+        primary.shutdown();
+        backup.shutdown();
+    }
+
+    #[test]
+    fn shard_snapshot_sync_rejects_out_of_range_shard() {
+        let server = ContextServer::start_sharded(
+            "127.0.0.1:0",
+            StoreConfig::default(),
+            ServerConfig::default(),
+            2,
+        )
+        .expect("bind");
+        let mut c = ContextClient::connect(server.addr()).expect("connect");
+        let blob = server.shard_snapshot_blob(0);
+        match c.sync_shard_snapshot(7, 2, blob) {
+            Err(ClientError::Server { code: c, .. }) => assert_eq!(c, code::BAD_REQUEST),
+            other => panic!("expected 400 for shard out of range, got {other:?}"),
+        }
+        // The stream stays aligned: the same connection still serves.
+        c.lookup(PathKey(1)).expect("lookup after rejected sync");
+        server.shutdown();
+    }
+
+    #[test]
+    fn whole_store_sync_still_unsupported_on_sharded_server() {
+        // The legacy frame keeps its 501 on multi-shard receivers — a
+        // whole-store blob cannot be split across shards — but the
+        // shard-scoped frame works on the same connection.
+        let server = ContextServer::start_sharded(
+            "127.0.0.1:0",
+            StoreConfig::default(),
+            ServerConfig::default(),
+            2,
+        )
+        .expect("bind");
+        let blob = server.shard_snapshot_blob(0);
+        let mut c = ContextClient::connect(server.addr()).expect("connect");
+        match c.request(&Message::SnapshotSync {
+            epoch: 2,
+            blob: blob.clone(),
+        }) {
+            Ok(Message::Error { code: c, .. }) => assert_eq!(c, code::UNSUPPORTED),
+            other => panic!("expected 501 for whole-store sync, got {other:?}"),
+        }
+        c.sync_shard_snapshot(0, 2, blob)
+            .expect("shard-scoped sync");
+        assert_eq!(server.epoch_of(0), 2);
+        assert_eq!(server.role_of(0), Role::Backup);
+        assert_eq!(server.epoch_of(1), 1, "other shard untouched");
+        server.shutdown();
+    }
+
+    #[test]
     fn promotion_fences_the_deposed_primary() {
         let (backup, backup_addr) = start_ha_server(HaOptions {
             role: Role::Backup,
@@ -2781,5 +3008,70 @@ mod tests {
             started.elapsed()
         );
         assert!(rc.stats().short_circuited >= 1);
+    }
+
+    #[test]
+    fn write_behind_buffer_survives_orderly_shutdown() {
+        // The bug this pins: reports buffered but not yet flushed were
+        // silently lost when the client was dropped or closed before a
+        // flush trigger fired.
+        let (server, addr) = start_server();
+        let wb = WriteBehindConfig {
+            max_items: 100,
+            max_age: Duration::from_secs(60),
+        };
+
+        // Drop path: the destructor ships the buffer.
+        let mut c = ContextClient::connect_with(addr, quick_config()).expect("connect");
+        c.set_write_behind(wb);
+        assert!(!c.buffer_report(PathKey(1), summary(1_000)).expect("buffer"));
+        assert!(!c.buffer_report(PathKey(1), summary(2_000)).expect("buffer"));
+        drop(c);
+        assert_eq!(server.stats().reports.load(Ordering::Relaxed), 2);
+
+        // Close path: same flush, but losses are observable.
+        let mut c = ContextClient::connect_with(addr, quick_config()).expect("connect");
+        c.set_write_behind(wb);
+        assert!(!c.buffer_report(PathKey(2), summary(3_000)).expect("buffer"));
+        assert_eq!(c.close().expect("close"), 1);
+        assert_eq!(server.stats().reports.load(Ordering::Relaxed), 3);
+
+        // Resilient wrapper, drop path.
+        let mut rc = ResilientClient::with_config(
+            addr,
+            ResilienceConfig {
+                client: quick_config(),
+                ..ResilienceConfig::default()
+            },
+        )
+        .expect("resolve");
+        rc.set_write_behind(wb);
+        assert!(rc.buffer_report(PathKey(3), summary(4_000)));
+        drop(rc);
+        assert_eq!(server.stats().reports.load(Ordering::Relaxed), 4);
+        server.shutdown();
+    }
+
+    #[test]
+    fn drop_flush_stays_bounded_against_a_dead_plane() {
+        let (server, addr) = start_server();
+        let mut c = ContextClient::connect_with(addr, quick_config()).expect("connect");
+        c.set_write_behind(WriteBehindConfig {
+            max_items: 100,
+            max_age: Duration::from_secs(60),
+        });
+        assert!(!c.buffer_report(PathKey(1), summary(1_000)).expect("buffer"));
+        server.shutdown();
+
+        // The destructor's flush fails against the dead plane; it must
+        // swallow the error and return within the request deadline, not
+        // hang teardown.
+        let started = Instant::now();
+        drop(c);
+        assert!(
+            started.elapsed() < quick_config().request_deadline * 3,
+            "drop flush must stay deadline-bounded, took {:?}",
+            started.elapsed()
+        );
     }
 }

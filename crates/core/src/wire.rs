@@ -31,6 +31,10 @@
 //! BATCH_QUERY  (13): u16 count, count x u64 path — bulk read-only peek
 //! BATCH_REPLY  (14): u16 count, count x (f64 utilization, f64 queue_ms,
 //!               u32 competing), one per queried path in order
+//! SHARD_SNAPSHOT_SYNC (15): u32 shard, u64 epoch, u32 len, len
+//!               snapshot-blob bytes — SNAPSHOT_SYNC scoped to one shard
+//!               of a sharded server, so a restarted backup can resync a
+//!               multi-shard primary shard by shard
 //! ```
 //!
 //! The batch frames are *additive*: codes 12–14 were unassigned before
@@ -69,6 +73,7 @@ const TYPE_SNAPSHOT_SYNC: u8 = 11;
 const TYPE_BATCH_REPORT: u8 = 12;
 const TYPE_BATCH_QUERY: u8 = 13;
 const TYPE_BATCH_REPLY: u8 = 14;
+const TYPE_SHARD_SNAPSHOT_SYNC: u8 = 15;
 
 const OP_LOOKUP: u8 = 1;
 const OP_REPORT: u8 = 2;
@@ -82,6 +87,10 @@ pub const MAX_SNAPSHOT_PATHS: usize = 1024;
 /// Largest snapshot blob a SNAPSHOT_SYNC frame may carry; the rest of
 /// the frame (length, version, type, epoch, blob length) needs 18 bytes.
 pub const MAX_SNAPSHOT_BLOB: usize = MAX_FRAME - 18;
+
+/// Largest snapshot blob a SHARD_SNAPSHOT_SYNC frame may carry; its
+/// framing adds a u32 shard index on top of SNAPSHOT_SYNC's 18 bytes.
+pub const MAX_SHARD_SNAPSHOT_BLOB: usize = MAX_FRAME - 22;
 
 /// Most items any batch frame (BATCH_REPORT / BATCH_QUERY / BATCH_REPLY)
 /// may carry. Sized by the fattest item: a BATCH_REPORT item is 48 bytes
@@ -290,6 +299,22 @@ pub enum Message {
     BatchQuery(Vec<PathKey>),
     /// Server → client: one snapshot per queried path, in query order.
     BatchReply(Vec<ContextSnapshot>),
+    /// Primary → backup (or operator → restarted server): full state of
+    /// *one shard* of a sharded server. Additive (type 15, unassigned
+    /// before it existed): an old decoder skips it with the recoverable
+    /// [`DecodeError::BadType`] instead of desynchronizing — and a
+    /// single-shard deployment keeps speaking plain
+    /// [`Message::SnapshotSync`] so old backups stay syncable.
+    ShardSnapshotSync {
+        /// Which shard the blob belongs to; the receiver routes it by
+        /// index and rejects out-of-range shards with 400.
+        shard: u32,
+        /// The sender's epoch; stale epochs are rejected with 409.
+        epoch: u64,
+        /// Versioned snapshot blob for that shard's store — same format
+        /// as [`Message::SnapshotSync`].
+        blob: Vec<u8>,
+    },
 }
 
 /// Decoding failures. [`DecodeError::Incomplete`] just means "feed me
@@ -444,6 +469,14 @@ pub fn encode(msg: &Message) -> Bytes {
                 payload.put_f64(ctx.queue_ms);
                 payload.put_u32(ctx.competing);
             }
+        }
+        Message::ShardSnapshotSync { shard, epoch, blob } => {
+            payload.put_u8(TYPE_SHARD_SNAPSHOT_SYNC);
+            payload.put_u32(*shard);
+            payload.put_u64(*epoch);
+            let len = blob.len().min(MAX_SHARD_SNAPSHOT_BLOB);
+            payload.put_u32(len as u32);
+            payload.put_slice(&blob[..len]);
         }
     }
     let mut frame = BytesMut::with_capacity(4 + payload.len());
@@ -688,6 +721,18 @@ fn decode_payload(p: &mut BytesMut) -> Result<Message, DecodeError> {
             }
             Ok(Message::BatchReply(snaps))
         }
+        TYPE_SHARD_SNAPSHOT_SYNC => {
+            need!(16);
+            let shard = p.get_u32();
+            let epoch = p.get_u64();
+            let len = p.get_u32() as usize;
+            if len > MAX_SHARD_SNAPSHOT_BLOB {
+                return Err(DecodeError::Malformed("snapshot blob too large"));
+            }
+            need!(len);
+            let blob = p.split_to(len).to_vec();
+            Ok(Message::ShardSnapshotSync { shard, epoch, blob })
+        }
         other => Err(DecodeError::BadType(other)),
     }
 }
@@ -788,6 +833,16 @@ mod tests {
         });
         roundtrip(Message::SnapshotSync {
             epoch: 13,
+            blob: Vec::new(),
+        });
+        roundtrip(Message::ShardSnapshotSync {
+            shard: 3,
+            epoch: 12,
+            blob: vec![0xCD; 1024],
+        });
+        roundtrip(Message::ShardSnapshotSync {
+            shard: u32::MAX,
+            epoch: 0,
             blob: Vec::new(),
         });
         roundtrip(Message::BatchReport(vec![
@@ -934,12 +989,12 @@ mod tests {
             }]),
         ] {
             let mut frame = BytesMut::from(&encode(&original)[..]);
-            frame[5] = 15; // first type code not assigned in this build
+            frame[5] = 16; // first type code not assigned in this build
             let mut d = Decoder::new();
             d.extend(&frame);
             d.extend(&encode(&Message::ReportOk));
             let err = d.next().unwrap_err();
-            assert_eq!(err, DecodeError::BadType(15));
+            assert_eq!(err, DecodeError::BadType(16));
             assert!(err.is_recoverable(), "old peers must survive batch frames");
             assert_eq!(d.next().unwrap(), Message::ReportOk, "stream desynced");
             assert_eq!(d.next(), Err(DecodeError::Incomplete));
@@ -1018,6 +1073,49 @@ mod tests {
             d.next(),
             Err(DecodeError::Malformed("snapshot blob too large"))
         );
+    }
+
+    #[test]
+    fn oversized_shard_snapshot_blob_rejected() {
+        // Same bound check as SNAPSHOT_SYNC, with the shard index's 4
+        // extra bytes of framing accounted for.
+        let mut frame = BytesMut::new();
+        frame.put_u32(2 + 16);
+        frame.put_u8(VERSION);
+        frame.put_u8(TYPE_SHARD_SNAPSHOT_SYNC);
+        frame.put_u32(0); // shard
+        frame.put_u64(1); // epoch
+        frame.put_u32(MAX_FRAME as u32); // blob length: too large
+        let mut d = Decoder::new();
+        d.extend(&frame);
+        assert_eq!(
+            d.next(),
+            Err(DecodeError::Malformed("snapshot blob too large"))
+        );
+    }
+
+    #[test]
+    fn shard_snapshot_sync_keeps_the_stream_aligned() {
+        // The new frame is well-delimited like every other: pipelined
+        // traffic behind it decodes intact. (An *old* peer skips it as
+        // recoverable BadType — the `frame[5] = 16` rewrite in
+        // `batch_frames_skip_cleanly_on_a_pre_batch_decoder` pins that
+        // exact mechanism for codes a build doesn't know.)
+        let frame = encode(&Message::ShardSnapshotSync {
+            shard: 2,
+            epoch: 9,
+            blob: vec![0x11; 64],
+        });
+        let mut d = Decoder::new();
+        d.extend(&frame);
+        d.extend(&encode(&Message::ReportOk));
+        match d.next() {
+            Ok(Message::ShardSnapshotSync { shard, epoch, blob }) => {
+                assert_eq!((shard, epoch, blob.len()), (2, 9, 64));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(d.next().unwrap(), Message::ReportOk);
     }
 
     #[test]

@@ -6,8 +6,23 @@
 //! matches count-based router samplers, the probabilistic mode is useful
 //! for sensitivity checks. Sampled packet headers become
 //! [`crate::record::IpfixRecord`]s bound for the collector.
+//!
+//! Count-based sampling keys the take decision on `(flow_count + phase)
+//! % rate`, where `flow_count` is the flow's own observation count and
+//! `phase` a seeded FNV-1a hash of the flow key. A single shared counter
+//! phase-locks with synchronized workloads: if N clients' packets
+//! interleave in lockstep, a 1-in-N counter lands on the *same* clients
+//! every wheel turn and aliases the rest out of the telemetry entirely —
+//! and no per-key phase can rescue a flow that only ever occupies one
+//! wheel position. Per-flow wheels give every flow exactly one take per
+//! `rate` of *its own* packets regardless of interleaving; the phase
+//! staggers which packet that is, so synchronized flows don't all export
+//! in the same burst. Neither draws from the RNG stream, so
+//! probabilistic-mode replay is byte-identical to before.
 
-use phi_workload::SeedRng;
+use std::collections::HashMap;
+
+use phi_workload::{fnv1a, SeedRng};
 
 use crate::record::{FlowKey, IpfixRecord};
 
@@ -28,7 +43,13 @@ pub enum Mode {
 pub struct Sampler {
     rate: u32,
     mode: Mode,
-    counter: u64,
+    /// Per-flow observation counts (deterministic mode). Only ever
+    /// looked up by key, so map order can't leak into the output.
+    wheels: HashMap<FlowKey, u64>,
+    /// Seed for the per-flow phase hash (deterministic mode). Captured
+    /// from the RNG at construction, never advanced — the RNG stream
+    /// itself belongs to probabilistic mode.
+    phase_seed: u64,
     rng: SeedRng,
     observed: u64,
     sampled: u64,
@@ -41,7 +62,8 @@ impl Sampler {
         Sampler {
             rate,
             mode,
-            counter: 0,
+            wheels: HashMap::new(),
+            phase_seed: rng.seed(),
             rng,
             observed: 0,
             sampled: 0,
@@ -58,13 +80,11 @@ impl Sampler {
         self.observed += 1;
         let take = match self.mode {
             Mode::Deterministic => {
-                self.counter += 1;
-                if self.counter == u64::from(self.rate) {
-                    self.counter = 0;
-                    true
-                } else {
-                    false
-                }
+                let phase = self.phase_of(&key);
+                let count = self.wheels.entry(key).or_insert(0);
+                let taken = (*count + phase).is_multiple_of(u64::from(self.rate));
+                *count += 1;
+                taken
             }
             Mode::Probabilistic => self.rng.chance(1.0 / f64::from(self.rate)),
         };
@@ -85,6 +105,23 @@ impl Sampler {
     pub fn counters(&self) -> (u64, u64) {
         (self.observed, self.sampled)
     }
+
+    /// The flow's deterministic wheel offset in `0..rate`: a seeded
+    /// FNV-1a hash of the five-tuple. Pure function of (seed, key), so
+    /// replay is bit-identical for any `PHI_JOBS`.
+    fn phase_of(&self, key: &FlowKey) -> u64 {
+        let mut bytes = [0u8; 13];
+        bytes[..4].copy_from_slice(&key.src_ip.octets());
+        bytes[4..8].copy_from_slice(&key.dst_ip.octets());
+        bytes[8..10].copy_from_slice(&key.src_port.to_be_bytes());
+        bytes[10..12].copy_from_slice(&key.dst_port.to_be_bytes());
+        bytes[12] = key.proto;
+        // FNV only propagates entropy toward high bits, and the seed is
+        // mixed in rotated high — fold the halves so the modulo (often a
+        // power of two) sees both.
+        let h = fnv1a(self.phase_seed, &bytes);
+        (h ^ (h >> 32)) % u64::from(self.rate)
+    }
 }
 
 #[cfg(test)]
@@ -104,15 +141,70 @@ mod tests {
 
     #[test]
     fn deterministic_takes_exactly_one_in_n() {
+        // A single flow's stream is sampled at exactly 1-in-N, whatever
+        // phase its key hashes to.
         let mut s = Sampler::new(100, Mode::Deterministic, SeedRng::new(1));
         let mut taken = 0;
-        for i in 0..10_000 {
-            if s.observe(key(i), u64::from(i), 1500).is_some() {
+        for i in 0..10_000u64 {
+            if s.observe(key(7), i, 1500).is_some() {
                 taken += 1;
             }
         }
         assert_eq!(taken, 100);
         assert_eq!(s.counters(), (10_000, 100));
+    }
+
+    #[test]
+    fn interleaved_flows_are_all_represented() {
+        // The aliasing regression: 8 clients in strict lockstep through
+        // a 1-in-2 sampler. A shared counter lands on the same 4 clients
+        // every wheel turn and never exports the others; per-flow wheels
+        // give every client exactly half of its own packets.
+        let mut s = Sampler::new(2, Mode::Deterministic, SeedRng::new(5));
+        let mut per_flow = [0u32; 8];
+        for round in 0..100u64 {
+            for (f, taken) in per_flow.iter_mut().enumerate() {
+                if s.observe(key(f as u32), round, 1500).is_some() {
+                    *taken += 1;
+                }
+            }
+        }
+        assert_eq!(per_flow, [50; 8], "some client aliased out: {per_flow:?}");
+    }
+
+    #[test]
+    fn phases_are_staggered_across_flows() {
+        // The per-key phase exists so synchronized flows don't all fire
+        // on the same round. With 32 flows on a 1-in-4 wheel, at least
+        // two distinct first-take rounds must appear.
+        let mut s = Sampler::new(4, Mode::Deterministic, SeedRng::new(6));
+        let mut first_take = [None; 32];
+        for round in 0..4u64 {
+            for (f, first) in first_take.iter_mut().enumerate() {
+                if s.observe(key(f as u32), round, 1500).is_some() && first.is_none() {
+                    *first = Some(round);
+                }
+            }
+        }
+        assert!(first_take.iter().all(|f| f.is_some()));
+        let distinct: std::collections::HashSet<_> = first_take.iter().collect();
+        assert!(distinct.len() > 1, "all flows phase-locked: {first_take:?}");
+    }
+
+    #[test]
+    fn deterministic_mode_is_seed_stable_and_rng_free() {
+        // Same seed → same takes (replay for any PHI_JOBS); and the
+        // deterministic path must not consume the RNG stream, so a
+        // probabilistic sampler seeded identically is unaffected by
+        // whether a deterministic one ran first.
+        let run = |seed| {
+            let mut s = Sampler::new(4, Mode::Deterministic, SeedRng::new(seed));
+            (0..64u32)
+                .map(|i| s.observe(key(i % 8), 0, 100).is_some())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10), "phase must depend on the seed");
     }
 
     #[test]

@@ -20,4 +20,4 @@ pub mod rng;
 
 pub use dist::{BoundedPareto, Constant, Empirical, Exponential, Sample, Zipf};
 pub use onoff::{FlowPlan, OnOffConfig, OnOffSource};
-pub use rng::SeedRng;
+pub use rng::{fnv1a, SeedRng};

@@ -193,10 +193,12 @@ fn outage_detected_localized_and_others_bit_identical() {
         .enumerate()
         .map(|(i, &n)| (n, i))
         .collect();
-    // Probabilistic (seeded, still reproducible) sampling: the fan's
-    // synchronized deterministic flows phase-lock with a count-based
-    // 1-in-N sampler and alias entire pairs away.
-    let mut sampler = Sampler::new(2, Mode::Probabilistic, SeedRng::new(7));
+    // Count-based (router-style) sampling. The fan's synchronized
+    // deterministic flows used to phase-lock with the shared-counter
+    // sampler and alias entire pairs away; per-flow wheels (seeded FNV
+    // phase per flow key) sample every pair at exactly 1-in-N of its
+    // own packets, so deterministic mode is now safe here.
+    let mut sampler = Sampler::new(2, Mode::Deterministic, SeedRng::new(7));
     let mut exporter = LossyExporter::new(4096, 0.05, SeedRng::new(8));
     let mut collector = Collector::bounded(PAIRS * minutes + 16, 4096);
     let mut submits = 0u64;

@@ -5,7 +5,8 @@
 
 use phi::core::harness::BottleneckQueue;
 use phi::core::{
-    ExperimentSpec, FlowSummary, HaSpec, PolicyTable, ServerCrashPlan, ShardedHa, StoreConfig,
+    ExperimentSpec, FlowSummary, FluidSpec, HaSpec, PolicyTable, ServerCrashPlan, ShardedHa,
+    StoreConfig,
 };
 use phi::remy::{Action, WhiskerTree};
 use phi::sim::time::Dur;
@@ -54,6 +55,43 @@ fn pre_ha_spec_json_deserializes_to_no_ha_plane() {
     );
     let back: ExperimentSpec = serde_json::from_str(&json).expect("old JSON must deserialize");
     assert_eq!(back.ha, None);
+    assert_eq!(back.seed, 7);
+}
+
+#[test]
+fn fluid_spec_roundtrips() {
+    let mut spec = ExperimentSpec::new(6, OnOffConfig::fig2(), Dur::from_secs(45), 3).with_fluid();
+    let fluid = spec.fluid.as_mut().expect("with_fluid sets the field");
+    fluid.ref_loss = 2e-4;
+    fluid.slow_start_model = false;
+    fluid.efficiency = 0.8;
+    let back = roundtrip(&spec);
+    let f: FluidSpec = back.fluid.expect("fluid section survives");
+    assert_eq!(f.ref_loss, 2e-4);
+    assert!(!f.slow_start_model);
+    assert_eq!(f.efficiency, 0.8);
+    assert_eq!(back.seed, 3);
+}
+
+/// Like `ha`, the `fluid` section is additive: a spec serialized before
+/// the field existed (no `"fluid"` key) must still deserialize — to
+/// `None`, the packet-level path — so stored experiment configs and
+/// EXPERIMENTS provenance stay readable (and bit-reproducible) forever.
+#[test]
+fn pre_fluid_spec_json_deserializes_to_packet_path() {
+    let spec = ExperimentSpec::new(4, OnOffConfig::fig2(), Dur::from_secs(30), 7);
+    let mut json = serde_json::to_string(&spec).expect("serialize");
+    assert!(
+        json.contains("\"fluid\""),
+        "field should serialize when present"
+    );
+    json = json.replace(",\"fluid\":null", "");
+    assert!(
+        !json.contains("\"fluid\""),
+        "test must actually remove the key"
+    );
+    let back: ExperimentSpec = serde_json::from_str(&json).expect("old JSON must deserialize");
+    assert_eq!(back.fluid, None);
     assert_eq!(back.seed, 7);
 }
 
