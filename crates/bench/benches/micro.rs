@@ -148,6 +148,7 @@ mod engine {
     use phi_core::harness::{provision_cubic, run_experiment, ExperimentSpec};
     use phi_sim::engine::{packet_to, Agent, Ctx, SchedStats, Simulator};
     use phi_sim::packet::{FlowId, NodeId, Packet};
+    use phi_sim::par::ParallelSimulator;
     use phi_sim::queue::Capacity;
     use phi_sim::time::Dur;
     use phi_sim::topology::{parking_lot, ParkingLotSpec};
@@ -206,36 +207,39 @@ mod engine {
         }
     }
 
-    /// Multihop blast: a 4-hop parking lot with the long-path pair plus
-    /// every cross pair pumping packets through the backbone. Exercises
-    /// scheduling, multihop forwarding, port dispatch, drop-tail
-    /// queueing, and timers — engine cost, not transport cost.
-    fn blast(packets_per_source: u32) -> (u64, f64, SchedStats) {
-        let spec = ParkingLotSpec {
+    fn blast_spec() -> ParkingLotSpec {
+        ParkingLotSpec {
             hops: 4,
             backbone_bps: 50_000_000,
             hop_delay: Dur::from_millis(1),
             capacity: Capacity::Packets(100),
             access_bps: 1_000_000_000,
-        };
-        let lot = parking_lot(&spec);
+        }
+    }
+
+    fn blast_pump(i: usize, dst: NodeId, packets_per_source: u32) -> Box<Pump> {
+        Box::new(Pump {
+            peer: dst,
+            peer_port: 80,
+            port: 10,
+            remaining: packets_per_source,
+            size: 1000,
+            gap: Dur::from_micros(20),
+            flow: FlowId(i as u64),
+        })
+    }
+
+    /// Multihop blast: a 4-hop parking lot with the long-path pair plus
+    /// every cross pair pumping packets through the backbone. Exercises
+    /// scheduling, multihop forwarding, port dispatch, drop-tail
+    /// queueing, and timers — engine cost, not transport cost.
+    fn blast(packets_per_source: u32) -> (u64, f64, SchedStats) {
+        let lot = parking_lot(&blast_spec());
         let mut sim = Simulator::new(lot.topology.clone());
         let mut pairs = vec![lot.long_path];
         pairs.extend(lot.cross.iter().copied());
         for (i, (src, dst)) in pairs.iter().enumerate() {
-            sim.add_agent(
-                *src,
-                10,
-                Box::new(Pump {
-                    peer: *dst,
-                    peer_port: 80,
-                    port: 10,
-                    remaining: packets_per_source,
-                    size: 1000,
-                    gap: Dur::from_micros(20),
-                    flow: FlowId(i as u64),
-                }),
-            );
+            sim.add_agent(*src, 10, blast_pump(i, *dst, packets_per_source));
             sim.add_agent(*dst, 80, Box::<Drain>::default());
         }
         let t0 = Instant::now();
@@ -244,10 +248,49 @@ mod engine {
         (sim.events_processed(), wall, sim.sched_stats())
     }
 
+    /// One `parallel_multihop` measurement: the blast scenario through
+    /// the conservative parallel engine at `k` domains.
+    struct ParBlast {
+        domains: u32,
+        events: u64,
+        wall: f64,
+        barrier_rounds: u64,
+        cross_domain: u64,
+        /// Cut crossings per event processed — how much of the workload
+        /// actually rides the barrier protocol.
+        cross_fraction: f64,
+    }
+
+    /// The same blast scenario, partitioned. At `k == 1` this measures
+    /// pure partitioned-path overhead (no cut, no worker threads); at
+    /// `k > 1` it measures windowed-execution throughput.
+    fn par_blast(packets_per_source: u32, k: u32) -> ParBlast {
+        let lot = parking_lot(&blast_spec());
+        let mut sim = ParallelSimulator::new(lot.topology.clone(), k);
+        let mut pairs = vec![lot.long_path];
+        pairs.extend(lot.cross.iter().copied());
+        for (i, (src, dst)) in pairs.iter().enumerate() {
+            sim.add_agent(*src, 10, blast_pump(i, *dst, packets_per_source));
+            sim.add_agent(*dst, 80, Box::<Drain>::default());
+        }
+        let t0 = Instant::now();
+        sim.run_to_completion();
+        let wall = t0.elapsed().as_secs_f64();
+        let events = sim.events_processed();
+        ParBlast {
+            domains: k,
+            events,
+            wall,
+            barrier_rounds: sim.barrier_rounds(),
+            cross_domain: sim.cross_domain_messages(),
+            cross_fraction: sim.cross_domain_messages() as f64 / events.max(1) as f64,
+        }
+    }
+
     /// End-to-end run: the full Cubic dumbbell experiment (workload, TCP
     /// with SACK recovery, context hooks) — where timer-flood reduction
     /// and dispatch cost show up at application level.
-    fn e2e_cubic(duration: Dur) -> (u64, f64) {
+    fn e2e_cubic(duration: Dur) -> (u64, f64, SchedStats) {
         let spec = ExperimentSpec::new(
             4,
             OnOffConfig {
@@ -261,7 +304,7 @@ mod engine {
         let t0 = Instant::now();
         let r = run_experiment(&spec, provision_cubic(CubicParams::default()));
         let wall = t0.elapsed().as_secs_f64();
-        (r.events, wall)
+        (r.events, wall, r.sched)
     }
 
     /// The same scenarios measured on `main` immediately before the
@@ -304,15 +347,44 @@ mod engine {
             stale_ratio * 100.0,
         );
 
-        let mut best_e2e: Option<(u64, f64)> = None;
+        // Parallel engine trajectory: the same blast through the
+        // domain-partitioned path at 1, 2, and 4 domains. K=1 vs the
+        // serial row above is the partitioned-path overhead bound.
+        let mut par_rows: Vec<ParBlast> = Vec::new();
+        for k in [1u32, 2, 4] {
+            let mut best: Option<ParBlast> = None;
+            for _ in 0..iters {
+                let row = par_blast(blast_packets, k);
+                if best.is_none() || row.wall < best.as_ref().unwrap().wall {
+                    best = Some(row);
+                }
+            }
+            let row = best.unwrap();
+            let row_eps = row.events as f64 / row.wall;
+            println!(
+                "engine/parallel_multihop k={}            events: {}  wall: {:.1} ms  \
+                 thrpt: {:.3e} events/s  barriers: {}  cross-domain: {} ({:.2}% of events)",
+                row.domains,
+                row.events,
+                row.wall * 1e3,
+                row_eps,
+                row.barrier_rounds,
+                row.cross_domain,
+                row.cross_fraction * 100.0,
+            );
+            par_rows.push(row);
+        }
+
+        let mut best_e2e: Option<(u64, f64, SchedStats)> = None;
         for _ in 0..iters {
-            let (events, wall) = e2e_cubic(e2e_secs);
-            if best_e2e.is_none() || wall < best_e2e.unwrap().1 {
-                best_e2e = Some((events, wall));
+            let (events, wall, stats) = e2e_cubic(e2e_secs);
+            if best_e2e.is_none() || wall < best_e2e.as_ref().unwrap().1 {
+                best_e2e = Some((events, wall, stats));
             }
         }
-        let (e2e_events, e2e_wall) = best_e2e.unwrap();
+        let (e2e_events, e2e_wall, e2e_sched) = best_e2e.unwrap();
         let e2e_eps = e2e_events as f64 / e2e_wall;
+        let e2e_stale_ratio = e2e_sched.skipped_stale as f64 / e2e_sched.scheduled.max(1) as f64;
         println!(
             "engine/e2e_dumbbell_cubic                events: {e2e_events}  wall: {:.1} ms  \
              thrpt: {:.3e} events/s  ({:.1} ns/event)  speedup vs main: {:.2}x",
@@ -321,17 +393,50 @@ mod engine {
             1e9 / e2e_eps,
             e2e_eps / BASELINE_E2E_EPS,
         );
+        println!(
+            "engine/e2e_dumbbell_cubic sched          peak pending: {}  overflowed: {}  \
+             stale skipped: {} ({:.2}% of scheduled)",
+            e2e_sched.peak_pending,
+            e2e_sched.overflowed,
+            e2e_sched.skipped_stale,
+            e2e_stale_ratio * 100.0,
+        );
 
         if !quick {
+            // Ratios print in scientific notation (`{:e}` — valid JSON):
+            // fixed 5-decimal formatting used to round small nonzero
+            // ratios down to a misleading literal `0.00000`.
+            let par_json: String = par_rows
+                .iter()
+                .map(|r| {
+                    format!(
+                        "    {{\n      \"domains\": {},\n      \"events\": {},\n      \
+                         \"wall_ms\": {:.3},\n      \"events_per_sec\": {:.1},\n      \
+                         \"barrier_rounds\": {},\n      \"cross_domain_messages\": {},\n      \
+                         \"cross_domain_fraction\": {:e}\n    }}",
+                        r.domains,
+                        r.events,
+                        r.wall * 1e3,
+                        r.events as f64 / r.wall,
+                        r.barrier_rounds,
+                        r.cross_domain,
+                        r.cross_fraction,
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",\n");
             let json = format!(
                 "{{\n  \"blast_multihop\": {{\n    \"events\": {blast_events},\n    \
                  \"wall_ms\": {:.3},\n    \"events_per_sec\": {eps:.1},\n    \
                  \"ns_per_event\": {:.2},\n    \"speedup_vs_main\": {:.3},\n    \
                  \"peak_pending\": {},\n    \"overflowed\": {},\n    \
-                 \"stale_skip_ratio\": {stale_ratio:.5}\n  }},\n  \
+                 \"stale_skip_ratio\": {stale_ratio:e}\n  }},\n  \
+                 \"parallel_multihop\": [\n{par_json}\n  ],\n  \
                  \"e2e_dumbbell_cubic\": {{\n    \"events\": {e2e_events},\n    \
                  \"wall_ms\": {:.3},\n    \"events_per_sec\": {e2e_eps:.1},\n    \
-                 \"ns_per_event\": {:.2},\n    \"speedup_vs_main\": {:.3}\n  }},\n  \
+                 \"ns_per_event\": {:.2},\n    \"speedup_vs_main\": {:.3},\n    \
+                 \"peak_pending\": {},\n    \"overflowed\": {},\n    \
+                 \"stale_skip_ratio\": {e2e_stale_ratio:e}\n  }},\n  \
                  \"baseline_main\": {{\n    \"blast_events_per_sec\": {BASELINE_BLAST_EPS:.1},\n    \
                  \"e2e_events_per_sec\": {BASELINE_E2E_EPS:.1}\n  }}\n}}\n",
                 blast_wall * 1e3,
@@ -342,6 +447,8 @@ mod engine {
                 e2e_wall * 1e3,
                 1e9 / e2e_eps,
                 e2e_eps / BASELINE_E2E_EPS,
+                e2e_sched.peak_pending,
+                e2e_sched.overflowed,
             );
             let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
             match std::fs::write(path, json) {

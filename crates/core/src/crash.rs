@@ -20,9 +20,8 @@
 //! cost of asynchronous replication, and [`CrashCounters::ops_lost`]
 //! makes it observable.
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use phi_sim::engine::Ctx;
 use phi_sim::time::{Dur, Time};
@@ -342,7 +341,7 @@ impl PlaneState {
 /// one per run and hand clones to each sender's [`HaHook`].
 #[derive(Debug, Clone)]
 pub struct HaPlane {
-    state: Rc<RefCell<PlaneState>>,
+    state: Arc<Mutex<PlaneState>>,
 }
 
 impl HaPlane {
@@ -353,7 +352,7 @@ impl HaPlane {
     pub fn new(cfg: StoreConfig, spec: &HaSpec, mut rng: SeedRng, horizon: Dur) -> Self {
         let windows = spec.plan.materialize(&mut rng, horizon);
         HaPlane {
-            state: Rc::new(RefCell::new(PlaneState {
+            state: Arc::new(Mutex::new(PlaneState {
                 stores: [ContextStore::new(cfg), ContextStore::new(cfg)],
                 serving: 0,
                 epoch: 1,
@@ -371,7 +370,7 @@ impl HaPlane {
 
     /// Serve a lookup, or `None` while a failover is in progress.
     pub fn lookup(&self, path: PathKey, now_ns: u64) -> Option<ContextSnapshot> {
-        let mut st = self.state.borrow_mut();
+        let mut st = self.state.lock().expect("plane state");
         st.roll(now_ns);
         st.counters.lookups += 1;
         if now_ns < st.down_until {
@@ -386,7 +385,7 @@ impl HaPlane {
 
     /// File a report; `false` means it was lost to a failover window.
     pub fn report(&self, path: PathKey, now_ns: u64, summary: &FlowSummary) -> bool {
-        let mut st = self.state.borrow_mut();
+        let mut st = self.state.lock().expect("plane state");
         st.roll(now_ns);
         st.counters.reports += 1;
         if now_ns < st.down_until {
@@ -402,18 +401,18 @@ impl HaPlane {
 
     /// The current fencing epoch (1 + failovers so far).
     pub fn epoch(&self) -> u64 {
-        self.state.borrow().epoch
+        self.state.lock().expect("plane state").epoch
     }
 
     /// Injection/degradation counters.
     pub fn counters(&self) -> CrashCounters {
-        self.state.borrow().counters
+        self.state.lock().expect("plane state").counters
     }
 
     /// FNV-1a digest of the serving replica's snapshot blob — a compact,
     /// deterministic fingerprint of the surviving state.
     pub fn state_digest(&self) -> u64 {
-        let st = self.state.borrow();
+        let st = self.state.lock().expect("plane state");
         let blob = st.stores[st.serving].encode_snapshot(st.epoch);
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in blob {

@@ -8,9 +8,10 @@
 //! hook), which is exactly the axis the paper varies: default Cubic,
 //! Phi-tuned Cubic, mixed deployments, Remy variants.
 
-use phi_sim::engine::Simulator;
+use phi_sim::engine::{Agent, SchedStats, Simulator};
 use phi_sim::fluid::{FluidFlowPlan, FluidSim};
-use phi_sim::packet::{wire, FlowId};
+use phi_sim::packet::{wire, AgentId, FlowId, LinkId, NodeId};
+use phi_sim::par::ParallelSimulator;
 use phi_sim::queue::{Capacity, LinkQueue, Red};
 use phi_sim::time::{Dur, Time};
 use phi_sim::topology::{dumbbell, Dumbbell, DumbbellSpec};
@@ -76,6 +77,16 @@ pub struct ExperimentSpec {
     /// valid.
     #[serde(default)]
     pub fluid: Option<FluidSpec>,
+    /// Domain count for the conservative parallel engine. `None` (the
+    /// default, and what every pre-existing spec deserializes to) runs
+    /// the classic serial engine with its historical FIFO event keys, so
+    /// established run digests are untouched. `Some(k)` partitions the
+    /// topology into (at most) `k` domains and runs the windowed barrier
+    /// protocol; results are bit-identical for every `k`, including
+    /// `Some(1)`, but differ from `None` (content-derived event keys
+    /// assign different packet ids).
+    #[serde(default)]
+    pub domains: Option<u32>,
 }
 
 /// Configuration of the fluid fast path (see [`ExperimentSpec::fluid`]).
@@ -142,7 +153,15 @@ impl ExperimentSpec {
             queue: BottleneckQueue::DropTail,
             ha: None,
             fluid: None,
+            domains: None,
         }
+    }
+
+    /// The same spec routed through the conservative parallel engine
+    /// with (at most) `k` domains.
+    pub fn with_domains(mut self, k: u32) -> Self {
+        self.domains = Some(k);
+        self
     }
 
     /// The same spec routed through the fluid fast path with default
@@ -204,6 +223,9 @@ pub struct RunResult {
     pub store: ContextStore,
     /// Events the simulator processed (determinism checks, perf metrics).
     pub events: u64,
+    /// Scheduler-level accounting for the run (summed across domains on
+    /// partitioned runs; the conservation identity holds for the sum).
+    pub sched: SchedStats,
     /// What the crash-injected HA plane did, when the spec carried an
     /// unsharded one ([`HaSpec::shards`] absent or `count <= 1`).
     pub ha: Option<HaReport>,
@@ -258,7 +280,7 @@ pub fn run_experiment(
     let net = dumbbell(&spec.dumbbell);
     let bottleneck_ids = [net.bottleneck, net.reverse];
     let queue_kind = spec.queue;
-    let mut sim = Simulator::with_disciplines(net.topology.clone(), move |id, link| {
+    let disciplines = move |id, link: &phi_sim::topology::LinkSpec| {
         let is_bottleneck = bottleneck_ids.contains(&id);
         match (queue_kind, is_bottleneck) {
             (BottleneckQueue::Red, true) => {
@@ -270,7 +292,18 @@ pub fn run_experiment(
             }
             _ => LinkQueue::drop_tail(link.capacity),
         }
-    });
+    };
+    let mut sim = match spec.domains {
+        Some(k) => Engine::Par(ParallelSimulator::with_disciplines(
+            net.topology.clone(),
+            k,
+            disciplines,
+        )),
+        None => Engine::Serial(Box::new(Simulator::with_disciplines(
+            net.topology.clone(),
+            disciplines,
+        ))),
+    };
     let store = shared(ContextStore::new(spec.store));
     let root = SeedRng::new(spec.seed);
     // Fork the crash stream only when a plan exists: specs without an HA
@@ -357,7 +390,7 @@ pub fn run_experiment(
         bn.utilization(elapsed),
     );
 
-    let store = store.borrow().clone();
+    let store = store.lock().expect("context store").clone();
     let (ha, ha_shards) = match ha_planes {
         Some(set) if set.shard_count() > 1 => (None, Some(set.reports())),
         Some(set) => (Some(set.plane(0).report_summary()), None),
@@ -370,8 +403,62 @@ pub fn run_experiment(
         base_rtt_ms: spec.base_rtt_ms(),
         store,
         events: sim.events_processed(),
+        sched: sim.sched_stats(),
         ha,
         ha_shards,
+    }
+}
+
+/// The packet engine behind one harness run: the classic serial simulator
+/// (FIFO event keys, the historical digests) or the domain-partitioned
+/// parallel engine, chosen by [`ExperimentSpec::domains`]. Only the five
+/// calls the harness makes are delegated.
+enum Engine {
+    Serial(Box<Simulator>),
+    Par(ParallelSimulator),
+}
+
+impl Engine {
+    fn add_agent(&mut self, node: NodeId, port: u16, agent: Box<dyn Agent>) -> AgentId {
+        match self {
+            Engine::Serial(s) => s.add_agent(node, port, agent),
+            Engine::Par(p) => p.add_agent(node, port, agent),
+        }
+    }
+
+    fn run_until(&mut self, deadline: Time) -> Time {
+        match self {
+            Engine::Serial(s) => s.run_until(deadline),
+            Engine::Par(p) => p.run_until(deadline),
+        }
+    }
+
+    fn agent_as<T: Agent>(&self, id: AgentId) -> Option<&T> {
+        match self {
+            Engine::Serial(s) => s.agent_as(id),
+            Engine::Par(p) => p.agent_as(id),
+        }
+    }
+
+    fn link_stats(&self, link: LinkId) -> &phi_sim::stats::LinkStats {
+        match self {
+            Engine::Serial(s) => s.link_stats(link),
+            Engine::Par(p) => p.link_stats(link),
+        }
+    }
+
+    fn events_processed(&self) -> u64 {
+        match self {
+            Engine::Serial(s) => s.events_processed(),
+            Engine::Par(p) => p.events_processed(),
+        }
+    }
+
+    fn sched_stats(&self) -> SchedStats {
+        match self {
+            Engine::Serial(s) => s.sched_stats(),
+            Engine::Par(p) => p.sched_stats(),
+        }
     }
 }
 
@@ -510,6 +597,9 @@ fn run_fluid(spec: &ExperimentSpec, fluid: &FluidSpec) -> RunResult {
         base_rtt_ms: spec.base_rtt_ms(),
         store: ContextStore::new(spec.store),
         events: fsim.events(),
+        // The fluid solver has no event scheduler; all-zero still
+        // satisfies the conservation identity.
+        sched: SchedStats::default(),
         ha: None,
         ha_shards: None,
     }
@@ -751,12 +841,11 @@ mod tests {
     #[test]
     fn ideal_oracle_lookups_track_live_utilization() {
         use crate::hooks::IdealOracleHook;
-        use std::cell::RefCell;
-        use std::rc::Rc;
+        use std::sync::{Arc, Mutex};
 
         let spec = quick_spec(6, 400_000.0, 0.5, 20);
         // Record every snapshot the factory receives from the oracle.
-        let seen: Rc<RefCell<Vec<f64>>> = Rc::new(RefCell::new(Vec::new()));
+        let seen: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
         let seen_in = seen.clone();
         let result = run_experiment(&spec, move |ctx| {
             let rate = ctx.net.topology.link(ctx.net.bottleneck).rate_bps;
@@ -766,7 +855,7 @@ mod tests {
             Provisioned {
                 factory: Box::new(move |snap| {
                     if let Some(s) = snap {
-                        seen.borrow_mut().push(s.utilization);
+                        seen.lock().unwrap().push(s.utilization);
                     }
                     Box::new(Cubic::new(CubicParams::default()))
                 }),
@@ -774,7 +863,7 @@ mod tests {
             }
         });
         assert!(result.metrics.flows_completed > 10);
-        let snaps = seen.borrow();
+        let snaps = seen.lock().unwrap();
         // Every connection start consulted the oracle...
         assert!(
             snaps.len() as u64 >= result.metrics.flows_completed,

@@ -17,8 +17,7 @@
 //! stream, composing with [`phi_tcp::hook::DegradingHook`] so faulted
 //! senders fall back to vanilla behaviour.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use phi_sim::engine::Ctx;
 use phi_sim::packet::LinkId;
@@ -30,11 +29,11 @@ use phi_workload::SeedRng;
 use crate::context::{ContextStore, FlowSummary, PathKey};
 
 /// A context store shared by the senders of one simulation (single thread).
-pub type SharedStore = Rc<RefCell<ContextStore>>;
+pub type SharedStore = Arc<Mutex<ContextStore>>;
 
 /// Wrap a store for in-simulation sharing.
 pub fn shared(store: ContextStore) -> SharedStore {
-    Rc::new(RefCell::new(store))
+    Arc::new(Mutex::new(store))
 }
 
 /// Convert a transport-level flow report into the wire-level summary a
@@ -70,15 +69,21 @@ impl PracticalHook {
 
 impl SessionHook for PracticalHook {
     fn lookup(&mut self, now: Time, _ctx: &mut Ctx<'_>) -> Option<ContextSnapshot> {
-        let snap = self.store.borrow_mut().lookup(self.path, now.as_nanos());
+        let snap = self
+            .store
+            .lock()
+            .expect("context store")
+            .lookup(self.path, now.as_nanos());
         self.frozen_util = Some(snap.utilization);
         Some(snap)
     }
 
     fn report(&mut self, report: &FlowReport, ctx: &mut Ctx<'_>) {
-        self.store
-            .borrow_mut()
-            .report(self.path, ctx.now().as_nanos(), &summarize(report));
+        self.store.lock().expect("context store").report(
+            self.path,
+            ctx.now().as_nanos(),
+            &summarize(report),
+        );
         self.frozen_util = None;
     }
 
@@ -229,11 +234,11 @@ pub struct FaultCounters {
 }
 
 /// Fault counters shared by the hooks of one (single-threaded) run.
-pub type SharedFaultCounters = Rc<RefCell<FaultCounters>>;
+pub type SharedFaultCounters = Arc<Mutex<FaultCounters>>;
 
 /// Fresh counters for one run's [`FaultyHook`]s.
 pub fn fault_counters() -> SharedFaultCounters {
-    Rc::new(RefCell::new(FaultCounters::default()))
+    Arc::new(Mutex::new(FaultCounters::default()))
 }
 
 /// Injects context-plane faults between a sender and its real hook.
@@ -297,23 +302,23 @@ impl<H: SessionHook> FaultyHook<H> {
 
 impl<H: SessionHook> SessionHook for FaultyHook<H> {
     fn lookup(&mut self, now: Time, ctx: &mut Ctx<'_>) -> Option<ContextSnapshot> {
-        self.counters.borrow_mut().lookups += 1;
+        self.counters.lock().expect("context store").lookups += 1;
         if self.plane_down(now) || self.rng.chance(self.plan.lookup_loss) {
-            self.counters.borrow_mut().lookups_dropped += 1;
+            self.counters.lock().expect("context store").lookups_dropped += 1;
             return None;
         }
         if let Some((p, latency)) = self.plan.delay {
             if self.rng.chance(p) {
                 if latency >= self.plan.deadline {
                     // The client gives up before the reply lands.
-                    self.counters.borrow_mut().lookups_dropped += 1;
+                    self.counters.lock().expect("context store").lookups_dropped += 1;
                     return None;
                 }
-                self.counters.borrow_mut().lookups_delayed += 1;
+                self.counters.lock().expect("context store").lookups_delayed += 1;
             }
         }
         if self.last_snap.is_some() && self.rng.chance(self.plan.stale_prob) {
-            self.counters.borrow_mut().stale_served += 1;
+            self.counters.lock().expect("context store").stale_served += 1;
             return self.last_snap;
         }
         let snap = self.inner.lookup(now, ctx);
@@ -324,9 +329,9 @@ impl<H: SessionHook> SessionHook for FaultyHook<H> {
     }
 
     fn report(&mut self, report: &FlowReport, ctx: &mut Ctx<'_>) {
-        self.counters.borrow_mut().reports += 1;
+        self.counters.lock().expect("context store").reports += 1;
         if self.plane_down(ctx.now()) || self.rng.chance(self.plan.report_loss) {
-            self.counters.borrow_mut().reports_dropped += 1;
+            self.counters.lock().expect("context store").reports_dropped += 1;
             return;
         }
         self.inner.report(report, ctx);
@@ -396,8 +401,15 @@ mod tests {
         let a = PracticalHook::new(store.clone(), PathKey(1));
         let b = PracticalHook::new(store.clone(), PathKey(1));
         // Both hooks point at the same underlying store.
-        store.borrow_mut().lookup(PathKey(1), 1);
-        assert_eq!(store.borrow().traffic_counters(PathKey(1)).0, 1);
+        store.lock().expect("context store").lookup(PathKey(1), 1);
+        assert_eq!(
+            store
+                .lock()
+                .expect("context store")
+                .traffic_counters(PathKey(1))
+                .0,
+            1
+        );
         drop((a, b));
     }
 }

@@ -16,9 +16,10 @@ use phi_core::shard::ShardedStore;
 use phi_core::wire::{encode, DecodeError, Decoder, Message, ReplOp, Role};
 use phi_tcp::hook::ContextSnapshot;
 
-/// Frame type codes 1..=14 are assigned; everything above is unknown and
-/// must decode as the *recoverable* `BadType`.
-const FIRST_UNKNOWN_TYPE: u8 = 15;
+/// Frame type codes 1..=15 are assigned (15 is the sharded snapshot sync
+/// added with the sharded store); everything above is unknown and must
+/// decode as the *recoverable* `BadType`.
+const FIRST_UNKNOWN_TYPE: u8 = 16;
 
 /// Type codes of the batch frames added after the original 1..=11 set —
 /// the frames a pre-batch decoder must skip recoverably.

@@ -7,8 +7,7 @@
 //! features instead); a retransmission timeout collapses the window to one
 //! segment, as the transport has genuinely lost its ACK clock.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use phi_sim::time::{Dur, Time};
 use phi_tcp::cc::{AckEvent, CongestionControl, LossEvent};
@@ -20,19 +19,19 @@ use crate::whisker::WhiskerTree;
 /// trainer can see where senders spend their time.
 #[derive(Debug, Default)]
 pub struct UsageTally {
-    counts: RefCell<Vec<u64>>,
+    counts: Mutex<Vec<u64>>,
 }
 
 impl UsageTally {
     /// A tally sized for `tree`.
-    pub fn for_tree(tree: &WhiskerTree) -> Rc<UsageTally> {
-        Rc::new(UsageTally {
-            counts: RefCell::new(vec![0; tree.len()]),
+    pub fn for_tree(tree: &WhiskerTree) -> Arc<UsageTally> {
+        Arc::new(UsageTally {
+            counts: Mutex::new(vec![0; tree.len()]),
         })
     }
 
     fn bump(&self, idx: usize) {
-        let mut c = self.counts.borrow_mut();
+        let mut c = self.counts.lock().expect("usage tally");
         if idx >= c.len() {
             c.resize(idx + 1, 0);
         }
@@ -41,12 +40,12 @@ impl UsageTally {
 
     /// Snapshot of the counts.
     pub fn counts(&self) -> Vec<u64> {
-        self.counts.borrow().clone()
+        self.counts.lock().expect("usage tally").clone()
     }
 
     /// Index of the most-used whisker, if any use was recorded.
     pub fn most_used(&self) -> Option<usize> {
-        let c = self.counts.borrow();
+        let c = self.counts.lock().expect("usage tally");
         let (idx, &max) = c.iter().enumerate().max_by_key(|(_, &v)| v)?;
         (max > 0).then_some(idx)
     }
@@ -54,12 +53,12 @@ impl UsageTally {
 
 /// Remy congestion control over a (shared, immutable) whisker tree.
 pub struct RemyCc {
-    tree: Rc<WhiskerTree>,
+    tree: Arc<WhiskerTree>,
     bounds: MemoryBounds,
     tracker: MemoryTracker,
     cwnd: f64,
     intersend: Dur,
-    tally: Option<Rc<UsageTally>>,
+    tally: Option<Arc<UsageTally>>,
     min_window: f64,
     max_window: f64,
 }
@@ -67,7 +66,7 @@ pub struct RemyCc {
 impl RemyCc {
     /// A controller over `tree`; `tally` (if given) accumulates whisker
     /// usage for the trainer.
-    pub fn new(tree: Rc<WhiskerTree>, tally: Option<Rc<UsageTally>>) -> Self {
+    pub fn new(tree: Arc<WhiskerTree>, tally: Option<Arc<UsageTally>>) -> Self {
         RemyCc {
             tree,
             bounds: MemoryBounds::default(),
@@ -146,7 +145,7 @@ mod tests {
 
     #[test]
     fn action_applies_on_each_ack() {
-        let tree = Rc::new(WhiskerTree::single(Action {
+        let tree = Arc::new(WhiskerTree::single(Action {
             window_multiple: 1.0,
             window_increment: 2.0,
             intersend_ms: 5.0,
@@ -163,7 +162,7 @@ mod tests {
 
     #[test]
     fn window_clamped_to_bounds() {
-        let tree = Rc::new(WhiskerTree::single(Action {
+        let tree = Arc::new(WhiskerTree::single(Action {
             window_multiple: 0.0,
             window_increment: -10.0,
             intersend_ms: 1.0,
@@ -173,7 +172,7 @@ mod tests {
         cc.on_ack(&ack(100, None));
         assert_eq!(cc.window(), 1.0); // floor
 
-        let tree = Rc::new(WhiskerTree::single(Action {
+        let tree = Arc::new(WhiskerTree::single(Action {
             window_multiple: 2.0,
             window_increment: 20.0,
             intersend_ms: 1.0,
@@ -204,7 +203,7 @@ mod tests {
                 intersend_ms: 1.0,
             },
         );
-        let tree = Rc::new(tree);
+        let tree = Arc::new(tree);
         let mut quiet = RemyCc::new(tree.clone(), None);
         let mut busy = RemyCc::new(tree, None);
         quiet.on_flow_start(Time::ZERO);
@@ -219,7 +218,7 @@ mod tests {
 
     #[test]
     fn tally_accumulates_across_controllers() {
-        let tree = Rc::new(WhiskerTree::initial());
+        let tree = Arc::new(WhiskerTree::initial());
         let tally = UsageTally::for_tree(&tree);
         let mut a = RemyCc::new(tree.clone(), Some(tally.clone()));
         let mut b = RemyCc::new(tree.clone(), Some(tally.clone()));
@@ -234,7 +233,7 @@ mod tests {
 
     #[test]
     fn rto_collapses_window_loss_does_not() {
-        let tree = Rc::new(WhiskerTree::single(Action {
+        let tree = Arc::new(WhiskerTree::single(Action {
             window_multiple: 1.0,
             window_increment: 3.0,
             intersend_ms: 1.0,
@@ -253,7 +252,7 @@ mod tests {
 
     #[test]
     fn flow_start_resets_memory_and_window() {
-        let tree = Rc::new(WhiskerTree::initial());
+        let tree = Arc::new(WhiskerTree::initial());
         let mut cc = RemyCc::new(tree, None);
         cc.on_flow_start(Time::ZERO);
         cc.on_ack(&ack(100, Some(0.9)));

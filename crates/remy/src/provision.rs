@@ -10,7 +10,7 @@
 //!   context store at connection start and frozen until the next flow
 //!   (§2.2.2's lookup/report discipline).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use phi_core::harness::{ProvisionCtx, Provisioned};
 use phi_core::hooks::{IdealOracleHook, PracticalHook};
@@ -35,9 +35,9 @@ pub enum UtilFeed {
 /// feed. If `tally` is supplied, whisker usage is accumulated there (the
 /// trainer's signal for what to optimize next).
 pub fn provision_remy(
-    tree: Rc<WhiskerTree>,
+    tree: Arc<WhiskerTree>,
     feed: UtilFeed,
-    tally: Option<Rc<UsageTally>>,
+    tally: Option<Arc<UsageTally>>,
 ) -> impl FnMut(ProvisionCtx<'_>) -> Provisioned {
     move |ctx| {
         let tree = tree.clone();
@@ -63,9 +63,9 @@ pub fn provision_remy(
 
 /// Thread-safe variant of [`provision_remy`] for parallel repeated runs
 /// ([`phi_core::harness::run_repeated`] fans runs across worker threads,
-/// so its provisioner must be `Sync` — an `Rc`-holding closure is not).
+/// so its provisioner must be `Sync` — an `Rc`-holding closure would not be).
 ///
-/// Owns the tree and materializes a per-sender `Rc` inside the worker
+/// Owns the tree and materializes a per-sender `Arc` inside the worker
 /// thread; whisker trees are at most a few dozen rules, so the clone per
 /// sender is noise next to the simulation itself. Usage tallies are
 /// inherently per-run state and are not supported here — the trainer,
@@ -75,7 +75,7 @@ pub fn provision_remy_owned(
     feed: UtilFeed,
 ) -> impl Fn(ProvisionCtx<'_>) -> Provisioned + Sync {
     move |ctx| {
-        let mut provision = provision_remy(Rc::new(tree.clone()), feed, None);
+        let mut provision = provision_remy(Arc::new(tree.clone()), feed, None);
         provision(ctx)
     }
 }
@@ -106,7 +106,7 @@ mod tests {
     #[test]
     fn remy_senders_complete_flows() {
         let spec = quick_spec();
-        let tree = Rc::new(WhiskerTree::initial());
+        let tree = Arc::new(WhiskerTree::initial());
         let r = run_experiment(&spec, provision_remy(tree, UtilFeed::None, None));
         assert!(r.metrics.flows_completed > 5, "{:?}", r.metrics);
         assert!(r.metrics.throughput_mbps > 0.1);
@@ -119,7 +119,7 @@ mod tests {
         let spec = quick_spec();
         let mut tree = WhiskerTree::initial();
         let (_low, _high) = tree.split_along(0, 3);
-        let tree = Rc::new(tree);
+        let tree = Arc::new(tree);
         let tally = UsageTally::for_tree(&tree);
         let _ = run_experiment(
             &spec,
@@ -138,7 +138,7 @@ mod tests {
         let spec = quick_spec();
         let mut tree = WhiskerTree::initial();
         let (_low, _high) = tree.split_along(0, 3);
-        let tree = Rc::new(tree);
+        let tree = Arc::new(tree);
         let tally = UsageTally::for_tree(&tree);
         let _ = run_experiment(
             &spec,
@@ -152,7 +152,7 @@ mod tests {
     #[test]
     fn practical_feed_populates_store() {
         let spec = quick_spec();
-        let tree = Rc::new(WhiskerTree::initial());
+        let tree = Arc::new(WhiskerTree::initial());
         let r = run_experiment(&spec, provision_remy(tree, UtilFeed::Practical, None));
         let (lookups, reports) = r.store.traffic_counters(phi_core::DUMBBELL_PATH);
         assert!(lookups > 0 && reports > 0);

@@ -16,7 +16,7 @@
 //! "during training, we allow each sender access to up-to-the-minute link
 //! utilization".
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use phi_core::harness::{run_experiment, ExperimentSpec, RunResult};
 use phi_core::power::log_power;
@@ -138,7 +138,7 @@ impl Trainer {
     }
 
     fn evaluate(&self, tree: &WhiskerTree) -> Eval {
-        let tree = Rc::new(tree.clone());
+        let tree = Arc::new(tree.clone());
         let tally = UsageTally::for_tree(&tree);
         let mut objective = 0.0;
         for scenario in &self.cfg.scenarios {

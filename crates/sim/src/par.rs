@@ -1,0 +1,553 @@
+//! Conservative parallel discrete-event engine: domain-partitioned PDES.
+//!
+//! [`ParallelSimulator`] splits a topology into K domains (see
+//! [`Partition`]), runs each domain's event loop on its own worker
+//! thread, and exchanges cross-domain packets at barrier windows of
+//! width `lookahead = min(cross-domain link delay)` — the classic
+//! time-window scheme, which link propagation delays make safe with no
+//! rollback:
+//!
+//! *Safety argument.* A packet crossing the partition cut during window
+//! `[W, W + L)` leaves its domain at some `t < W + L` and arrives at
+//! `t + delay ≥ t + L ≥ W + L` (fault-plane `extra` delay only adds).
+//! So every message that can land inside a window is already sitting in
+//! the receiving domain's queue before that window is pumped: each
+//! domain processes its window against complete inputs, and the merged
+//! execution is identical to the serial one-domain execution over the
+//! same content-derived event keys.
+//!
+//! *Determinism contract.* The partition is computed from the topology
+//! alone; event keys are content-derived (class, actor, per-agent
+//! counters — see `Event::key_parts`); packet ids are partitioned by
+//! agent; and trace buffers merge on [`TraceEvent::canonical_key`],
+//! a total order over event content. Nothing observable depends on the
+//! domain count or thread interleaving, so FNV trace digests,
+//! [`PacketCensus`], and merged [`SchedStats`] conservation are
+//! bit-identical for any `K`, including `K = 1`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+
+use crate::engine::{Agent, PacketCensus, SchedStats, Simulator};
+use crate::faults::{FaultStats, ImpairmentPlan};
+use crate::packet::{AgentId, LinkId, NodeId};
+use crate::queue::LinkQueue;
+use crate::stats::LinkStats;
+use crate::time::{Dur, Time};
+use crate::topology::{LinkSpec, Partition, Topology};
+use crate::trace::{SharedTraceCollector, TraceEvent};
+use phi_workload::SeedRng;
+
+/// Number of domains requested via the `PHI_DOMAINS` environment
+/// variable, if set and valid (`None` otherwise).
+pub fn domains_from_env() -> Option<u32> {
+    std::env::var("PHI_DOMAINS").ok()?.trim().parse().ok()
+}
+
+/// A K-domain conservative parallel simulation.
+///
+/// Mirrors the [`Simulator`] API surface experiments use (agents,
+/// impairments, tracing, stats) but runs `run_until` across worker
+/// threads. With one domain it degrades to an inline serial run that
+/// still uses the parallel engine's content-derived event keys, so
+/// results for `K = 1` and `K > 1` are bit-identical.
+pub struct ParallelSimulator {
+    domains: Vec<Simulator<crate::engine::ParKey>>,
+    partition: Partition,
+    /// Owning domain of each global agent id.
+    agent_domain: Vec<u32>,
+    /// Per-domain shared trace buffers (present once tracing is enabled).
+    trace_bufs: Vec<Arc<Mutex<Vec<TraceEvent>>>>,
+    barrier_rounds: u64,
+}
+
+impl ParallelSimulator {
+    /// Partition `topology` into (at most) `k` domains with drop-tail
+    /// queues on every link, per the link specs.
+    pub fn new(topology: Topology, k: u32) -> Self {
+        ParallelSimulator::with_disciplines(topology, k, |_, spec| {
+            LinkQueue::drop_tail(spec.capacity)
+        })
+    }
+
+    /// Partition `topology` into (at most) `k` domains with a custom
+    /// queueing discipline per link.
+    ///
+    /// The factory is invoked once per (domain, link) pair — every
+    /// domain carries the full link array (foreign links stay inert) —
+    /// so it must be deterministic in its arguments.
+    pub fn with_disciplines(
+        topology: Topology,
+        k: u32,
+        mut factory: impl FnMut(LinkId, &LinkSpec) -> LinkQueue,
+    ) -> Self {
+        let partition = Partition::compute(&topology, k);
+        let domains = (0..partition.domains)
+            .map(|d| {
+                Simulator::for_domain(
+                    topology.clone(),
+                    |l, s| factory(l, s),
+                    d,
+                    partition.node_domain.clone(),
+                )
+            })
+            .collect();
+        ParallelSimulator {
+            domains,
+            partition,
+            agent_domain: Vec::new(),
+            trace_bufs: Vec::new(),
+            barrier_rounds: 0,
+        }
+    }
+
+    /// The partition in effect.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// The topology under simulation.
+    pub fn topology(&self) -> &Topology {
+        self.domains[0].topology()
+    }
+
+    /// Attach an agent to `node`, listening on `port`. The agent lives
+    /// in (and only runs on) the domain that owns `node`; every other
+    /// domain records a placeholder so agent ids stay globally aligned.
+    ///
+    /// # Panics
+    /// Panics if `(node, port)` is already bound or the sim has started.
+    pub fn add_agent(&mut self, node: NodeId, port: u16, agent: Box<dyn Agent>) -> AgentId {
+        let id = AgentId(self.agent_domain.len() as u32);
+        let owner = self.partition.domain_of(node);
+        self.agent_domain.push(owner);
+        let mut agent = Some(agent);
+        for (d, sim) in self.domains.iter_mut().enumerate() {
+            let a = if d as u32 == owner {
+                agent.take()
+            } else {
+                None
+            };
+            sim.add_agent_slot(id, node, port, a);
+        }
+        id
+    }
+
+    /// Install a fault-injection [`ImpairmentPlan`] on `link`, in the
+    /// domain that owns the link's source node — the only domain that
+    /// ever transmits on it, so egress verdicts and edge events stay
+    /// domain-local and the impairment trace is unchanged by K.
+    pub fn install_impairments(&mut self, link: LinkId, plan: ImpairmentPlan, root: &SeedRng) {
+        let owner = self.link_owner(link);
+        self.domains[owner].install_impairments(link, plan, root);
+    }
+
+    /// Per-link chaos-plane counters; all-zero when no plan is installed.
+    pub fn fault_stats(&self, link: LinkId) -> FaultStats {
+        self.domains[self.link_owner(link)].fault_stats(link)
+    }
+
+    /// Whether `link` is currently up (always true without a plan).
+    pub fn link_is_up(&self, link: LinkId) -> bool {
+        self.domains[self.link_owner(link)].link_is_up(link)
+    }
+
+    /// Statistics of one link, read from its owning domain.
+    pub fn link_stats(&self, link: LinkId) -> &LinkStats {
+        self.domains[self.link_owner(link)].link_stats(link)
+    }
+
+    fn link_owner(&self, link: LinkId) -> usize {
+        let from = self.domains[0].topology().link(link).from;
+        self.partition.domain_of(from) as usize
+    }
+
+    /// Install a [`SharedTraceCollector`] on every domain. Call before
+    /// the run; read the canonical merged sequence with
+    /// [`ParallelSimulator::merged_trace`] afterwards.
+    pub fn enable_tracing(&mut self) {
+        self.trace_bufs.clear();
+        for sim in &mut self.domains {
+            let (tracer, buf) = SharedTraceCollector::new();
+            sim.set_tracer(tracer);
+            self.trace_bufs.push(buf);
+        }
+    }
+
+    /// The canonical merged trace: per-domain buffers concatenated and
+    /// sorted by [`TraceEvent::canonical_key`]. The key covers every
+    /// field, so ties are byte-identical records and the merged order is
+    /// independent of the domain count (the sort is applied for `K = 1`
+    /// too, so all K agree). Empty unless tracing was enabled.
+    pub fn merged_trace(&self) -> Vec<TraceEvent> {
+        let mut all: Vec<TraceEvent> = self
+            .trace_bufs
+            .iter()
+            .flat_map(|b| b.lock().expect("trace buffer").clone())
+            .collect();
+        all.sort_by_key(|e| e.canonical_key());
+        all
+    }
+
+    /// Current simulated time (domains agree between runs).
+    pub fn now(&self) -> Time {
+        self.domains.iter().map(|s| s.now()).max().expect("k >= 1")
+    }
+
+    /// Total events dispatched, summed over domains.
+    pub fn events_processed(&self) -> u64 {
+        self.domains.iter().map(|s| s.events_processed()).sum()
+    }
+
+    /// Packets that reached a node with no agent bound to their port.
+    pub fn undeliverable(&self) -> u64 {
+        self.domains.iter().map(|s| s.undeliverable()).sum()
+    }
+
+    /// Scheduler accounting summed over domains. The conservation
+    /// identity `scheduled == fired + skipped_stale + pending` holds for
+    /// the sum exactly as it does per domain. `peak_pending` is the sum
+    /// of per-domain peaks (an upper bound on the true global peak) and,
+    /// like `overflowed`, depends on how events spread across domain
+    /// wheels — those two fields are the only ones not invariant in K.
+    pub fn sched_stats(&self) -> SchedStats {
+        let mut total = SchedStats::default();
+        for s in self.domains.iter().map(|d| d.sched_stats()) {
+            total.scheduled += s.scheduled;
+            total.fired += s.fired;
+            total.skipped_stale += s.skipped_stale;
+            total.cancelled += s.cancelled;
+            total.overflowed += s.overflowed;
+            total.peak_pending += s.peak_pending;
+            total.pending += s.pending;
+        }
+        total
+    }
+
+    /// Packet census summed over domains. Between runs every packet is
+    /// in exactly one domain (cross-domain mailboxes are provably empty
+    /// at a barrier-loop exit), so the summed census conserves exactly
+    /// as the serial one does.
+    pub fn packet_census(&self) -> PacketCensus {
+        let mut total = self.domains[0].packet_census();
+        for c in self.domains[1..].iter().map(|d| d.packet_census()) {
+            total.injected += c.injected;
+            total.delivered += c.delivered;
+            total.dropped += c.dropped;
+            total.undeliverable += c.undeliverable;
+            total.corrupted += c.corrupted;
+            total.duplicated += c.duplicated;
+            total.blackholed += c.blackholed;
+            total.queued += c.queued;
+            total.in_flight += c.in_flight;
+        }
+        total
+    }
+
+    /// Lifetime count of deliveries handed across the partition cut.
+    pub fn cross_domain_messages(&self) -> u64 {
+        self.domains.iter().map(|s| s.exported_count()).sum()
+    }
+
+    /// Barrier rounds executed so far (0 for single-domain runs).
+    pub fn barrier_rounds(&self) -> u64 {
+        self.barrier_rounds
+    }
+
+    /// Borrow an agent for post-run inspection (from its owning domain).
+    pub fn agent_as<T: Agent>(&self, id: AgentId) -> Option<&T> {
+        self.domains[self.agent_domain[id.0 as usize] as usize].agent_as(id)
+    }
+
+    /// Mutably borrow an agent.
+    pub fn agent_as_mut<T: Agent>(&mut self, id: AgentId) -> Option<&mut T> {
+        self.domains[self.agent_domain[id.0 as usize] as usize].agent_as_mut(id)
+    }
+
+    /// Run until every domain's queue drains or `deadline` passes.
+    /// Returns the time the run stopped.
+    ///
+    /// Single-domain runs execute inline (no threads, no barriers).
+    /// Multi-domain runs execute the windowed barrier protocol; see the
+    /// module docs for the safety argument.
+    pub fn run_until(&mut self, deadline: Time) -> Time {
+        if self.domains.len() == 1 {
+            return self.domains[0].run_until(deadline);
+        }
+        let k = self.domains.len();
+        let lookahead = self.partition.lookahead;
+        let node_domain = &self.partition.node_domain;
+
+        // Two time-vote slots used alternately by consecutive rounds, so
+        // a round's votes never race the previous round's reads: every
+        // conflicting access pair is separated by a barrier.
+        let slots = [AtomicU64::new(u64::MAX), AtomicU64::new(u64::MAX)];
+        let inboxes: Vec<Mutex<Vec<crate::engine::Xmsg>>> =
+            (0..k).map(|_| Mutex::new(Vec::new())).collect();
+        let barrier = Barrier::new(k);
+        let rounds = AtomicU64::new(0);
+
+        std::thread::scope(|scope| {
+            for (d, sim) in self.domains.iter_mut().enumerate() {
+                let slots = &slots;
+                let inboxes = &inboxes;
+                let barrier = &barrier;
+                let rounds = &rounds;
+                scope.spawn(move || {
+                    sim.start_agents();
+                    let mut r: u64 = 0;
+                    loop {
+                        // (1) Deposit last window's cross-domain packets
+                        // into the owners' inboxes.
+                        for m in sim.take_outbox() {
+                            let owner = node_domain[m.node.0 as usize] as usize;
+                            inboxes[owner].lock().expect("inbox").push(m);
+                        }
+                        // (2) All deposits visible before anyone drains.
+                        barrier.wait();
+                        // (3) Inject everything addressed to this domain.
+                        for m in std::mem::take(&mut *inboxes[d].lock().expect("inbox")) {
+                            sim.inject(m);
+                        }
+                        // (4) Vote the post-injection earliest event time;
+                        // pre-clear the other slot for the next round.
+                        let vote = sim.next_event_time().map_or(u64::MAX, |t| t.as_nanos());
+                        slots[(r % 2) as usize].fetch_min(vote, Ordering::AcqRel);
+                        slots[((r + 1) % 2) as usize].store(u64::MAX, Ordering::Release);
+                        // (5) All votes in before anyone reads the min.
+                        barrier.wait();
+                        let m = slots[(r % 2) as usize].load(Ordering::Acquire);
+                        // (6) Quiescent (or out of budget): square up the
+                        // clock and stop. Outboxes are empty here — the
+                        // last pump's exports were deposited in step (1)
+                        // and injected in step (3), and votes still said
+                        // nothing is pending before the deadline.
+                        if m == u64::MAX || m > deadline.as_nanos() {
+                            sim.advance_clock(deadline);
+                            break;
+                        }
+                        // (7) Pump one lookahead-aligned window. Every
+                        // event in [W, W+L) is locally known (see module
+                        // docs), and exports from this window arrive at
+                        // ≥ W+L, i.e. in a later round's windows.
+                        let upto = match lookahead {
+                            Dur::MAX => deadline,
+                            l => {
+                                let l = l.as_nanos();
+                                let w = m / l * l;
+                                Time::from_nanos(w.saturating_add(l - 1).min(deadline.as_nanos()))
+                            }
+                        };
+                        sim.pump(upto);
+                        if d == 0 {
+                            rounds.fetch_add(1, Ordering::Relaxed);
+                        }
+                        r += 1;
+                    }
+                });
+            }
+        });
+        self.barrier_rounds += rounds.into_inner();
+        self.now()
+    }
+
+    /// Run until no events remain anywhere.
+    pub fn run_to_completion(&mut self) -> Time {
+        self.run_until(Time::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::any::Any;
+
+    use crate::engine::{packet_to, Ctx};
+    use crate::packet::{FlowId, Packet};
+    use crate::queue::Capacity;
+    use crate::topology::{parking_lot, ParkingLotSpec};
+
+    /// Fires `count` packets at a peer, one per `gap`, counting echoes.
+    struct Blaster {
+        peer: NodeId,
+        peer_port: u16,
+        gap: Dur,
+        remaining: u32,
+        flow: FlowId,
+        got: u32,
+    }
+
+    impl Agent for Blaster {
+        fn start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer_after(Dur::ZERO, 0);
+        }
+        fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {
+            self.got += 1;
+        }
+        fn on_timer(&mut self, _token: u64, ctx: &mut Ctx<'_>) {
+            if self.remaining == 0 {
+                return;
+            }
+            self.remaining -= 1;
+            ctx.send(packet_to(self.peer, self.peer_port, 1, self.flow, 1000));
+            ctx.set_timer_after(self.gap, 0);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Counts arrivals.
+    #[derive(Default)]
+    struct Sink {
+        got: u32,
+    }
+
+    impl Agent for Sink {
+        fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {
+            self.got += 1;
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn lot() -> crate::topology::ParkingLot {
+        parking_lot(&ParkingLotSpec {
+            hops: 3,
+            backbone_bps: 10_000_000,
+            hop_delay: Dur::from_millis(5),
+            capacity: Capacity::Packets(50),
+            access_bps: 100_000_000,
+        })
+    }
+
+    fn blast(k: u32) -> (u64, PacketCensus, Vec<TraceEvent>, u64, u64) {
+        let l = lot();
+        let mut sim = ParallelSimulator::new(l.topology.clone(), k);
+        sim.enable_tracing();
+        let (src, dst) = l.long_path;
+        sim.add_agent(
+            src,
+            1,
+            Box::new(Blaster {
+                peer: dst,
+                peer_port: 2,
+                gap: Dur::from_millis(2),
+                remaining: 200,
+                flow: FlowId(7),
+                got: 0,
+            }),
+        );
+        let sink = sim.add_agent(dst, 2, Box::new(Sink::default()));
+        for (i, &(s, d)) in l.cross.iter().enumerate() {
+            sim.add_agent(
+                s,
+                1,
+                Box::new(Blaster {
+                    peer: d,
+                    peer_port: 2,
+                    gap: Dur::from_millis(3),
+                    remaining: 100,
+                    flow: FlowId(100 + i as u64),
+                    got: 0,
+                }),
+            );
+            sim.add_agent(d, 2, Box::new(Sink::default()));
+        }
+        sim.run_until(Time::from_secs(2));
+        let census = sim.packet_census();
+        assert!(census.conserved(), "census must conserve: {census:?}");
+        let sunk = sim.agent_as::<Sink>(sink).unwrap().got as u64;
+        (
+            sim.events_processed(),
+            census,
+            sim.merged_trace(),
+            sunk,
+            sim.cross_domain_messages(),
+        )
+    }
+
+    #[test]
+    fn domain_counts_agree_bit_for_bit() {
+        let (e1, c1, t1, s1, x1) = blast(1);
+        assert_eq!(x1, 0, "one domain exports nothing");
+        assert!(s1 > 0, "long-path traffic must arrive");
+        for k in [2, 4] {
+            let (e, c, t, s, x) = blast(k);
+            assert_eq!(e, e1, "events processed differ at K={k}");
+            assert_eq!(c, c1, "census differs at K={k}");
+            assert_eq!(s, s1, "sink count differs at K={k}");
+            assert_eq!(t, t1, "merged trace differs at K={k}");
+            assert!(x > 0, "multihop at K={k} must cross domains");
+        }
+    }
+
+    #[test]
+    fn multi_domain_run_counts_barrier_rounds() {
+        let l = lot();
+        let mut sim = ParallelSimulator::new(l.topology.clone(), 2);
+        let (src, dst) = l.long_path;
+        sim.add_agent(
+            src,
+            1,
+            Box::new(Blaster {
+                peer: dst,
+                peer_port: 2,
+                gap: Dur::from_millis(5),
+                remaining: 10,
+                flow: FlowId(1),
+                got: 0,
+            }),
+        );
+        sim.add_agent(dst, 2, Box::new(Sink::default()));
+        sim.run_until(Time::from_millis(500));
+        assert!(sim.barrier_rounds() > 0);
+        assert_eq!(sim.now(), Time::from_millis(500));
+    }
+
+    #[test]
+    fn resumable_runs_match_single_run() {
+        let run = |split: bool| {
+            let l = lot();
+            let mut sim = ParallelSimulator::new(l.topology.clone(), 2);
+            let (src, dst) = l.long_path;
+            sim.add_agent(
+                src,
+                1,
+                Box::new(Blaster {
+                    peer: dst,
+                    peer_port: 2,
+                    gap: Dur::from_millis(2),
+                    remaining: 100,
+                    flow: FlowId(1),
+                    got: 0,
+                }),
+            );
+            let sink = sim.add_agent(dst, 2, Box::new(Sink::default()));
+            if split {
+                sim.run_until(Time::from_millis(137));
+                sim.run_until(Time::from_millis(800));
+            } else {
+                sim.run_until(Time::from_millis(800));
+            }
+            (
+                sim.events_processed(),
+                sim.agent_as::<Sink>(sink).unwrap().got,
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn env_override_parses() {
+        // Only checks the parser; the variable itself is read by callers.
+        assert_eq!("4".trim().parse::<u32>().ok(), Some(4));
+    }
+}

@@ -50,29 +50,34 @@ const WORDS: usize = NUM_BUCKETS / 64;
 
 /// Ordering key of one scheduled item, plus its index in the item slab.
 ///
-/// Buckets and the overflow heap move these 24-byte keys around during
+/// Buckets and the overflow heap move these small keys around during
 /// sorts, insertions, and sifts; the payload (a `T`, which for the
 /// simulator is a full `Event` with an inline packet) is written into
 /// the slab once at push and read once at pop.
+///
+/// `S` is the same-timestamp tie-break. The serial engine uses a `u64`
+/// arrival counter (FIFO among simultaneous events); the parallel engine
+/// substitutes a content-derived canonical key so that the pop order is
+/// independent of which domain scheduled an event first.
 #[derive(Debug, Clone, Copy)]
-struct Key {
+struct Key<S> {
     at: Time,
-    seq: u64,
+    seq: S,
     idx: u32,
 }
 
-impl PartialEq for Key {
+impl<S: Ord + Copy> PartialEq for Key<S> {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl Eq for Key {}
-impl PartialOrd for Key {
+impl<S: Ord + Copy> Eq for Key<S> {}
+impl<S: Ord + Copy> PartialOrd for Key<S> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for Key {
+impl<S: Ord + Copy> Ord for Key<S> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.at, self.seq).cmp(&(other.at, other.seq))
     }
@@ -90,12 +95,16 @@ pub struct TierCounters {
 }
 
 /// A two-tier calendar/heap priority queue popping in `(time, seq)` order.
+///
+/// `S` is the tie-break key for simultaneous events (default: a `u64`
+/// push-order counter, giving FIFO semantics). See the private `Key`
+/// struct for the full ordering tuple.
 #[derive(Debug)]
-pub struct TieredScheduler<T> {
+pub struct TieredScheduler<T, S = u64> {
     /// Payload slab; `Key::idx` points in here. Freed slots are recycled.
     items: Vec<Option<T>>,
     free: Vec<u32>,
-    buckets: Vec<Vec<Key>>,
+    buckets: Vec<Vec<Key<S>>>,
     bitmap: [u64; WORDS],
     /// Entries currently in the near tier.
     near_len: usize,
@@ -105,20 +114,20 @@ pub struct TieredScheduler<T> {
     limit: u64,
     /// Whether the bucket at `cursor` is sorted (descending).
     cur_sorted: bool,
-    overflow: BinaryHeap<Reverse<Key>>,
+    overflow: BinaryHeap<Reverse<Key<S>>>,
     len: usize,
-    /// Next sequence number; also the tie-break for simultaneous events.
+    /// Next sequence number (used only by the FIFO `push` on `S = u64`).
     seq: u64,
     counters: TierCounters,
 }
 
-impl<T> Default for TieredScheduler<T> {
+impl<T, S: Ord + Copy> Default for TieredScheduler<T, S> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<T> TieredScheduler<T> {
+impl<T, S: Ord + Copy> TieredScheduler<T, S> {
     /// An empty scheduler anchored at t = 0.
     pub fn new() -> Self {
         TieredScheduler {
@@ -152,11 +161,10 @@ impl<T> TieredScheduler<T> {
         self.counters
     }
 
-    /// Schedule `item` at `at`. Events must not be scheduled before the
-    /// time of the last popped event (the simulation's "now").
-    pub fn push(&mut self, at: Time, item: T) {
-        let seq = self.seq;
-        self.seq += 1;
+    /// Schedule `item` at `at` with an explicit tie-break key `seq`.
+    /// Events must not be scheduled before the time of the last popped
+    /// event (the simulation's "now").
+    pub fn push_keyed(&mut self, at: Time, seq: S, item: T) {
         self.counters.scheduled += 1;
         self.len += 1;
         if self.len as u64 > self.counters.peak_pending {
@@ -262,6 +270,29 @@ impl<T> TieredScheduler<T> {
         self.pop_if(Time::MAX)
     }
 
+    /// Timestamp of the earliest pending event, without removing it.
+    ///
+    /// Buckets partition time into disjoint, index-ordered ranges, so the
+    /// global minimum lives in the first occupied bucket (or, when the
+    /// near tier is empty, at the overflow heap's root); within that
+    /// bucket a linear scan suffices because the bucket may not be
+    /// sorted yet. The parallel engine calls this once per barrier round
+    /// to agree on the next synchronization window.
+    pub fn next_time(&self) -> Option<Time> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.near_len == 0 {
+            return Some(self.overflow.peek().expect("len > 0").0.at);
+        }
+        let slot = (self.first_nonempty() & BUCKET_MASK) as usize;
+        self.buckets[slot]
+            .iter()
+            .map(|e| e.at)
+            .min()
+            .or_else(|| unreachable!("bitmap said non-empty"))
+    }
+
     /// Iterate over every pending item, in no particular order.
     pub fn iter(&self) -> impl Iterator<Item = &T> {
         self.buckets
@@ -330,6 +361,16 @@ impl<T> TieredScheduler<T> {
             self.near_len += 1;
         }
         debug_assert!(self.near_len > 0, "rebase promoted nothing");
+    }
+}
+
+impl<T> TieredScheduler<T, u64> {
+    /// Schedule `item` at `at`. Simultaneous events pop in the order they
+    /// were pushed (FIFO): the tie-break is an internal arrival counter.
+    pub fn push(&mut self, at: Time, item: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.push_keyed(at, seq, item);
     }
 }
 

@@ -40,7 +40,9 @@ pub struct LossEvent {
 }
 
 /// The sending policy of one connection.
-pub trait CongestionControl {
+/// `Send` because senders (and the congestion controllers they own) ride
+/// domain simulators onto parallel-engine worker threads.
+pub trait CongestionControl: Send {
     /// A fresh connection is starting at `now`. Controllers reset all
     /// transient state here (each on-period is a fresh connection, §2.2.1).
     fn on_flow_start(&mut self, now: Time);

@@ -29,7 +29,9 @@ pub struct ContextSnapshot {
 }
 
 /// Transport-to-Phi interaction points for one sender.
-pub trait SessionHook {
+/// `Send` because hook-carrying senders ride domain simulators onto
+/// parallel-engine worker threads.
+pub trait SessionHook: Send {
     /// A new connection is starting: look up the shared context, if any.
     /// The returned snapshot is handed to the congestion-control factory.
     fn lookup(&mut self, _now: Time, _ctx: &mut Ctx<'_>) -> Option<ContextSnapshot> {

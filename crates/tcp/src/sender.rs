@@ -34,7 +34,7 @@ use crate::report::FlowReport;
 
 /// Builds a congestion controller for a new connection, optionally using
 /// the shared context returned by the session hook's lookup.
-pub type CcFactory = Box<dyn FnMut(Option<&ContextSnapshot>) -> Box<dyn CongestionControl>>;
+pub type CcFactory = Box<dyn FnMut(Option<&ContextSnapshot>) -> Box<dyn CongestionControl> + Send>;
 
 /// Static configuration of one sender.
 #[derive(Debug, Clone)]

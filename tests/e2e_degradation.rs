@@ -112,7 +112,7 @@ fn flapping_plane_degrades_gracefully() {
 
     // The square wave really cut both ways: lookups were attempted, some
     // died in a down-phase, some got through in an up-phase.
-    let c = *counters.borrow();
+    let c = *counters.lock().unwrap();
     assert!(c.lookups > 0, "no lookups attempted: {c:?}");
     assert!(c.lookups_dropped > 0, "plane never went down: {c:?}");
     assert!(c.lookups_dropped < c.lookups, "plane never came up: {c:?}");

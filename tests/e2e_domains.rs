@@ -1,0 +1,314 @@
+//! Determinism regression tests for the conservative parallel engine.
+//!
+//! The PDES contract mirrors the `RunPool` contract one level down:
+//! partitioning one run's topology into K domains changes *nothing*
+//! about the results. Trace digests, the packet census, flow metrics,
+//! and the summed scheduler conservation identity must be bit-identical
+//! for any `PHI_DOMAINS` count — a lookahead bug, a racy merge, or a
+//! key collision anywhere in the engine shows up here as a diff between
+//! the 1-domain and K-domain executions.
+
+use proptest::prelude::*;
+
+use phi::core::harness::{provision_cubic, run_experiment, ExperimentSpec};
+use phi::core::RunResult;
+use phi::sim::par::{domains_from_env, ParallelSimulator};
+use phi::sim::queue::Capacity;
+use phi::sim::time::{Dur, Time};
+use phi::sim::topology::{parking_lot, ParkingLotSpec};
+use phi::tcp::cubic::{Cubic, CubicParams};
+use phi::tcp::hook::NoHook;
+use phi::tcp::receiver::TcpReceiver;
+use phi::tcp::sender::{SenderConfig, TcpSender};
+use phi::workload::{OnOffConfig, OnOffSource, SeedRng};
+
+/// FNV-1a over a byte stream (same digest `e2e_parallel` pins).
+fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// Everything observable about one partitioned multihop run, digested.
+struct RunFingerprint {
+    trace_digest: u64,
+    injected: u64,
+    delivered: u64,
+    dropped: u64,
+    events: u64,
+    long_bytes: u64,
+    /// `scheduled - fired - skipped_stale - pending` summed over domains
+    /// (must be the cancelled-adjusted zero the serial engine maintains).
+    conserved: bool,
+    cross_domain: u64,
+}
+
+/// The e2e_parallel golden multihop scenario — same topology, seeds, and
+/// workload — run through the parallel engine at `k` domains.
+fn golden_multihop(spec: &ParkingLotSpec, seed: u64, duration: Time, k: u32) -> RunFingerprint {
+    let lot = parking_lot(spec);
+    let mut sim = ParallelSimulator::new(lot.topology.clone(), k);
+    let root = SeedRng::new(seed);
+    let mut pairs = vec![lot.long_path];
+    pairs.extend(lot.cross.iter().copied());
+    let mut senders = Vec::new();
+    for (i, (src, dst)) in pairs.iter().enumerate() {
+        let mut cfg = SenderConfig::new(*dst, 80, 10);
+        cfg.flow_id_base = (i as u64) << 32;
+        let source = OnOffSource::new(
+            OnOffConfig {
+                mean_on_bytes: 150_000.0,
+                mean_off_secs: 0.3,
+                deterministic: false,
+            },
+            root.fork_indexed("sender", i as u64),
+        );
+        senders.push(sim.add_agent(
+            *src,
+            10,
+            Box::new(TcpSender::new(
+                cfg,
+                source,
+                Box::new(|_| Box::new(Cubic::new(CubicParams::default()))),
+                Box::new(NoHook),
+            )),
+        ));
+        sim.add_agent(*dst, 80, Box::new(TcpReceiver::new()));
+    }
+    sim.enable_tracing();
+    sim.run_until(duration);
+
+    let census = sim.packet_census();
+    assert!(census.conserved(), "census leaks packets: {census:?}");
+    let sched = sim.sched_stats();
+    let trace_digest = fnv1a(
+        sim.merged_trace()
+            .iter()
+            .flat_map(|ev| format!("{ev:?}\n").into_bytes()),
+    );
+    let long_bytes = sim
+        .agent_as::<TcpSender>(senders[0])
+        .unwrap()
+        .reports()
+        .iter()
+        .map(|r| r.bytes)
+        .sum();
+    RunFingerprint {
+        trace_digest,
+        injected: census.injected,
+        delivered: census.delivered,
+        dropped: census.dropped,
+        events: sim.events_processed(),
+        long_bytes,
+        conserved: sched.conserved(),
+        cross_domain: sim.cross_domain_messages(),
+    }
+}
+
+fn golden_spec() -> ParkingLotSpec {
+    ParkingLotSpec {
+        hops: 3,
+        backbone_bps: 10_000_000,
+        hop_delay: Dur::from_millis(5),
+        capacity: Capacity::Packets(50),
+        access_bps: 100_000_000,
+    }
+}
+
+/// The acceptance pin: the golden multihop scenario is bit-identical for
+/// `PHI_DOMAINS` ∈ {1, 2, 4} (plus whatever the CI matrix exports).
+#[test]
+fn golden_multihop_bit_identical_for_any_domain_count() {
+    let spec = golden_spec();
+    let reference = golden_multihop(&spec, 4242, Time::from_secs(3), 1);
+    assert_eq!(reference.cross_domain, 0, "one domain exports nothing");
+    assert!(reference.delivered > 1000, "scenario must carry real load");
+    assert!(reference.conserved, "serial sched conservation broken");
+
+    let mut ks = vec![2, 4];
+    if let Some(k) = domains_from_env() {
+        ks.push(k);
+    }
+    for k in ks {
+        let got = golden_multihop(&spec, 4242, Time::from_secs(3), k);
+        assert_eq!(
+            got.trace_digest, reference.trace_digest,
+            "trace digest diverged at K={k}"
+        );
+        assert_eq!(
+            got.injected, reference.injected,
+            "injected diverged at K={k}"
+        );
+        assert_eq!(
+            got.delivered, reference.delivered,
+            "delivered diverged at K={k}"
+        );
+        assert_eq!(got.dropped, reference.dropped, "dropped diverged at K={k}");
+        assert_eq!(
+            got.events, reference.events,
+            "event count diverged at K={k}"
+        );
+        assert_eq!(
+            got.long_bytes, reference.long_bytes,
+            "flow bytes diverged at K={k}"
+        );
+        assert!(got.conserved, "summed sched conservation broken at K={k}");
+        if k > 1 {
+            assert!(got.cross_domain > 0, "multihop at K={k} must cross the cut");
+        }
+    }
+}
+
+/// Serialize everything observable about a harness run. JSON equality is
+/// byte equality (floats print from their exact bits).
+fn fingerprint(r: &RunResult) -> String {
+    serde_json::to_string(&(&r.metrics, &r.per_sender, &r.partials, r.events))
+        .expect("run result serializes")
+}
+
+/// `ExperimentSpec::domains` plumbs through the harness: identical
+/// `RunMetrics` (and reports, and partials) for every domain count, and
+/// the run's summed scheduler accounting conserves.
+#[test]
+fn harness_metrics_identical_for_any_domain_count() {
+    let mut spec = ExperimentSpec::new(
+        3,
+        OnOffConfig {
+            mean_on_bytes: 200_000.0,
+            mean_off_secs: 0.8,
+            deterministic: false,
+        },
+        Dur::from_secs(8),
+        9090,
+    );
+    spec.dumbbell.bottleneck_bps = 8_000_000;
+    spec.dumbbell.rtt = Dur::from_millis(60);
+
+    spec.domains = Some(1);
+    let reference = run_experiment(&spec, provision_cubic(CubicParams::default()));
+    assert!(reference.metrics.flows_completed > 0, "must carry load");
+    assert!(reference.sched.conserved(), "sched conservation broken");
+    let reference = fingerprint(&reference);
+
+    for k in [2u32, 4] {
+        spec.domains = Some(k);
+        let got = run_experiment(&spec, provision_cubic(CubicParams::default()));
+        assert!(got.sched.conserved(), "sched conservation broken at K={k}");
+        assert_eq!(fingerprint(&got), reference, "harness diverged at K={k}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Differential engine check over random multihop topologies and flow
+    /// mixes: every domain count replays the same execution, down to the
+    /// trace digest, census, metrics, and summed scheduler conservation.
+    #[test]
+    fn random_multihop_bit_identical_across_domain_counts(
+        hops in 2usize..5,
+        backbone_mbps in 5u64..20,
+        hop_delay_ms in 1u64..8,
+        capacity in 20usize..60,
+        mean_on in 60_000.0f64..200_000.0,
+        mean_off in 0.2f64..0.8,
+        seed in 1u64..10_000,
+    ) {
+        let spec = ParkingLotSpec {
+            hops,
+            backbone_bps: backbone_mbps * 1_000_000,
+            hop_delay: Dur::from_millis(hop_delay_ms),
+            capacity: Capacity::Packets(capacity),
+            access_bps: 100_000_000,
+        };
+        // Short horizon: the property runs dozens of full simulations.
+        let duration = Time::from_millis(1500);
+        let lot_workload = OnOffConfig {
+            mean_on_bytes: mean_on,
+            mean_off_secs: mean_off,
+            deterministic: false,
+        };
+
+        let run = |k: u32| {
+            let lot = parking_lot(&spec);
+            let mut sim = ParallelSimulator::new(lot.topology.clone(), k);
+            let root = SeedRng::new(seed);
+            let mut pairs = vec![lot.long_path];
+            pairs.extend(lot.cross.iter().copied());
+            for (i, (src, dst)) in pairs.iter().enumerate() {
+                let mut cfg = SenderConfig::new(*dst, 80, 10);
+                cfg.flow_id_base = (i as u64) << 32;
+                let source = OnOffSource::new(lot_workload, root.fork_indexed("sender", i as u64));
+                sim.add_agent(
+                    *src,
+                    10,
+                    Box::new(TcpSender::new(
+                        cfg,
+                        source,
+                        Box::new(|_| Box::new(Cubic::new(CubicParams::default()))),
+                        Box::new(NoHook),
+                    )),
+                );
+                sim.add_agent(*dst, 80, Box::new(TcpReceiver::new()));
+            }
+            sim.enable_tracing();
+            sim.run_until(duration);
+            let census = sim.packet_census();
+            prop_assert!(census.conserved(), "census leaks at K={}: {:?}", k, census);
+            let sched = sim.sched_stats();
+            prop_assert!(sched.conserved(), "sched leak at K={}: {:?}", k, sched);
+            let digest = fnv1a(
+                sim.merged_trace()
+                    .iter()
+                    .flat_map(|ev| format!("{ev:?}\n").into_bytes()),
+            );
+            Ok((digest, census, sim.events_processed()))
+        };
+
+        let (d1, c1, e1) = run(1)?;
+        for k in [2u32, 4] {
+            let (d, c, e) = run(k)?;
+            prop_assert_eq!(d, d1, "digest diverged at K={}", k);
+            prop_assert_eq!(c, c1, "census diverged at K={}", k);
+            prop_assert_eq!(e, e1, "event count diverged at K={}", k);
+        }
+    }
+}
+
+/// Wall-clock speedup of the partitioned engine on a wide multihop
+/// scenario: 4 domains vs 1. Ignored by default (this CI container may
+/// be 1-CPU, per PR 1); run explicitly with
+/// `cargo test --test e2e_domains -- --ignored`.
+#[test]
+#[ignore = "wall-clock benchmark: needs >= 4 idle cores"]
+fn four_domains_speed_up_a_multihop_run() {
+    let spec = ParkingLotSpec {
+        hops: 7,
+        backbone_bps: 40_000_000,
+        hop_delay: Dur::from_millis(10),
+        capacity: Capacity::Packets(100),
+        access_bps: 400_000_000,
+    };
+    let duration = Time::from_secs(12);
+
+    let t0 = std::time::Instant::now();
+    let serial = golden_multihop(&spec, 7, duration, 1);
+    let serial_time = t0.elapsed();
+
+    let t1 = std::time::Instant::now();
+    let parallel = golden_multihop(&spec, 7, duration, 4);
+    let parallel_time = t1.elapsed();
+
+    // Same answer...
+    assert_eq!(parallel.trace_digest, serial.trace_digest);
+    assert_eq!(parallel.delivered, serial.delivered);
+    // ...meaningfully faster.
+    let speedup = serial_time.as_secs_f64() / parallel_time.as_secs_f64();
+    assert!(
+        speedup >= 1.5,
+        "4 domains only {speedup:.2}x faster ({serial_time:?} -> {parallel_time:?})"
+    );
+}

@@ -158,7 +158,8 @@ fn traced_run_digest(base_seed: u64, run_index: u64) -> u64 {
 
     let digest = fnv1a(
         events
-            .borrow()
+            .lock()
+            .unwrap()
             .iter()
             .flat_map(|ev| format!("{ev:?}\n").into_bytes()),
     );
@@ -272,7 +273,8 @@ fn multihop_trace_digest_matches_pinned_golden() {
 
     let digest = fnv1a(
         events
-            .borrow()
+            .lock()
+            .unwrap()
             .iter()
             .flat_map(|ev| format!("{ev:?}\n").into_bytes()),
     );

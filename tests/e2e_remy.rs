@@ -2,7 +2,7 @@
 //! verify the learned policy is at least competitive and that the Phi
 //! utilization feed changes sender behaviour.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use phi::core::harness::{provision_cubic, run_experiment, ExperimentSpec};
 use phi::remy::{
@@ -42,7 +42,7 @@ fn trained_remy_beats_its_own_starting_point() {
     let start_obj = {
         let r = run_experiment(
             &scenario(42),
-            provision_remy(Rc::new(start.clone()), UtilFeed::None, None),
+            provision_remy(Arc::new(start.clone()), UtilFeed::None, None),
         );
         run_objective(&r)
     };
@@ -54,7 +54,7 @@ fn trained_remy_beats_its_own_starting_point() {
     // Generalization: evaluate the trained tree on an unseen seed.
     let r = run_experiment(
         &scenario(4242),
-        provision_remy(Rc::new(trained), UtilFeed::None, None),
+        provision_remy(Arc::new(trained), UtilFeed::None, None),
     );
     assert!(
         r.metrics.flows_completed > 5,
@@ -75,7 +75,7 @@ fn remy_is_competitive_with_misconfigured_cubic() {
     });
     let (tree, _) = trainer.train(WhiskerTree::initial());
     let eval = scenario(1234);
-    let remy = run_experiment(&eval, provision_remy(Rc::new(tree), UtilFeed::None, None));
+    let remy = run_experiment(&eval, provision_remy(Arc::new(tree), UtilFeed::None, None));
     let bad_cubic = run_experiment(&eval, provision_cubic(CubicParams::tuned(2.0, 2.0, 0.9)));
     assert!(
         run_objective(&remy) > run_objective(&bad_cubic),
@@ -102,7 +102,7 @@ fn util_feed_steers_behaviour_through_the_tree() {
             intersend_ms: 4.0,
         },
     );
-    let tree = Rc::new(tree);
+    let tree = Arc::new(tree);
 
     let spec = scenario(88);
     let tally_fed = UsageTally::for_tree(&tree);
@@ -133,7 +133,7 @@ fn util_feed_steers_behaviour_through_the_tree() {
 #[test]
 fn practical_feed_uses_store_and_freezes_between_flows() {
     let spec = scenario(99);
-    let tree = Rc::new(WhiskerTree::initial());
+    let tree = Arc::new(WhiskerTree::initial());
     let r = run_experiment(&spec, provision_remy(tree, UtilFeed::Practical, None));
     let (lookups, reports) = r.store.traffic_counters(phi::core::DUMBBELL_PATH);
     assert!(lookups >= reports && reports > 0);

@@ -95,6 +95,32 @@ fn pre_fluid_spec_json_deserializes_to_packet_path() {
     assert_eq!(back.seed, 7);
 }
 
+/// The `domains` section is additive exactly like `ha` and `fluid`: it
+/// round-trips when present, and a spec serialized before the field
+/// existed (no `"domains"` key) still deserializes — to `None`, the
+/// classic serial engine with its historical digests.
+#[test]
+fn domains_roundtrips_and_pre_domains_json_deserializes_to_serial() {
+    let spec = ExperimentSpec::new(4, OnOffConfig::fig2(), Dur::from_secs(30), 7).with_domains(4);
+    let back = roundtrip(&spec);
+    assert_eq!(back.domains, Some(4));
+
+    let spec = ExperimentSpec::new(4, OnOffConfig::fig2(), Dur::from_secs(30), 7);
+    let mut json = serde_json::to_string(&spec).expect("serialize");
+    assert!(
+        json.contains("\"domains\""),
+        "field should serialize when present"
+    );
+    json = json.replace(",\"domains\":null", "");
+    assert!(
+        !json.contains("\"domains\""),
+        "test must actually remove the key"
+    );
+    let back: ExperimentSpec = serde_json::from_str(&json).expect("old JSON must deserialize");
+    assert_eq!(back.domains, None);
+    assert_eq!(back.seed, 7);
+}
+
 #[test]
 fn ha_spec_and_crash_plans_roundtrip() {
     for plan in [
