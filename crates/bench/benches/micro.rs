@@ -287,6 +287,30 @@ mod engine {
         }
     }
 
+    /// The serial blast with a run budget installed but set far out of
+    /// reach: every event goes through the budgeted pop loop's checks
+    /// without any cap ever firing, so (this row ÷ the un-budgeted row)
+    /// is exactly the supervision overhead a budget-capped sweep pays.
+    fn budgeted_blast(packets_per_source: u32) -> (u64, f64) {
+        use phi_sim::engine::RunBudget;
+        let lot = parking_lot(&blast_spec());
+        let mut sim = Simulator::new(lot.topology.clone());
+        let mut pairs = vec![lot.long_path];
+        pairs.extend(lot.cross.iter().copied());
+        for (i, (src, dst)) in pairs.iter().enumerate() {
+            sim.add_agent(*src, 10, blast_pump(i, *dst, packets_per_source));
+            sim.add_agent(*dst, 80, Box::<Drain>::default());
+        }
+        let mut budget = RunBudget::events(u64::MAX);
+        budget.max_wall_ms = Some(u64::MAX);
+        sim.set_budget(budget);
+        let t0 = Instant::now();
+        sim.run_to_completion();
+        let wall = t0.elapsed().as_secs_f64();
+        assert!(sim.termination().is_none(), "out-of-reach budget fired");
+        (sim.events_processed(), wall)
+    }
+
     /// End-to-end run: the full Cubic dumbbell experiment (workload, TCP
     /// with SACK recovery, context hooks) — where timer-flood reduction
     /// and dispatch cost show up at application level.
@@ -345,6 +369,28 @@ mod engine {
             sched.overflowed,
             sched.skipped_stale,
             stale_ratio * 100.0,
+        );
+
+        // Supervision overhead: identical workload, budgeted pop loop.
+        let mut best_budgeted: Option<(u64, f64)> = None;
+        for _ in 0..iters {
+            let (events, wall) = budgeted_blast(blast_packets);
+            if best_budgeted.is_none() || wall < best_budgeted.as_ref().unwrap().1 {
+                best_budgeted = Some((events, wall));
+            }
+        }
+        let (budgeted_events, budgeted_wall) = best_budgeted.unwrap();
+        let budgeted_eps = budgeted_events as f64 / budgeted_wall;
+        println!(
+            "engine/blast_multihop budgeted           events: {budgeted_events}  wall: {:.1} ms  \
+             thrpt: {:.3e} events/s  overhead vs un-budgeted: {:.1}%",
+            budgeted_wall * 1e3,
+            budgeted_eps,
+            (eps / budgeted_eps - 1.0) * 100.0,
+        );
+        assert_eq!(
+            budgeted_events, blast_events,
+            "an out-of-reach budget must not change what runs"
         );
 
         // Parallel engine trajectory: the same blast through the
@@ -431,6 +477,9 @@ mod engine {
                  \"ns_per_event\": {:.2},\n    \"speedup_vs_main\": {:.3},\n    \
                  \"peak_pending\": {},\n    \"overflowed\": {},\n    \
                  \"stale_skip_ratio\": {stale_ratio:e}\n  }},\n  \
+                 \"budgeted_blast_multihop\": {{\n    \"events\": {budgeted_events},\n    \
+                 \"wall_ms\": {:.3},\n    \"events_per_sec\": {budgeted_eps:.1},\n    \
+                 \"overhead_vs_unbudgeted\": {:e}\n  }},\n  \
                  \"parallel_multihop\": [\n{par_json}\n  ],\n  \
                  \"e2e_dumbbell_cubic\": {{\n    \"events\": {e2e_events},\n    \
                  \"wall_ms\": {:.3},\n    \"events_per_sec\": {e2e_eps:.1},\n    \
@@ -444,6 +493,8 @@ mod engine {
                 eps / BASELINE_BLAST_EPS,
                 sched.peak_pending,
                 sched.overflowed,
+                budgeted_wall * 1e3,
+                eps / budgeted_eps - 1.0,
                 e2e_wall * 1e3,
                 1e9 / e2e_eps,
                 e2e_eps / BASELINE_E2E_EPS,

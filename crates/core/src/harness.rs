@@ -8,7 +8,7 @@
 //! hook), which is exactly the axis the paper varies: default Cubic,
 //! Phi-tuned Cubic, mixed deployments, Remy variants.
 
-use phi_sim::engine::{Agent, SchedStats, Simulator};
+use phi_sim::engine::{Agent, BudgetExceeded, RunBudget, SchedStats, Simulator};
 use phi_sim::fluid::{FluidFlowPlan, FluidSim};
 use phi_sim::packet::{wire, AgentId, FlowId, LinkId, NodeId};
 use phi_sim::par::ParallelSimulator;
@@ -87,6 +87,15 @@ pub struct ExperimentSpec {
     /// assign different packet ids).
     #[serde(default)]
     pub domains: Option<u32>,
+    /// Run budget: hard caps on events, simulated time, and wall-clock
+    /// time, for supervised sweeps whose cells must not run away. `None`
+    /// (the default, and what every pre-existing spec deserializes to)
+    /// runs un-budgeted through the historical pop loop, so established
+    /// run digests are untouched. A budget-terminated run returns
+    /// partial results with [`RunResult::terminated`] set; supervised
+    /// aggregation excludes such cells (see `supervise`).
+    #[serde(default)]
+    pub budget: Option<RunBudget>,
 }
 
 /// Configuration of the fluid fast path (see [`ExperimentSpec::fluid`]).
@@ -154,6 +163,7 @@ impl ExperimentSpec {
             ha: None,
             fluid: None,
             domains: None,
+            budget: None,
         }
     }
 
@@ -168,6 +178,13 @@ impl ExperimentSpec {
     /// [`FluidSpec`] settings.
     pub fn with_fluid(mut self) -> Self {
         self.fluid = Some(FluidSpec::default());
+        self
+    }
+
+    /// The same spec with a run budget installed (see
+    /// [`ExperimentSpec::budget`]).
+    pub fn with_budget(mut self, budget: RunBudget) -> Self {
+        self.budget = Some(budget);
         self
     }
 
@@ -232,6 +249,10 @@ pub struct RunResult {
     /// Per-shard HA reports, in shard order, when the spec sharded the
     /// plane ([`HaSpec::shards`] with `count > 1`); `None` otherwise.
     pub ha_shards: Option<Vec<HaReport>>,
+    /// Which budget cap (if any) cut the run short. `Some` means the
+    /// metrics cover only the portion simulated before the cap hit —
+    /// partial data, tagged so aggregation can exclude it.
+    pub terminated: Option<BudgetExceeded>,
 }
 
 impl RunResult {
@@ -358,8 +379,12 @@ pub fn run_experiment(
         sender_ids.push(id);
     }
 
+    if let Some(budget) = spec.budget {
+        sim.set_budget(budget);
+    }
     let deadline = Time::ZERO + spec.duration;
     sim.run_until(deadline);
+    let terminated = sim.termination();
 
     let per_sender: Vec<Vec<FlowReport>> = sender_ids
         .iter()
@@ -406,6 +431,7 @@ pub fn run_experiment(
         sched: sim.sched_stats(),
         ha,
         ha_shards,
+        terminated,
     }
 }
 
@@ -430,6 +456,20 @@ impl Engine {
         match self {
             Engine::Serial(s) => s.run_until(deadline),
             Engine::Par(p) => p.run_until(deadline),
+        }
+    }
+
+    fn set_budget(&mut self, budget: RunBudget) {
+        match self {
+            Engine::Serial(s) => s.set_budget(budget),
+            Engine::Par(p) => p.set_budget(budget),
+        }
+    }
+
+    fn termination(&self) -> Option<BudgetExceeded> {
+        match self {
+            Engine::Serial(s) => s.termination(),
+            Engine::Par(p) => p.termination(),
         }
     }
 
@@ -602,6 +642,10 @@ fn run_fluid(spec: &ExperimentSpec, fluid: &FluidSpec) -> RunResult {
         sched: SchedStats::default(),
         ha: None,
         ha_shards: None,
+        // The fluid solver integrates to the deadline in near-constant
+        // work per flow; budgets are a packet-path concern and are not
+        // applied here.
+        terminated: None,
     }
 }
 

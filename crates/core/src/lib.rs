@@ -23,7 +23,15 @@
 //!   `P_l = r(1−l)/d`, and Remy's `log(P)`.
 //! * [`harness`] — the dumbbell experiment runner every figure uses.
 //! * [`runpool`] — deterministic parallel fan-out of independent runs
-//!   (`PHI_JOBS` workers, bit-identical results for any worker count).
+//!   (`PHI_JOBS` workers, bit-identical results for any worker count),
+//!   plus panic-isolating supervision with same-seed retry and
+//!   quarantine.
+//! * [`journal`] — the durable sweep journal: append-only, versioned,
+//!   CRC-framed records of completed runs; torn tails truncate and
+//!   corrupt records quarantine individually.
+//! * [`supervise`] — resumable supervised sweeps on top of the three
+//!   above: budgets, retries, journal replay, and aggregation that
+//!   excludes quarantined/terminated cells.
 //! * [`priority`] — cross-flow prioritization with a TCP-friendly ensemble
 //!   (§3.3, MulTCP-weighted AIMD).
 //! * [`adapt`] — informed adaptation without cooperation (§3.2): jitter
@@ -47,6 +55,7 @@ pub mod context;
 pub mod crash;
 pub mod harness;
 pub mod hooks;
+pub mod journal;
 pub mod optimizer;
 pub mod policy;
 pub mod power;
@@ -55,6 +64,7 @@ pub mod privacy;
 pub mod runpool;
 pub mod server;
 pub mod shard;
+pub mod supervise;
 pub mod wire;
 
 pub use context::{ContextStore, FlowSummary, PathKey, SnapshotError, StoreConfig};
@@ -70,17 +80,21 @@ pub use hooks::{
     fault_counters, shared, summarize, FaultCounters, FaultPlan, FaultyHook, Flap, IdealOracleHook,
     PracticalHook, SharedFaultCounters, SharedStore,
 };
+pub use journal::{Journal, Recovery, RunRecord};
 pub use optimizer::{
     leave_one_out, policy_from_sweeps, sweep_cubic, sweep_cubic_on, LeaveOneOutRow, SweepOutcome,
     SweepResult, SweepSpec,
 };
 pub use policy::{PolicyEntry, PolicyTable};
 pub use power::{log_power, power, power_loss, score, Objective};
-pub use runpool::{derive_seed, RunPool};
+pub use runpool::{derive_seed, panic_message, RunFailure, RunOutcome, RunPool};
 pub use server::{
     sync_store, ClientConfig, ClientError, ContextClient, ContextServer, HaOptions,
     ResilienceConfig, ResilienceStats, ResilientClient, ServerConfig, ServerStats, SyncStore,
     WriteBehindConfig,
 };
 pub use shard::{shard_index, ShardedStore};
+pub use supervise::{
+    run_repeated_supervised, CompletedCell, SupervisorConfig, SweepReport, TerminatedCell,
+};
 pub use wire::{ErrorCode, ReplOp, Role};

@@ -17,6 +17,8 @@
 //! (`PHI_JOBS=1` forces serial execution; unset or `0` uses the machine's
 //! available parallelism).
 
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -129,6 +131,155 @@ impl Default for RunPool {
     }
 }
 
+/// Render a panic payload as a message. Covers the two payload types
+/// `panic!` actually produces (`&str` and `String`); anything else — a
+/// custom `panic_any` value — degrades to a placeholder rather than
+/// losing the failure.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Post-mortem of one failed (or initially-failed) supervised job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunFailure {
+    /// The job's index — enough to re-derive its seed and spec.
+    pub index: usize,
+    /// Attempts executed, including the retries.
+    pub attempts: u32,
+    /// Panic message of every failed attempt, in attempt order.
+    pub panics: Vec<String>,
+    /// Whether the attempts disagreed: a retry succeeded after a panic,
+    /// or two retries panicked with different messages. A deterministic
+    /// simulation must fail identically every time, so divergence is
+    /// itself a bug worth flagging (a data race, wall-clock dependence,
+    /// or unseeded randomness), distinct from the failure it masks.
+    pub diverged: bool,
+}
+
+impl RunFailure {
+    /// The last panic message (the one the quarantine verdict rests on).
+    pub fn last_panic(&self) -> &str {
+        self.panics.last().map_or("", |s| s.as_str())
+    }
+}
+
+/// Outcome of one supervised job (see [`RunPool::run_supervised`]).
+#[derive(Debug)]
+pub enum RunOutcome<T> {
+    /// The job completed on the first attempt.
+    Done(T),
+    /// The job completed only after retrying — by the determinism
+    /// contract this should be impossible, so the value is usable but
+    /// the run is flagged (`failure.diverged` is always true here).
+    Flaky {
+        /// The value produced by the successful retry.
+        value: T,
+        /// The failed attempts that preceded it.
+        failure: RunFailure,
+    },
+    /// Every attempt panicked; the job is quarantined and the sweep
+    /// continues without it.
+    Quarantined(RunFailure),
+}
+
+impl<T> RunOutcome<T> {
+    /// The produced value, if any attempt completed.
+    pub fn value(&self) -> Option<&T> {
+        match self {
+            RunOutcome::Done(v) | RunOutcome::Flaky { value: v, .. } => Some(v),
+            RunOutcome::Quarantined(_) => None,
+        }
+    }
+
+    /// Consume the outcome into its value, if any attempt completed.
+    pub fn into_value(self) -> Option<T> {
+        match self {
+            RunOutcome::Done(v) | RunOutcome::Flaky { value: v, .. } => Some(v),
+            RunOutcome::Quarantined(_) => None,
+        }
+    }
+
+    /// The failure record, if any attempt panicked.
+    pub fn failure(&self) -> Option<&RunFailure> {
+        match self {
+            RunOutcome::Done(_) => None,
+            RunOutcome::Flaky { failure, .. } => Some(failure),
+            RunOutcome::Quarantined(f) => Some(f),
+        }
+    }
+
+    /// Whether no attempt completed.
+    pub fn is_quarantined(&self) -> bool {
+        matches!(self, RunOutcome::Quarantined(_))
+    }
+}
+
+/// One supervised job: up to `1 + retries` attempts under `catch_unwind`.
+fn supervise_one<T, F>(index: usize, retries: u32, job: &F) -> RunOutcome<T>
+where
+    F: Fn(usize) -> T + Sync,
+{
+    let mut panics: Vec<String> = Vec::new();
+    for _attempt in 0..=retries {
+        // `AssertUnwindSafe` is sound here: `job` is a pure function of
+        // its index (the pool's determinism contract), so a panicked
+        // attempt leaves nothing behind that a retry could observe.
+        match catch_unwind(AssertUnwindSafe(|| job(index))) {
+            Ok(value) => {
+                if panics.is_empty() {
+                    return RunOutcome::Done(value);
+                }
+                let attempts = panics.len() as u32 + 1;
+                return RunOutcome::Flaky {
+                    value,
+                    failure: RunFailure {
+                        index,
+                        attempts,
+                        panics,
+                        diverged: true,
+                    },
+                };
+            }
+            Err(payload) => panics.push(panic_message(payload.as_ref())),
+        }
+    }
+    let diverged = panics.windows(2).any(|w| w[0] != w[1]);
+    RunOutcome::Quarantined(RunFailure {
+        index,
+        attempts: panics.len() as u32,
+        panics,
+        diverged,
+    })
+}
+
+impl RunPool {
+    /// [`RunPool::run`] with panic isolation: each job executes under
+    /// `catch_unwind`, a panicking job is retried up to `retries` times
+    /// with the *same* index (hence the same derived seed — a
+    /// deterministic sim must fail identically, so a diverging retry is
+    /// flagged), and a job whose every attempt panics is quarantined
+    /// into a [`RunOutcome::Quarantined`] slot instead of sinking the
+    /// pool: sibling jobs, and the worker threads themselves, always
+    /// run to completion.
+    ///
+    /// Results keep the pool's bit-identical-for-any-worker-count
+    /// guarantee: outcomes are index-addressed and each attempt sequence
+    /// depends only on the job index.
+    pub fn run_supervised<T, F>(&self, jobs: usize, retries: u32, job: F) -> Vec<RunOutcome<T>>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.run(jobs, |i| supervise_one(i, retries, &job))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,5 +341,71 @@ mod tests {
             }
             i
         });
+    }
+
+    #[test]
+    fn supervised_quarantines_the_panicking_job_only() {
+        for workers in [1, 4] {
+            let pool = RunPool::new(workers);
+            let outcomes = pool.run_supervised(20, 1, |i| {
+                assert!(i != 13, "job 13 failed");
+                i * 2
+            });
+            assert_eq!(outcomes.len(), 20);
+            for (i, o) in outcomes.iter().enumerate() {
+                if i == 13 {
+                    let f = o.failure().expect("job 13 must carry a failure");
+                    assert!(o.is_quarantined());
+                    assert_eq!(f.index, 13);
+                    assert_eq!(f.attempts, 2, "one retry with the same seed");
+                    assert!(f.last_panic().contains("job 13 failed"));
+                    assert!(!f.diverged, "identical panics are not divergence");
+                } else {
+                    assert_eq!(o.value(), Some(&(i * 2)), "sibling job {i} was sunk");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_flags_diverging_retries_as_flaky() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        // A job that fails once then succeeds — exactly the behaviour the
+        // determinism contract forbids, so it must surface as Flaky.
+        let calls = AtomicU32::new(0);
+        let outcomes = RunPool::serial().run_supervised(1, 2, |_| {
+            assert!(
+                calls.fetch_add(1, Ordering::Relaxed) > 0,
+                "first attempt fails"
+            );
+            7u32
+        });
+        match &outcomes[0] {
+            RunOutcome::Flaky { value, failure } => {
+                assert_eq!(*value, 7);
+                assert!(failure.diverged);
+                assert_eq!(failure.attempts, 2);
+            }
+            other => panic!("expected Flaky, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn supervised_matches_plain_run_when_nothing_panics() {
+        let plain = RunPool::new(3).run(16, |i| derive_seed(9, i as u64));
+        let supervised: Vec<u64> = RunPool::new(3)
+            .run_supervised(16, 1, |i| derive_seed(9, i as u64))
+            .into_iter()
+            .map(|o| o.into_value().expect("no panics injected"))
+            .collect();
+        assert_eq!(plain, supervised);
+    }
+
+    #[test]
+    fn panic_message_renders_str_and_string_payloads() {
+        let p = std::panic::catch_unwind(|| panic!("plain literal")).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "plain literal");
+        let p = std::panic::catch_unwind(|| panic!("formatted {}", 42)).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "formatted 42");
     }
 }

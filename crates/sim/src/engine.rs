@@ -24,8 +24,10 @@
 
 use std::any::Any;
 use std::sync::Mutex;
+use std::time::Instant;
 
 use phi_workload::SeedRng;
+use serde::{Deserialize, Serialize};
 
 use crate::faults::{DownPolicy, EgressVerdict, FaultStats, ImpairmentPlan, LinkFault};
 use crate::packet::{AgentId, Flags, FlowId, LinkId, NodeId, Packet, SackBlocks};
@@ -333,6 +335,14 @@ struct SimCore<S: EventSeq> {
     /// Successful [`Ctx::cancel_timer`] calls.
     cancelled: u64,
     tracer: Option<Box<dyn Tracer>>,
+    /// Resource budget, if any. `None` takes the historical un-budgeted
+    /// pop loop, so budget-free runs replay bit-for-bit.
+    budget: Option<RunBudget>,
+    /// Host time of the first budgeted pump (wall-clock watchdog base).
+    wall_start: Option<Instant>,
+    /// Set once a budget limit fires; the run stops dispatching and
+    /// reports the reason through [`Simulator::termination`].
+    terminated: Option<BudgetExceeded>,
 }
 
 /// Carcasses kept per pool; beyond this, retiring schedulers deallocate.
@@ -832,6 +842,9 @@ impl<S: EventSeq> Simulator<S> {
                 skipped_stale: 0,
                 cancelled: 0,
                 tracer: None,
+                budget: None,
+                wall_start: None,
+                terminated: None,
             },
             agents: Vec::new(),
             started: false,
@@ -1057,52 +1070,105 @@ impl<S: EventSeq> Simulator<S> {
     /// the parallel engine pumps one bounded window per barrier round and
     /// only squares up clocks at the very end of a run.
     pub(crate) fn pump(&mut self, upto: Time) {
+        if self.core.budget.is_some() {
+            return self.pump_budgeted(upto);
+        }
         while let Some((at, event)) = self.core.queue.pop_if(upto) {
             self.core.now = at;
-            match event {
-                Event::TxEnd { link, pkt } => {
-                    self.core.events_fired += 1;
-                    self.core.on_tx_end(link, pkt);
-                }
-                Event::Deliver { node, pkt } => {
-                    self.core.events_fired += 1;
-                    if pkt.dst == node {
-                        self.core.trace(TraceOp::Deliver, None, Some(node), &pkt);
-                        let agent = self
-                            .core
-                            .ports
-                            .get(node.0 as usize)
-                            .and_then(|t| t.get(usize::from(pkt.dst_port)))
-                            .copied()
-                            .filter(|&a| a != NO_AGENT);
-                        match agent {
-                            Some(agent) => {
-                                self.core.delivered += 1;
-                                self.with_agent(agent, |a, ctx| a.on_packet(pkt, ctx));
-                            }
-                            None => self.core.undeliverable += 1,
+            self.dispatch(event);
+        }
+    }
+
+    /// Dispatch one popped event. Shared verbatim by the un-budgeted and
+    /// budgeted pop loops so the execution (and every digest derived from
+    /// it) cannot depend on whether a budget is installed.
+    #[inline(always)]
+    fn dispatch(&mut self, event: Event) {
+        match event {
+            Event::TxEnd { link, pkt } => {
+                self.core.events_fired += 1;
+                self.core.on_tx_end(link, pkt);
+            }
+            Event::Deliver { node, pkt } => {
+                self.core.events_fired += 1;
+                if pkt.dst == node {
+                    self.core.trace(TraceOp::Deliver, None, Some(node), &pkt);
+                    let agent = self
+                        .core
+                        .ports
+                        .get(node.0 as usize)
+                        .and_then(|t| t.get(usize::from(pkt.dst_port)))
+                        .copied()
+                        .filter(|&a| a != NO_AGENT);
+                    match agent {
+                        Some(agent) => {
+                            self.core.delivered += 1;
+                            self.with_agent(agent, |a, ctx| a.on_packet(pkt, ctx));
                         }
-                    } else {
-                        self.core.forward(node, pkt);
+                        None => self.core.undeliverable += 1,
                     }
+                } else {
+                    self.core.forward(node, pkt);
                 }
-                Event::Timer {
-                    agent,
-                    token,
-                    slot,
-                    gen,
-                    arm: _,
-                } => {
-                    if self.core.timers.retire(slot, gen) {
-                        self.core.events_fired += 1;
-                        self.with_agent(agent, |a, ctx| a.on_timer(token, ctx));
-                    } else {
-                        self.core.skipped_stale += 1;
-                    }
-                }
-                Event::FaultEdge { link, up, idx: _ } => {
+            }
+            Event::Timer {
+                agent,
+                token,
+                slot,
+                gen,
+                arm: _,
+            } => {
+                if self.core.timers.retire(slot, gen) {
                     self.core.events_fired += 1;
-                    self.core.on_fault_edge(link, up);
+                    self.with_agent(agent, |a, ctx| a.on_timer(token, ctx));
+                } else {
+                    self.core.skipped_stale += 1;
+                }
+            }
+            Event::FaultEdge { link, up, idx: _ } => {
+                self.core.events_fired += 1;
+                self.core.on_fault_edge(link, up);
+            }
+        }
+    }
+
+    /// The budgeted pop loop: identical dispatch, plus limit checks after
+    /// every event. Split from [`Simulator::pump`] so un-budgeted runs pay
+    /// nothing — not even a per-pop branch beyond the one at pump entry.
+    fn pump_budgeted(&mut self, upto: Time) {
+        /// Wall-clock reads are amortized: one `Instant::now` per this
+        /// many dispatched events.
+        const WALL_CHECK_INTERVAL: u64 = 1024;
+        if self.core.terminated.is_some() {
+            return;
+        }
+        let budget = self.core.budget.unwrap_or_default();
+        let upto = match budget.sim_cap() {
+            Some(cap) => upto.min(cap),
+            None => upto,
+        };
+        if budget.max_wall_ms.is_some() && self.core.wall_start.is_none() {
+            self.core.wall_start = Some(Instant::now());
+        }
+        let mut since_check = 0u64;
+        while let Some((at, event)) = self.core.queue.pop_if(upto) {
+            self.core.now = at;
+            self.dispatch(event);
+            if let Some(max) = budget.max_events {
+                if self.core.events_fired >= max {
+                    self.core.terminated = Some(BudgetExceeded::Events);
+                    return;
+                }
+            }
+            if let Some(ms) = budget.max_wall_ms {
+                since_check += 1;
+                if since_check >= WALL_CHECK_INTERVAL {
+                    since_check = 0;
+                    let start = self.core.wall_start.expect("wall base set above");
+                    if start.elapsed().as_millis() as u64 >= ms {
+                        self.core.terminated = Some(BudgetExceeded::WallClock);
+                        return;
+                    }
                 }
             }
         }
@@ -1122,11 +1188,61 @@ impl<S: EventSeq> Simulator<S> {
 
     /// Run until the event queue drains or `deadline` passes, whichever is
     /// first. Returns the time the run stopped.
+    ///
+    /// With a [`RunBudget`] installed the run may also stop early; the
+    /// reason is readable from [`Simulator::termination`] and the clock is
+    /// only squared up over the span actually covered.
     pub fn run_until(&mut self, deadline: Time) -> Time {
         self.start_agents();
         self.pump(deadline);
+        if self.core.budget.is_some() {
+            return self.finish_budgeted(deadline);
+        }
         self.advance_clock(deadline);
         self.core.now
+    }
+
+    /// Post-pump bookkeeping for budgeted runs: classify why the pump
+    /// stopped and advance the clock only over the span it covered.
+    fn finish_budgeted(&mut self, deadline: Time) -> Time {
+        if self.core.terminated.is_some() {
+            // Events / wall-clock: the run stops mid-flight; advancing the
+            // clock further would count unsimulated span into occupancy
+            // and utilization integrals.
+            return self.core.now;
+        }
+        if let Some(cap) = self.core.budget.as_ref().and_then(|b| b.sim_cap()) {
+            if cap < deadline {
+                if self.next_event_time().is_some_and(|t| t <= deadline) {
+                    // Events the caller asked for remain beyond the cap:
+                    // the sim-time budget bound.
+                    self.core.terminated = Some(BudgetExceeded::SimTime);
+                }
+                self.advance_clock(cap);
+                return self.core.now;
+            }
+        }
+        self.advance_clock(deadline);
+        self.core.now
+    }
+
+    /// Install a resource [`RunBudget`] enforced from the next pump on.
+    /// Installing the unlimited budget is equivalent to never calling
+    /// this. Replaces any previously installed budget; the wall-clock
+    /// watchdog base is the first budgeted pump after installation.
+    pub fn set_budget(&mut self, budget: RunBudget) {
+        self.core.budget = if budget.is_unlimited() {
+            None
+        } else {
+            Some(budget)
+        };
+    }
+
+    /// Why the run terminated early, if a [`RunBudget`] limit fired.
+    /// `None` means no budget bound (the run completed or is still
+    /// resumable).
+    pub fn termination(&self) -> Option<BudgetExceeded> {
+        self.core.terminated
     }
 
     /// Run until no events remain.
@@ -1282,6 +1398,102 @@ pub struct SchedStats {
     pub peak_pending: u64,
     /// Events currently pending.
     pub pending: u64,
+}
+
+/// Resource budget for one run, enforced in the engine's pop loop (and,
+/// for partitioned runs, at the parallel engine's barrier windows — see
+/// `par.rs`). Every limit is optional; the default budget is unlimited
+/// and an unlimited budget leaves the hot loop untouched, so runs
+/// without a budget replay bit-for-bit against their historical digests.
+///
+/// A run that hits a limit stops *gracefully*: agents keep their state,
+/// statistics and censuses stay conserved, and the caller reads the
+/// reason from [`Simulator::termination`]. The first limit observed
+/// wins.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunBudget {
+    /// Stop after this many dispatched events (stale-timer skips do not
+    /// count). Deterministic for a fixed engine configuration: the same
+    /// run always terminates on the same event.
+    #[serde(default)]
+    pub max_events: Option<u64>,
+    /// Cap the simulated span: the run never advances past
+    /// `Time::ZERO + max_sim_time`, even if the caller's deadline is
+    /// later. Deterministic, and — uniquely among the three limits —
+    /// also invariant across domain counts in parallel runs.
+    #[serde(default)]
+    pub max_sim_time: Option<Dur>,
+    /// Wall-clock watchdog, in milliseconds of host time since the first
+    /// budgeted pump. Inherently nondeterministic (it measures the host,
+    /// not the simulation); use it as a last-resort backstop against
+    /// runaway scenarios, not as a reproducible limit.
+    #[serde(default)]
+    pub max_wall_ms: Option<u64>,
+}
+
+impl RunBudget {
+    /// The budget that never binds (the default).
+    pub const UNLIMITED: RunBudget = RunBudget {
+        max_events: None,
+        max_sim_time: None,
+        max_wall_ms: None,
+    };
+
+    /// A budget limited only by dispatched-event count.
+    pub fn events(max: u64) -> Self {
+        RunBudget {
+            max_events: Some(max),
+            ..RunBudget::UNLIMITED
+        }
+    }
+
+    /// A budget limited only by simulated time.
+    pub fn sim_time(max: Dur) -> Self {
+        RunBudget {
+            max_sim_time: Some(max),
+            ..RunBudget::UNLIMITED
+        }
+    }
+
+    /// A budget limited only by host wall-clock time.
+    pub fn wall_ms(max: u64) -> Self {
+        RunBudget {
+            max_wall_ms: Some(max),
+            ..RunBudget::UNLIMITED
+        }
+    }
+
+    /// Whether no limit is set (such a budget is never enforced).
+    pub fn is_unlimited(&self) -> bool {
+        self.max_events.is_none() && self.max_sim_time.is_none() && self.max_wall_ms.is_none()
+    }
+
+    /// The absolute sim-time ceiling, if a sim-time limit is set.
+    pub(crate) fn sim_cap(&self) -> Option<Time> {
+        self.max_sim_time.map(|d| Time::ZERO + d)
+    }
+}
+
+/// Why a budgeted run terminated early (see [`RunBudget`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BudgetExceeded {
+    /// [`RunBudget::max_events`] was reached.
+    Events,
+    /// [`RunBudget::max_sim_time`] was reached with events still pending
+    /// inside the caller's deadline.
+    SimTime,
+    /// [`RunBudget::max_wall_ms`] elapsed on the host.
+    WallClock,
+}
+
+impl std::fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BudgetExceeded::Events => "event budget exceeded",
+            BudgetExceeded::SimTime => "sim-time budget exceeded",
+            BudgetExceeded::WallClock => "wall-clock budget exceeded",
+        })
+    }
 }
 
 impl SchedStats {
@@ -1918,5 +2130,118 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    fn blast_sim(count: u32) -> Simulator {
+        let (t, a, z) = two_nodes(5_000_000, Dur::from_millis(3), Capacity::Packets(7));
+        let mut sim = Simulator::new(t);
+        sim.add_agent(
+            a,
+            1,
+            Box::new(Blaster {
+                peer: z,
+                peer_port: 2,
+                port: 1,
+                count,
+                size: 700,
+                gap: Dur::from_micros(300),
+                sent: 0,
+            }),
+        );
+        sim.add_agent(z, 2, Box::<Sink>::default());
+        sim
+    }
+
+    #[test]
+    fn event_budget_terminates_gracefully_and_conserves() {
+        let mut sim = blast_sim(200);
+        sim.set_budget(RunBudget::events(50));
+        sim.run_to_completion();
+        assert_eq!(sim.termination(), Some(BudgetExceeded::Events));
+        assert_eq!(sim.events_processed(), 50);
+        // Graceful stop: every ledger still balances mid-flight.
+        assert!(sim.packet_census().conserved());
+        assert!(sim.sched_stats().conserved());
+        // Termination is sticky: further pumping is a no-op.
+        let t = sim.now();
+        sim.run_to_completion();
+        assert_eq!(sim.events_processed(), 50);
+        assert_eq!(sim.now(), t);
+    }
+
+    #[test]
+    fn event_budget_is_deterministic() {
+        let run = || {
+            let mut sim = blast_sim(200);
+            sim.set_budget(RunBudget::events(77));
+            sim.run_to_completion();
+            (sim.now(), sim.events_processed(), sim.packet_census())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn sim_time_budget_caps_the_clock() {
+        let mut sim = blast_sim(200);
+        sim.set_budget(RunBudget::sim_time(Dur::from_millis(10)));
+        let end = sim.run_until(Time::from_secs(5));
+        assert_eq!(end, Time::from_millis(10));
+        assert_eq!(sim.termination(), Some(BudgetExceeded::SimTime));
+        assert!(sim.packet_census().conserved());
+    }
+
+    #[test]
+    fn sim_time_budget_beyond_the_run_never_fires() {
+        // The workload drains long before the cap: no termination, and
+        // the result matches the un-budgeted run exactly.
+        let mut plain = blast_sim(20);
+        plain.run_until(Time::from_secs(2));
+        let mut capped = blast_sim(20);
+        capped.set_budget(RunBudget::sim_time(Dur::from_secs(60)));
+        capped.run_until(Time::from_secs(2));
+        assert_eq!(capped.termination(), None);
+        assert_eq!(capped.events_processed(), plain.events_processed());
+        assert_eq!(capped.now(), plain.now());
+    }
+
+    #[test]
+    fn unlimited_budget_is_inert() {
+        let mut plain = blast_sim(50);
+        plain.run_to_completion();
+        let mut budgeted = blast_sim(50);
+        budgeted.set_budget(RunBudget::UNLIMITED);
+        budgeted.run_to_completion();
+        assert_eq!(budgeted.termination(), None);
+        assert_eq!(budgeted.events_processed(), plain.events_processed());
+        assert_eq!(budgeted.now(), plain.now());
+    }
+
+    #[test]
+    fn wall_clock_budget_eventually_stops_a_runaway() {
+        // A self-perpetuating timer ping-pong never drains its queue; the
+        // watchdog is the only thing that can stop it.
+        struct Forever;
+        impl Agent for Forever {
+            fn start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer_after(Dur::ZERO, 0);
+            }
+            fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
+            fn on_timer(&mut self, _token: u64, ctx: &mut Ctx<'_>) {
+                ctx.set_timer_after(Dur::from_nanos(1), 0);
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let (t, a, _z) = two_nodes(1_000_000, Dur::from_millis(1), Capacity::Packets(4));
+        let mut sim = Simulator::new(t);
+        sim.add_agent(a, 1, Box::new(Forever));
+        sim.set_budget(RunBudget::wall_ms(10));
+        sim.run_to_completion();
+        assert_eq!(sim.termination(), Some(BudgetExceeded::WallClock));
+        assert!(sim.events_processed() > 0);
     }
 }

@@ -55,7 +55,8 @@ pub mod trace;
 /// The types almost every consumer needs.
 pub mod prelude {
     pub use crate::engine::{
-        packet_to, Agent, Ctx, PacketCensus, SchedStats, Simulator, TimerHandle,
+        packet_to, Agent, BudgetExceeded, Ctx, PacketCensus, RunBudget, SchedStats, Simulator,
+        TimerHandle,
     };
     pub use crate::faults::{
         DownPolicy, FaultStats, Flapping, ImpairmentPlan, LossModel, OutageWindow, Reordering,

@@ -25,10 +25,12 @@
 //! [`PacketCensus`], and merged [`SchedStats`] conservation are
 //! bit-identical for any `K`, including `K = 1`.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Barrier, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
-use crate::engine::{Agent, PacketCensus, SchedStats, Simulator};
+use crate::engine::{Agent, BudgetExceeded, PacketCensus, RunBudget, SchedStats, Simulator};
 use crate::faults::{FaultStats, ImpairmentPlan};
 use crate::packet::{AgentId, LinkId, NodeId};
 use crate::queue::LinkQueue;
@@ -42,6 +44,96 @@ use phi_workload::SeedRng;
 /// variable, if set and valid (`None` otherwise).
 pub fn domains_from_env() -> Option<u32> {
     std::env::var("PHI_DOMAINS").ok()?.trim().parse().ok()
+}
+
+/// Marker returned by [`PoisonBarrier::wait`] once the barrier is
+/// poisoned: a sibling worker panicked and no further round can complete.
+struct Poisoned;
+
+/// A reusable N-party barrier whose waiters can be released early.
+///
+/// `std::sync::Barrier` has no failure path: if one worker panics
+/// between two waits, every sibling blocks forever and
+/// `std::thread::scope` never joins — the whole process hangs. This
+/// barrier adds [`PoisonBarrier::poison`]: a panicking worker marks the
+/// barrier and wakes everyone, and every current and future `wait`
+/// returns `Err(Poisoned)` so siblings can unwind their round loop
+/// cleanly instead of stranding mid-protocol.
+struct PoisonBarrier {
+    state: Mutex<BarrierGen>,
+    cond: Condvar,
+    parties: usize,
+}
+
+struct BarrierGen {
+    arrived: usize,
+    generation: u64,
+    poisoned: bool,
+}
+
+impl PoisonBarrier {
+    fn new(parties: usize) -> Self {
+        PoisonBarrier {
+            state: Mutex::new(BarrierGen {
+                arrived: 0,
+                generation: 0,
+                poisoned: false,
+            }),
+            cond: Condvar::new(),
+            parties,
+        }
+    }
+
+    /// Block until all parties arrive (Ok) or the barrier is poisoned
+    /// (Err). The mutex is never held across a panic, so lock poisoning
+    /// is recovered rather than propagated.
+    fn wait(&self) -> Result<(), Poisoned> {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if s.poisoned {
+            return Err(Poisoned);
+        }
+        s.arrived += 1;
+        if s.arrived == self.parties {
+            s.arrived = 0;
+            s.generation += 1;
+            self.cond.notify_all();
+            return Ok(());
+        }
+        let generation = s.generation;
+        while s.generation == generation && !s.poisoned {
+            s = self.cond.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        if s.poisoned {
+            Err(Poisoned)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Mark the barrier failed and wake every waiter, now and forever.
+    fn poison(&self) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.poisoned = true;
+        self.cond.notify_all();
+    }
+}
+
+/// Shared budget-decision codes voted through an `AtomicU64` (0 = none).
+fn encode_stop(b: BudgetExceeded) -> u64 {
+    match b {
+        BudgetExceeded::Events => 1,
+        BudgetExceeded::SimTime => 2,
+        BudgetExceeded::WallClock => 3,
+    }
+}
+
+fn decode_stop(v: u64) -> Option<BudgetExceeded> {
+    match v {
+        1 => Some(BudgetExceeded::Events),
+        2 => Some(BudgetExceeded::SimTime),
+        3 => Some(BudgetExceeded::WallClock),
+        _ => None,
+    }
 }
 
 /// A K-domain conservative parallel simulation.
@@ -59,6 +151,11 @@ pub struct ParallelSimulator {
     /// Per-domain shared trace buffers (present once tracing is enabled).
     trace_bufs: Vec<Arc<Mutex<Vec<TraceEvent>>>>,
     barrier_rounds: u64,
+    /// Resource budget, enforced at barrier windows (multi-domain) or
+    /// delegated to the engine's pop loop (single-domain).
+    budget: Option<RunBudget>,
+    /// Set once a budget limit fires; see [`ParallelSimulator::termination`].
+    terminated: Option<BudgetExceeded>,
 }
 
 impl ParallelSimulator {
@@ -98,7 +195,32 @@ impl ParallelSimulator {
             agent_domain: Vec::new(),
             trace_bufs: Vec::new(),
             barrier_rounds: 0,
+            budget: None,
+            terminated: None,
         }
+    }
+
+    /// Install a resource [`RunBudget`].
+    ///
+    /// Single-domain runs delegate to the engine's per-event enforcement.
+    /// Multi-domain runs check limits at barrier windows: the sim-time
+    /// cap is exact and invariant in the domain count; the event and
+    /// wall-clock limits trip at the first window boundary at or past the
+    /// limit, so *where* they stop depends on `K` (a budget-terminated
+    /// run is partial either way and is quarantined from aggregates — see
+    /// `phi_core::supervise`).
+    pub fn set_budget(&mut self, budget: RunBudget) {
+        self.budget = if budget.is_unlimited() {
+            None
+        } else {
+            Some(budget)
+        };
+    }
+
+    /// Why the run terminated early, if a [`RunBudget`] limit fired
+    /// (`None` when no budget bound).
+    pub fn termination(&self) -> Option<BudgetExceeded> {
+        self.terminated
     }
 
     /// The partition in effect.
@@ -270,13 +392,35 @@ impl ParallelSimulator {
     /// Single-domain runs execute inline (no threads, no barriers).
     /// Multi-domain runs execute the windowed barrier protocol; see the
     /// module docs for the safety argument.
+    ///
+    /// # Panics
+    /// If an agent panics inside a worker, the panic does **not** deadlock
+    /// sibling domains: the panicking worker poisons the barrier, every
+    /// sibling unwinds its round loop cleanly, and the *original* panic
+    /// payload is re-raised on the calling thread once the scope joins —
+    /// exactly as a serial `run_until` would have panicked.
     pub fn run_until(&mut self, deadline: Time) -> Time {
         if self.domains.len() == 1 {
-            return self.domains[0].run_until(deadline);
+            if let Some(b) = self.budget {
+                self.domains[0].set_budget(b);
+            }
+            let t = self.domains[0].run_until(deadline);
+            self.terminated = self.domains[0].termination();
+            return t;
+        }
+        if self.terminated.is_some() {
+            // A budget limit already fired; the run stays terminated.
+            return self.now();
         }
         let k = self.domains.len();
         let lookahead = self.partition.lookahead;
         let node_domain = &self.partition.node_domain;
+        let budget = self.budget.unwrap_or_default();
+        let max_events = budget.max_events;
+        let cap_ns = budget.max_sim_time.map(|d| d.as_nanos());
+        let wall_deadline = budget
+            .max_wall_ms
+            .map(|ms| Instant::now() + Duration::from_millis(ms));
 
         // Two time-vote slots used alternately by consecutive rounds, so
         // a round's votes never race the previous round's reads: every
@@ -284,8 +428,18 @@ impl ParallelSimulator {
         let slots = [AtomicU64::new(u64::MAX), AtomicU64::new(u64::MAX)];
         let inboxes: Vec<Mutex<Vec<crate::engine::Xmsg>>> =
             (0..k).map(|_| Mutex::new(Vec::new())).collect();
-        let barrier = Barrier::new(k);
+        let barrier = PoisonBarrier::new(k);
         let rounds = AtomicU64::new(0);
+        // Budget bookkeeping shared across domains. Both are written in
+        // step (4) and read after barrier (5), so every domain sees the
+        // same snapshot and reaches the same verdict in step (6).
+        let fired_total = AtomicU64::new(0);
+        let wall_flag = AtomicU64::new(0);
+        let decided = AtomicU64::new(0);
+        // The first panic payload, captured so the caller sees the
+        // original message instead of scope's generic "a scoped thread
+        // panicked" replacement.
+        let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
 
         std::thread::scope(|scope| {
             for (d, sim) in self.domains.iter_mut().enumerate() {
@@ -293,61 +447,138 @@ impl ParallelSimulator {
                 let inboxes = &inboxes;
                 let barrier = &barrier;
                 let rounds = &rounds;
+                let fired_total = &fired_total;
+                let wall_flag = &wall_flag;
+                let decided = &decided;
+                let panic_slot = &panic_slot;
                 scope.spawn(move || {
-                    sim.start_agents();
-                    let mut r: u64 = 0;
-                    loop {
-                        // (1) Deposit last window's cross-domain packets
-                        // into the owners' inboxes.
-                        for m in sim.take_outbox() {
-                            let owner = node_domain[m.node.0 as usize] as usize;
-                            inboxes[owner].lock().expect("inbox").push(m);
-                        }
-                        // (2) All deposits visible before anyone drains.
-                        barrier.wait();
-                        // (3) Inject everything addressed to this domain.
-                        for m in std::mem::take(&mut *inboxes[d].lock().expect("inbox")) {
-                            sim.inject(m);
-                        }
-                        // (4) Vote the post-injection earliest event time;
-                        // pre-clear the other slot for the next round.
-                        let vote = sim.next_event_time().map_or(u64::MAX, |t| t.as_nanos());
-                        slots[(r % 2) as usize].fetch_min(vote, Ordering::AcqRel);
-                        slots[((r + 1) % 2) as usize].store(u64::MAX, Ordering::Release);
-                        // (5) All votes in before anyone reads the min.
-                        barrier.wait();
-                        let m = slots[(r % 2) as usize].load(Ordering::Acquire);
-                        // (6) Quiescent (or out of budget): square up the
-                        // clock and stop. Outboxes are empty here — the
-                        // last pump's exports were deposited in step (1)
-                        // and injected in step (3), and votes still said
-                        // nothing is pending before the deadline.
-                        if m == u64::MAX || m > deadline.as_nanos() {
-                            sim.advance_clock(deadline);
-                            break;
-                        }
-                        // (7) Pump one lookahead-aligned window. Every
-                        // event in [W, W+L) is locally known (see module
-                        // docs), and exports from this window arrive at
-                        // ≥ W+L, i.e. in a later round's windows.
-                        let upto = match lookahead {
-                            Dur::MAX => deadline,
-                            l => {
-                                let l = l.as_nanos();
-                                let w = m / l * l;
-                                Time::from_nanos(w.saturating_add(l - 1).min(deadline.as_nanos()))
+                    // Delta-tracking base for the shared fired-event count.
+                    // Starting at zero folds events from earlier resumed
+                    // runs into the first round's delta, so `max_events`
+                    // bounds the run's lifetime total exactly as the
+                    // serial engine's per-event check does.
+                    let mut fired_seen = 0u64;
+                    let round_loop = move || -> Result<(), Poisoned> {
+                        sim.start_agents();
+                        let mut r: u64 = 0;
+                        loop {
+                            // (1) Deposit last window's cross-domain packets
+                            // into the owners' inboxes.
+                            for m in sim.take_outbox() {
+                                let owner = node_domain[m.node.0 as usize] as usize;
+                                inboxes[owner].lock().expect("inbox").push(m);
                             }
-                        };
-                        sim.pump(upto);
-                        if d == 0 {
-                            rounds.fetch_add(1, Ordering::Relaxed);
+                            // (2) All deposits visible before anyone drains.
+                            barrier.wait()?;
+                            // (3) Inject everything addressed to this domain.
+                            for m in std::mem::take(&mut *inboxes[d].lock().expect("inbox")) {
+                                sim.inject(m);
+                            }
+                            // (4) Vote the post-injection earliest event time;
+                            // pre-clear the other slot for the next round.
+                            // Budget inputs ride the same write-then-barrier
+                            // slot protocol as the votes.
+                            let vote = sim.next_event_time().map_or(u64::MAX, |t| t.as_nanos());
+                            slots[(r % 2) as usize].fetch_min(vote, Ordering::AcqRel);
+                            slots[((r + 1) % 2) as usize].store(u64::MAX, Ordering::Release);
+                            let fired_now = sim.events_processed();
+                            fired_total.fetch_add(fired_now - fired_seen, Ordering::AcqRel);
+                            fired_seen = fired_now;
+                            if wall_deadline.is_some_and(|wd| Instant::now() >= wd) {
+                                wall_flag.store(1, Ordering::Release);
+                            }
+                            // (5) All votes in before anyone reads the min.
+                            barrier.wait()?;
+                            let m = slots[(r % 2) as usize].load(Ordering::Acquire);
+                            // (6) Decide — identically in every domain: the
+                            // inputs were all published before barrier (5).
+                            // Budget limits stop the run mid-flight; clean
+                            // quiescence squares the clock up to the
+                            // deadline. Outboxes are empty at any exit —
+                            // the last pump's exports were deposited in (1)
+                            // and injected in (3).
+                            if max_events
+                                .is_some_and(|max| fired_total.load(Ordering::Acquire) >= max)
+                            {
+                                decided
+                                    .store(encode_stop(BudgetExceeded::Events), Ordering::Release);
+                                break;
+                            }
+                            if wall_flag.load(Ordering::Acquire) != 0 {
+                                decided.store(
+                                    encode_stop(BudgetExceeded::WallClock),
+                                    Ordering::Release,
+                                );
+                                break;
+                            }
+                            if m == u64::MAX || m > deadline.as_nanos() {
+                                // Quiescent: nothing left inside the caller's
+                                // horizon. Square the clock up — but never
+                                // past a sim-time cap, matching the serial
+                                // engine's budget semantics.
+                                let square_to =
+                                    cap_ns.map_or(deadline, |c| deadline.min(Time::from_nanos(c)));
+                                sim.advance_clock(square_to);
+                                break;
+                            }
+                            if let Some(cap) = cap_ns {
+                                if m > cap {
+                                    decided.store(
+                                        encode_stop(BudgetExceeded::SimTime),
+                                        Ordering::Release,
+                                    );
+                                    sim.advance_clock(Time::from_nanos(cap));
+                                    break;
+                                }
+                            }
+                            // (7) Pump one lookahead-aligned window. Every
+                            // event in [W, W+L) is locally known (see module
+                            // docs), and exports from this window arrive at
+                            // ≥ W+L, i.e. in a later round's windows. A
+                            // sim-time cap clips the window so no event past
+                            // the cap ever dispatches.
+                            let horizon =
+                                cap_ns.map_or(deadline.as_nanos(), |c| c.min(deadline.as_nanos()));
+                            let upto = match lookahead {
+                                Dur::MAX => Time::from_nanos(horizon),
+                                l => {
+                                    let l = l.as_nanos();
+                                    let w = m / l * l;
+                                    Time::from_nanos(w.saturating_add(l - 1).min(horizon))
+                                }
+                            };
+                            sim.pump(upto);
+                            if d == 0 {
+                                rounds.fetch_add(1, Ordering::Relaxed);
+                            }
+                            r += 1;
                         }
-                        r += 1;
+                        Ok(())
+                    };
+                    // A panicking agent unwinds through here. Capturing the
+                    // payload (instead of letting it tear through the scope)
+                    // lets us poison the barrier so sibling domains exit
+                    // their round loops instead of waiting forever, then
+                    // re-raise the original payload after the scope joins.
+                    // `AssertUnwindSafe` is sound: on a captured panic the
+                    // whole run is abandoned via `resume_unwind`, so no
+                    // half-updated domain state is ever observed.
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(round_loop)) {
+                        let mut slot = panic_slot.lock().unwrap_or_else(|e| e.into_inner());
+                        if slot.is_none() {
+                            *slot = Some(payload);
+                        }
+                        drop(slot);
+                        barrier.poison();
                     }
                 });
             }
         });
+        if let Some(payload) = panic_slot.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            resume_unwind(payload);
+        }
         self.barrier_rounds += rounds.into_inner();
+        self.terminated = decode_stop(decided.into_inner());
         self.now()
     }
 
@@ -549,5 +780,173 @@ mod tests {
     fn env_override_parses() {
         // Only checks the parser; the variable itself is read by callers.
         assert_eq!("4".trim().parse::<u32>().ok(), Some(4));
+    }
+
+    /// Panics on its `fuse`-th timer tick; sends a packet per tick so the
+    /// run does real cross-domain work up to the explosion.
+    struct TimeBomb {
+        peer: NodeId,
+        peer_port: u16,
+        gap: Dur,
+        fuse: u32,
+        ticks: u32,
+    }
+
+    impl Agent for TimeBomb {
+        fn start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer_after(Dur::ZERO, 0);
+        }
+        fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
+        fn on_timer(&mut self, _token: u64, ctx: &mut Ctx<'_>) {
+            assert!(self.ticks < self.fuse, "time bomb exploded");
+            self.ticks += 1;
+            ctx.send(packet_to(self.peer, self.peer_port, 1, FlowId(9), 500));
+            ctx.set_timer_after(self.gap, 0);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_with_payload_instead_of_deadlocking() {
+        // Pre-fix this test hung forever: the panicking worker left its
+        // siblings blocked in `Barrier::wait` and the scope never joined.
+        let l = lot();
+        let mut sim = ParallelSimulator::new(l.topology.clone(), 4);
+        let (src, dst) = l.long_path;
+        sim.add_agent(
+            src,
+            1,
+            Box::new(TimeBomb {
+                peer: dst,
+                peer_port: 2,
+                gap: Dur::from_millis(2),
+                fuse: 40,
+                ticks: 0,
+            }),
+        );
+        sim.add_agent(dst, 2, Box::new(Sink::default()));
+        // Keep every other domain busy so siblings really are mid-protocol
+        // when the bomb goes off.
+        for (i, &(s, d)) in l.cross.iter().enumerate() {
+            sim.add_agent(
+                s,
+                1,
+                Box::new(Blaster {
+                    peer: d,
+                    peer_port: 2,
+                    gap: Dur::from_millis(1),
+                    remaining: 500,
+                    flow: FlowId(200 + i as u64),
+                    got: 0,
+                }),
+            );
+            sim.add_agent(d, 2, Box::new(Sink::default()));
+        }
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sim.run_until(Time::from_secs(2));
+        }))
+        .expect_err("the agent panic must reach the caller");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .expect("panic payload should be a message");
+        assert!(
+            msg.contains("time bomb exploded"),
+            "original payload lost: {msg:?}"
+        );
+    }
+
+    fn budget_blast(
+        k: u32,
+        budget: RunBudget,
+    ) -> (u64, Option<BudgetExceeded>, Time, PacketCensus) {
+        let l = lot();
+        let mut sim = ParallelSimulator::new(l.topology.clone(), k);
+        let (src, dst) = l.long_path;
+        sim.add_agent(
+            src,
+            1,
+            Box::new(Blaster {
+                peer: dst,
+                peer_port: 2,
+                gap: Dur::from_millis(2),
+                remaining: 200,
+                flow: FlowId(7),
+                got: 0,
+            }),
+        );
+        sim.add_agent(dst, 2, Box::new(Sink::default()));
+        sim.set_budget(budget);
+        let end = sim.run_until(Time::from_secs(2));
+        (
+            sim.events_processed(),
+            sim.termination(),
+            end,
+            sim.packet_census(),
+        )
+    }
+
+    #[test]
+    fn sim_time_budget_is_domain_count_invariant() {
+        let budget = RunBudget::sim_time(Dur::from_millis(100));
+        let (e1, t1, end1, c1) = budget_blast(1, budget);
+        assert_eq!(t1, Some(BudgetExceeded::SimTime));
+        assert_eq!(end1, Time::from_millis(100));
+        assert!(c1.conserved(), "census must conserve: {c1:?}");
+        for k in [2, 4] {
+            let (e, t, end, c) = budget_blast(k, budget);
+            assert_eq!(t, Some(BudgetExceeded::SimTime), "at K={k}");
+            assert_eq!(end, end1, "clock differs at K={k}");
+            assert_eq!(e, e1, "events differ at K={k}");
+            assert_eq!(c, c1, "census differs at K={k}");
+        }
+    }
+
+    #[test]
+    fn event_budget_stops_multi_domain_runs_at_a_window() {
+        let (events, terminated, _, census) = budget_blast(2, RunBudget::events(300));
+        assert_eq!(terminated, Some(BudgetExceeded::Events));
+        // Window granularity: the run overshoots the limit by at most the
+        // final window, but it does stop, and the ledgers still balance.
+        assert!(events >= 300, "stopped before the limit: {events}");
+        assert!(census.conserved(), "census must conserve: {census:?}");
+        // A fresh unbudgeted run of the same scenario goes much further.
+        let (full, none, _, _) = budget_blast(2, RunBudget::UNLIMITED);
+        assert_eq!(none, None);
+        assert!(full > events, "budget had no effect: {full} vs {events}");
+    }
+
+    #[test]
+    fn budget_termination_is_sticky_across_runs() {
+        let l = lot();
+        let mut sim = ParallelSimulator::new(l.topology.clone(), 2);
+        let (src, dst) = l.long_path;
+        sim.add_agent(
+            src,
+            1,
+            Box::new(Blaster {
+                peer: dst,
+                peer_port: 2,
+                gap: Dur::from_millis(2),
+                remaining: 200,
+                flow: FlowId(7),
+                got: 0,
+            }),
+        );
+        sim.add_agent(dst, 2, Box::new(Sink::default()));
+        sim.set_budget(RunBudget::events(100));
+        sim.run_until(Time::from_secs(1));
+        assert_eq!(sim.termination(), Some(BudgetExceeded::Events));
+        let events = sim.events_processed();
+        let now = sim.now();
+        sim.run_until(Time::from_secs(2));
+        assert_eq!(sim.events_processed(), events, "terminated run resumed");
+        assert_eq!(sim.now(), now);
     }
 }

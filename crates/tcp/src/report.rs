@@ -70,7 +70,7 @@ impl FlowReport {
 }
 
 /// Aggregate metrics for one experiment run, in the units the paper plots.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunMetrics {
     /// Mean per-connection throughput over on-times, Mbit/s.
     pub throughput_mbps: f64,

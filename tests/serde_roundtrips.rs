@@ -121,6 +121,55 @@ fn domains_roundtrips_and_pre_domains_json_deserializes_to_serial() {
     assert_eq!(back.seed, 7);
 }
 
+/// The `budget` section is additive exactly like `ha`, `fluid`, and
+/// `domains`: it round-trips when present (every cap, individually and
+/// combined), and a spec serialized before the field existed (no
+/// `"budget"` key) still deserializes — to `None`, the un-budgeted pop
+/// loop with its historical digests.
+#[test]
+fn budget_roundtrips_and_pre_budget_json_deserializes_to_unlimited() {
+    use phi::sim::engine::RunBudget;
+
+    for budget in [
+        RunBudget::events(1_000_000),
+        RunBudget::sim_time(Dur::from_secs(30)),
+        RunBudget::wall_ms(5_000),
+        RunBudget {
+            max_events: Some(42),
+            max_sim_time: Some(Dur::from_millis(750)),
+            max_wall_ms: Some(100),
+        },
+    ] {
+        assert_eq!(roundtrip(&budget), budget);
+        let spec =
+            ExperimentSpec::new(4, OnOffConfig::fig2(), Dur::from_secs(30), 7).with_budget(budget);
+        let back = roundtrip(&spec);
+        assert_eq!(back.budget, Some(budget));
+    }
+
+    let spec = ExperimentSpec::new(4, OnOffConfig::fig2(), Dur::from_secs(30), 7);
+    let mut json = serde_json::to_string(&spec).expect("serialize");
+    assert!(
+        json.contains("\"budget\""),
+        "field should serialize when present"
+    );
+    json = json.replace(",\"budget\":null", "");
+    assert!(
+        !json.contains("\"budget\""),
+        "test must actually remove the key"
+    );
+    let back: ExperimentSpec = serde_json::from_str(&json).expect("old JSON must deserialize");
+    assert_eq!(back.budget, None);
+    assert_eq!(back.seed, 7);
+
+    // And within the budget itself the caps are individually additive:
+    // a budget JSON with only one cap named still deserializes.
+    let partial: RunBudget = serde_json::from_str("{\"max_events\":9}").expect("partial budget");
+    assert_eq!(partial.max_events, Some(9));
+    assert_eq!(partial.max_sim_time, None);
+    assert_eq!(partial.max_wall_ms, None);
+}
+
 #[test]
 fn ha_spec_and_crash_plans_roundtrip() {
     for plan in [
