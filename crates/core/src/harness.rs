@@ -12,15 +12,17 @@ use phi_sim::engine::{Agent, BudgetExceeded, RunBudget, SchedStats, Simulator};
 use phi_sim::fluid::{FluidFlowPlan, FluidSim};
 use phi_sim::packet::{wire, AgentId, FlowId, LinkId, NodeId};
 use phi_sim::par::ParallelSimulator;
-use phi_sim::queue::{Capacity, LinkQueue, Red};
+use phi_sim::queue::{Capacity, DisciplineSpec};
+use phi_sim::switch::{SwitchSpec, SwitchStats};
 use phi_sim::time::{Dur, Time};
 use phi_sim::topology::{dumbbell, Dumbbell, DumbbellSpec};
 use phi_tcp::cubic::{steady_state_rate_bps, Cubic, CubicParams};
+use phi_tcp::dctcp::{Dctcp, DctcpParams};
 use phi_tcp::hook::{DegradingHook, NoHook, SessionHook};
 use phi_tcp::receiver::TcpReceiver;
 use phi_tcp::report::{FlowReport, RunMetrics};
 use phi_tcp::sender::{CcFactory, SenderConfig, TcpSender};
-use phi_workload::{OnOffConfig, OnOffSource, SeedRng};
+use phi_workload::{FlowSource, IncastConfig, IncastSource, OnOffConfig, OnOffSource, SeedRng};
 use serde::{Deserialize, Serialize};
 
 use crate::context::{ContextStore, PathKey, StoreConfig};
@@ -96,6 +98,24 @@ pub struct ExperimentSpec {
     /// aggregation excludes such cells (see `supervise`).
     #[serde(default)]
     pub budget: Option<RunBudget>,
+    /// Shared-buffer switch model installed on *both* aggregation
+    /// routers: per-port virtual queues drawing from one pool under
+    /// Dynamic-Threshold admission, with optional ECN marking and PFC
+    /// (see `phi_sim::switch`). `None` (the default, and what every
+    /// pre-existing spec deserializes to) keeps the classic per-link
+    /// drop-tail islands and touches no established digest. When set,
+    /// each router egress queue is given a byte capacity equal to the
+    /// pool, so shared-pool admission — not the inner FIFO — is the
+    /// binding drop decision.
+    #[serde(default)]
+    pub switch: Option<SwitchSpec>,
+    /// Incast workload override: each sender becomes one fan-in worker
+    /// sending fixed blocks in synchronized rounds toward its receiver
+    /// (`workers` must equal the dumbbell's `pairs`; `rounds` bounds
+    /// each sender's `max_flows`). `None` (the default) keeps the
+    /// on/off workload in [`ExperimentSpec::workload`].
+    #[serde(default)]
+    pub incast: Option<IncastConfig>,
 }
 
 /// Configuration of the fluid fast path (see [`ExperimentSpec::fluid`]).
@@ -164,6 +184,8 @@ impl ExperimentSpec {
             fluid: None,
             domains: None,
             budget: None,
+            switch: None,
+            incast: None,
         }
     }
 
@@ -185,6 +207,25 @@ impl ExperimentSpec {
     /// [`ExperimentSpec::budget`]).
     pub fn with_budget(mut self, budget: RunBudget) -> Self {
         self.budget = Some(budget);
+        self
+    }
+
+    /// The same spec with a shared-buffer switch installed on both
+    /// aggregation routers (see [`ExperimentSpec::switch`]).
+    pub fn with_switch(mut self, switch: SwitchSpec) -> Self {
+        self.switch = Some(switch);
+        self
+    }
+
+    /// The same spec with the incast fan-in workload (see
+    /// [`ExperimentSpec::incast`]). Panics if `incast.workers` does not
+    /// match the dumbbell's pair count — one worker per sender.
+    pub fn with_incast(mut self, incast: IncastConfig) -> Self {
+        assert_eq!(
+            incast.workers as usize, self.dumbbell.pairs,
+            "incast workers must equal dumbbell pairs"
+        );
+        self.incast = Some(incast);
         self
     }
 
@@ -253,6 +294,10 @@ pub struct RunResult {
     /// metrics cover only the portion simulated before the cap hit —
     /// partial data, tagged so aggregation can exclude it.
     pub terminated: Option<BudgetExceeded>,
+    /// Per-switch backpressure stats for the `[left, right]` aggregation
+    /// routers, when the spec installed a shared-buffer switch
+    /// ([`ExperimentSpec::switch`]); `None` otherwise.
+    pub switch_stats: Option<[SwitchStats; 2]>,
 }
 
 impl RunResult {
@@ -300,18 +345,24 @@ pub fn run_experiment(
     }
     let net = dumbbell(&spec.dumbbell);
     let bottleneck_ids = [net.bottleneck, net.reverse];
+    let routers = [net.left_router, net.right_router];
     let queue_kind = spec.queue;
+    let switch_pool = spec.switch.as_ref().map(|s| s.pool_bytes);
+    // Routed through the serializable DisciplineSpec so the serial and
+    // partitioned engines build bit-identical queues from one recipe.
     let disciplines = move |id, link: &phi_sim::topology::LinkSpec| {
+        if let Some(pool) = switch_pool {
+            if routers.contains(&link.from) {
+                // Switch-governed egress: the shared pool is the only
+                // admission authority, so the inner FIFO must never be
+                // the binding constraint.
+                return DisciplineSpec::DropTail.build(Capacity::Bytes(pool));
+            }
+        }
         let is_bottleneck = bottleneck_ids.contains(&id);
         match (queue_kind, is_bottleneck) {
-            (BottleneckQueue::Red, true) => {
-                let pkts = match link.capacity {
-                    Capacity::Packets(p) => p,
-                    Capacity::Bytes(b) => (b / 1500).max(5) as usize,
-                };
-                LinkQueue::custom(Red::gentle(pkts))
-            }
-            _ => LinkQueue::drop_tail(link.capacity),
+            (BottleneckQueue::Red, true) => DisciplineSpec::RedGentle.build(link.capacity),
+            _ => DisciplineSpec::DropTail.build(link.capacity),
         }
     };
     let mut sim = match spec.domains {
@@ -325,6 +376,16 @@ pub fn run_experiment(
             disciplines,
         ))),
     };
+    if let Some(sw) = spec.switch {
+        sim.install_switch(net.left_router, sw);
+        sim.install_switch(net.right_router, sw);
+    }
+    if let Some(incast) = &spec.incast {
+        assert_eq!(
+            incast.workers as usize, spec.dumbbell.pairs,
+            "incast workers must equal dumbbell pairs"
+        );
+    }
     let store = shared(ContextStore::new(spec.store));
     let root = SeedRng::new(spec.seed);
     // Fork the crash stream only when a plan exists: specs without an HA
@@ -369,7 +430,15 @@ pub fn run_experiment(
         let mut cfg = SenderConfig::new(net.receivers[i], 80, 10);
         cfg.dupack_threshold = spec.dupack_threshold;
         cfg.flow_id_base = (i as u64) << 32;
-        let source = OnOffSource::new(spec.workload, root.fork_indexed("sender", i as u64));
+        // Incast workers draw from their own label ("worker") so adding
+        // the fan-in model never perturbs the on/off streams.
+        let source: FlowSource = match spec.incast {
+            Some(incast) => {
+                cfg.max_flows = Some(incast.rounds);
+                IncastSource::new(incast, root.fork_indexed("worker", i as u64)).into()
+            }
+            None => OnOffSource::new(spec.workload, root.fork_indexed("sender", i as u64)).into(),
+        };
         let id = sim.add_agent(
             net.senders[i],
             10,
@@ -421,6 +490,12 @@ pub fn run_experiment(
         Some(set) => (Some(set.plane(0).report_summary()), None),
         None => (None, None),
     };
+    let switch_stats = spec.switch.map(|_| {
+        [
+            sim.switch_stats(net.left_router),
+            sim.switch_stats(net.right_router),
+        ]
+    });
     RunResult {
         metrics,
         per_sender,
@@ -432,6 +507,7 @@ pub fn run_experiment(
         ha,
         ha_shards,
         terminated,
+        switch_stats,
     }
 }
 
@@ -477,6 +553,20 @@ impl Engine {
         match self {
             Engine::Serial(s) => s.agent_as(id),
             Engine::Par(p) => p.agent_as(id),
+        }
+    }
+
+    fn install_switch(&mut self, node: NodeId, spec: SwitchSpec) {
+        match self {
+            Engine::Serial(s) => s.install_switch(node, spec),
+            Engine::Par(p) => p.install_switch(node, spec),
+        }
+    }
+
+    fn switch_stats(&self, node: NodeId) -> SwitchStats {
+        match self {
+            Engine::Serial(s) => s.switch_stats(node),
+            Engine::Par(p) => p.switch_stats(node),
         }
     }
 
@@ -646,6 +736,8 @@ fn run_fluid(spec: &ExperimentSpec, fluid: &FluidSpec) -> RunResult {
         // work per flow; budgets are a packet-path concern and are not
         // applied here.
         terminated: None,
+        // Switches are a packet-path concept; fluid runs install none.
+        switch_stats: None,
     }
 }
 
@@ -654,6 +746,18 @@ fn run_fluid(spec: &ExperimentSpec, fluid: &FluidSpec) -> RunResult {
 pub fn provision_cubic(params: CubicParams) -> impl Fn(ProvisionCtx<'_>) -> Provisioned + Sync {
     move |_| Provisioned {
         factory: Box::new(move |_| Box::new(Cubic::new(params))),
+        hook: Box::new(NoHook),
+    }
+}
+
+/// Provision every sender as DCTCP with fixed `params` (no session
+/// hook): the datacenter baseline for the backpressure scenarios. DCTCP
+/// senders mark their segments ECN-capable, so a spec with an
+/// ECN-enabled [`ExperimentSpec::switch`] feeds them the marked-fraction
+/// signal; without a switch they behave like a NewReno-flavored sender.
+pub fn provision_dctcp(params: DctcpParams) -> impl Fn(ProvisionCtx<'_>) -> Provisioned + Sync {
+    move |_| Provisioned {
+        factory: Box::new(move |_| Box::new(Dctcp::new(params))),
         hook: Box::new(NoHook),
     }
 }

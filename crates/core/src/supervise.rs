@@ -353,6 +353,7 @@ mod tests {
             ha: None,
             ha_shards: None,
             terminated,
+            switch_stats: None,
         }
     }
 

@@ -140,6 +140,7 @@ mod tests {
             newly_acked: 1,
             sent_at: Time::from_millis(now_ms.saturating_sub(160)),
             shared_util: util,
+            ece: false,
         }
     }
 

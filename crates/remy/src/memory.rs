@@ -157,6 +157,7 @@ mod tests {
             newly_acked: 1,
             sent_at: Time::from_millis(sent_ms),
             shared_util: util,
+            ece: false,
         }
     }
 

@@ -34,6 +34,7 @@ use crate::packet::{AgentId, Flags, FlowId, LinkId, NodeId, Packet, SackBlocks};
 use crate::queue::{LinkQueue, Verdict};
 use crate::sched::TieredScheduler;
 use crate::stats::{LinkStats, RollingUtil};
+use crate::switch::{AdmitOutcome, PfcEdge, SwitchSpec, SwitchState, SwitchStats};
 use crate::time::{Dur, Time};
 use crate::topology::Topology;
 use crate::trace::{TraceEvent, TraceOp, Tracer};
@@ -65,8 +66,25 @@ pub trait Agent: Any + Send {
 enum Event {
     /// The packet at the head of the link finished serializing.
     TxEnd { link: LinkId, pkt: Packet },
-    /// A packet reached the `to` node of `link`.
-    Deliver { node: NodeId, pkt: Packet },
+    /// A packet reached a node. `via` is the link it arrived on
+    /// ([`NO_LINK`] for agent injections) — switch ingress attribution.
+    Deliver {
+        node: NodeId,
+        pkt: Packet,
+        via: LinkId,
+    },
+    /// A PFC PAUSE (`xoff`) or RESUME frame arrives at the transmitting
+    /// end of `link`. `seq` is the emitting switch's per-ingress edge
+    /// counter (tie-break key).
+    Pfc { link: LinkId, xoff: bool, seq: u64 },
+    /// A pause-storm watchdog armed by the switch on `node` for ingress
+    /// `link` expires; `epoch` validates against the switch's pause
+    /// state (a resume in the meantime makes the timer stale).
+    PfcWatchdog {
+        node: NodeId,
+        link: LinkId,
+        epoch: u64,
+    },
     /// An agent timer fired. `slot`/`gen` validate against the timer slab:
     /// a mismatch means the timer was cancelled (or superseded) after it
     /// was scheduled, and the event is skipped without touching the agent.
@@ -101,8 +119,10 @@ impl Event {
         match self {
             Event::FaultEdge { link, idx, .. } => (0, link.0, u64::from(*idx)),
             Event::TxEnd { link, pkt } => (1, link.0, pkt.id),
-            Event::Deliver { node, pkt } => (2, node.0, pkt.id),
+            Event::Deliver { node, pkt, .. } => (2, node.0, pkt.id),
             Event::Timer { agent, arm, .. } => (3, agent.0, *arm),
+            Event::Pfc { link, seq, .. } => (4, link.0, *seq),
+            Event::PfcWatchdog { link, epoch, .. } => (5, link.0, *epoch),
         }
     }
 }
@@ -181,6 +201,14 @@ struct LinkState {
     busy: bool,
     stats: LinkStats,
     rolling: RollingUtil,
+    /// PFC: true while the downstream switch has this link paused. A
+    /// paused link finishes the frame in flight but starts no new
+    /// serialization (head-of-line blocking on everything queued).
+    paused: bool,
+    /// When the current pause began (valid while `paused`).
+    paused_since: Time,
+    /// Accumulated paused nanoseconds over closed pause intervals.
+    paused_ns: u64,
     /// Chaos-plane state, when an [`ImpairmentPlan`] is installed. Boxed:
     /// the overwhelmingly common case is no faults, and the untouched
     /// pointer keeps `LinkState` small for the hot path.
@@ -257,14 +285,28 @@ impl sealed::Sealed for ParKey {
 }
 impl EventSeq for ParKey {}
 
-/// A cross-domain packet handoff: `pkt` reaches `node` (owned by another
-/// domain) at `at`. Collected in the sending domain's outbox during a
-/// window and injected into the receiving domain at the next barrier.
+/// A cross-domain handoff arriving at `node` (owned by another domain)
+/// at `at`: a packet delivery, or a PFC pause/resume frame whose paused
+/// link is transmitted from a foreign node. Collected in the sending
+/// domain's outbox during a window and injected into the receiving
+/// domain at the next barrier. PFC frames can ride the same mailboxes
+/// because they travel one ingress-link propagation delay upstream, and
+/// a partition-cut link's delay is at least the lookahead.
 #[derive(Debug)]
 pub(crate) struct Xmsg {
     pub(crate) at: Time,
     pub(crate) node: NodeId,
-    pub(crate) pkt: Packet,
+    pub(crate) body: XmsgBody,
+}
+
+/// Payload of one cross-domain handoff.
+#[derive(Debug)]
+pub(crate) enum XmsgBody {
+    /// `pkt` reaches `node` having arrived over `via`.
+    Deliver { pkt: Packet, via: LinkId },
+    /// A PAUSE (`xoff`) or RESUME frame for `link` (transmitted from
+    /// `node`, which the receiving domain owns).
+    Pfc { link: LinkId, xoff: bool, seq: u64 },
 }
 
 /// Domain-partitioning state carried by a parallel-run core. `None` on
@@ -303,12 +345,19 @@ impl ParState {
 /// Sentinel for "no agent bound" in the dense per-node port tables.
 const NO_AGENT: AgentId = AgentId(u32::MAX);
 
+/// Sentinel ingress for packets injected by a local agent (no inbound
+/// link to attribute PFC accounting to).
+const NO_LINK: LinkId = LinkId(u32::MAX);
+
 struct SimCore<S: EventSeq> {
     now: Time,
     queue: TieredScheduler<Event, S>,
     timers: TimerSlab,
     topology: Topology,
     links: Vec<LinkState>,
+    /// Shared-buffer switch state, indexed by node; `None` for hosts and
+    /// plain (per-link-island) routers.
+    switches: Vec<Option<Box<SwitchState>>>,
     /// Dense dispatch tables: `ports[node][port]` is the bound agent (or
     /// [`NO_AGENT`]). Replaces a per-delivery `HashMap<(NodeId, u16), _>`
     /// lookup with two array indexes; ports in use are small (well under
@@ -427,31 +476,37 @@ impl<S: EventSeq> SimCore<S> {
         }
     }
 
-    /// Schedule delivery of `pkt` at `node`, or export it to the owning
-    /// domain's mailbox when `node` lives across a partition cut.
-    fn deliver_or_export(&mut self, at: Time, node: NodeId, pkt: Packet) {
+    /// Schedule delivery of `pkt` (arriving over `via`) at `node`, or
+    /// export it to the owning domain's mailbox when `node` lives across
+    /// a partition cut.
+    fn deliver_or_export(&mut self, at: Time, node: NodeId, pkt: Packet, via: LinkId) {
         if let Some(p) = self.par.as_deref_mut() {
             if p.node_domain[node.0 as usize] != p.my_domain {
                 p.exported += 1;
-                p.outbox.push(Xmsg { at, node, pkt });
+                p.outbox.push(Xmsg {
+                    at,
+                    node,
+                    body: XmsgBody::Deliver { pkt, via },
+                });
                 return;
             }
         }
-        self.schedule(at, Event::Deliver { node, pkt });
+        self.schedule(at, Event::Deliver { node, pkt, via });
     }
 
-    /// Route `pkt` from `at` toward its destination; enqueue on the next link.
-    fn forward(&mut self, at: NodeId, pkt: Packet) {
+    /// Route `pkt` (which arrived at `at` over `via`) toward its
+    /// destination; enqueue on the next link.
+    fn forward(&mut self, at: NodeId, pkt: Packet, via: LinkId) {
         let Some(link_id) = self.topology.next_hop(at, pkt.dst) else {
             // Destination is this node but no agent consumed it, or routing
             // is impossible; count and drop.
             self.undeliverable += 1;
             return;
         };
-        self.enqueue_on_link(link_id, pkt);
+        self.enqueue_on_link(link_id, pkt, via);
     }
 
-    fn enqueue_on_link(&mut self, link_id: LinkId, pkt: Packet) {
+    fn enqueue_on_link(&mut self, link_id: LinkId, mut pkt: Packet, via: LinkId) {
         let now = self.now;
         let ls = &mut self.links[link_id.0 as usize];
         // A downed link with the Drop policy destroys arrivals outright;
@@ -471,15 +526,36 @@ impl<S: EventSeq> SimCore<S> {
                 return;
             }
         }
+        // Shared-buffer admission, when the transmitting node is a
+        // switch: Dynamic-Threshold rejection drops here (counted on the
+        // egress link), acceptance may CE-mark the packet and cross a
+        // PFC pause threshold.
+        let from = self.topology.link(link_id).from;
+        let mut pfc_edge = None;
+        if let Some(sw) = self.switches[from.0 as usize].as_deref_mut() {
+            match sw.admit(link_id, via, &mut pkt) {
+                AdmitOutcome::Rejected => {
+                    let ls = &mut self.links[link_id.0 as usize];
+                    ls.stats.advance_occupancy(now, ls.queue.len_bytes());
+                    ls.stats.dropped += 1;
+                    self.trace(TraceOp::Drop, Some(link_id), None, &pkt);
+                    return;
+                }
+                AdmitOutcome::Admitted(edge) => pfc_edge = edge,
+            }
+        }
+        let has_switch = self.switches[from.0 as usize].is_some();
+        let ls = &mut self.links[link_id.0 as usize];
         ls.stats.advance_occupancy(now, ls.queue.len_bytes());
-        // The queue consumes the packet; clone identity bits for tracing
-        // only when a tracer is installed.
-        let traced = self.tracer.is_some().then(|| pkt.clone());
+        // The queue consumes the packet; clone identity bits only when
+        // someone downstream needs them (tracing, or release accounting
+        // on a rejected offer at a switch node).
+        let kept = (self.tracer.is_some() || has_switch).then(|| pkt.clone());
         match ls.queue.offer(pkt, now) {
             Verdict::Enqueued => {
                 ls.stats.enqueued += 1;
-                if let Some(p) = traced {
-                    self.trace(TraceOp::Enqueue, Some(link_id), None, &p);
+                if let Some(p) = &kept {
+                    self.trace(TraceOp::Enqueue, Some(link_id), None, p);
                 }
                 if !self.links[link_id.0 as usize].busy {
                     self.begin_tx(link_id);
@@ -487,22 +563,39 @@ impl<S: EventSeq> SimCore<S> {
             }
             Verdict::Dropped => {
                 ls.stats.dropped += 1;
-                if let Some(p) = traced {
-                    self.trace(TraceOp::Drop, Some(link_id), None, &p);
+                if let Some(p) = &kept {
+                    // The inner queue refused a packet the shared buffer
+                    // admitted: give the pool its bytes back.
+                    if let Some(sw) = self.switches[from.0 as usize].as_deref_mut() {
+                        if let Some(e) = sw.release(link_id, p) {
+                            debug_assert!(pfc_edge.is_none());
+                            pfc_edge = Some(e);
+                        }
+                    }
+                    self.trace(TraceOp::Drop, Some(link_id), None, p);
                 }
             }
+        }
+        if let Some(edge) = pfc_edge {
+            self.emit_pfc(edge);
         }
     }
 
     /// Start serializing the next queued packet, if any.
     fn begin_tx(&mut self, link_id: LinkId) {
         let now = self.now;
-        let spec_rate = self.topology.link(link_id).rate_bps;
+        let spec = self.topology.link(link_id);
+        let (spec_rate, from) = (spec.rate_bps, spec.from);
         let ls = &mut self.links[link_id.0 as usize];
         debug_assert!(!ls.busy);
         // A downed link does not serialize: parked packets stay queued
         // until the healing edge calls `begin_tx` again.
         if ls.fault.as_deref().is_some_and(|f| !f.up) {
+            return;
+        }
+        // A PFC-paused link holds its queue until the RESUME frame (or a
+        // watchdog drain) arrives — head-of-line blocking by design.
+        if ls.paused {
             return;
         }
         ls.stats.advance_occupancy(now, ls.queue.len_bytes());
@@ -515,7 +608,15 @@ impl<S: EventSeq> SimCore<S> {
             .queue_wait
             .push(now.saturating_since(enqueued_at).as_secs_f64());
         let tx = Dur::transmission(pkt.size, spec_rate);
+        // A switch releases shared-buffer bytes when serialization
+        // starts; falling to the resume threshold un-pauses the ingress.
+        let edge = self.switches[from.0 as usize]
+            .as_deref_mut()
+            .and_then(|sw| sw.release(link_id, &pkt));
         self.schedule(now + tx, Event::TxEnd { link: link_id, pkt });
+        if let Some(e) = edge {
+            self.emit_pfc(e);
+        }
     }
 
     fn on_tx_end(&mut self, link_id: LinkId, pkt: Packet) {
@@ -550,10 +651,10 @@ impl<S: EventSeq> SimCore<S> {
         match verdict {
             EgressVerdict::Forward { extra, duplicate } => {
                 let dup = duplicate.then(|| pkt.clone());
-                self.deliver_or_export(now + delay + extra, to, pkt);
+                self.deliver_or_export(now + delay + extra, to, pkt, link_id);
                 if let Some(p) = dup {
                     self.trace(TraceOp::Duplicate, Some(link_id), None, &p);
-                    self.deliver_or_export(now + delay + extra, to, p);
+                    self.deliver_or_export(now + delay + extra, to, p, link_id);
                 }
             }
             EgressVerdict::Blackhole => self.trace(TraceOp::Blackhole, Some(link_id), None, &pkt),
@@ -612,6 +713,119 @@ impl<S: EventSeq> SimCore<S> {
                 }
             }
             Action::Nothing => {}
+        }
+    }
+
+    /// Turn a switch-produced pause-plane transition into scheduled
+    /// events: the PAUSE/RESUME frame arrives at the transmitting end of
+    /// the ingress link one propagation delay upstream, and every XOFF
+    /// arms a watchdog at the emitting switch.
+    fn emit_pfc(&mut self, edge: PfcEdge) {
+        match edge {
+            PfcEdge::Xoff {
+                link,
+                seq,
+                epoch,
+                watchdog,
+            } => {
+                let spec = self.topology.link(link);
+                let (delay, node) = (spec.delay, spec.to);
+                self.pfc_or_export(self.now + delay, link, true, seq);
+                self.schedule(
+                    self.now + watchdog,
+                    Event::PfcWatchdog { node, link, epoch },
+                );
+            }
+            PfcEdge::Xon { link, seq } => {
+                let delay = self.topology.link(link).delay;
+                self.pfc_or_export(self.now + delay, link, false, seq);
+            }
+        }
+    }
+
+    /// Schedule a PFC frame's arrival at `link`'s transmitting node, or
+    /// export it when that node belongs to another domain. Safe at
+    /// barriers for the same reason deliveries are: the frame travels
+    /// one cut-link propagation delay, which is at least the lookahead.
+    fn pfc_or_export(&mut self, at: Time, link: LinkId, xoff: bool, seq: u64) {
+        let from = self.topology.link(link).from;
+        if let Some(p) = self.par.as_deref_mut() {
+            if p.node_domain[from.0 as usize] != p.my_domain {
+                p.outbox.push(Xmsg {
+                    at,
+                    node: from,
+                    body: XmsgBody::Pfc { link, xoff, seq },
+                });
+                return;
+            }
+        }
+        self.schedule(at, Event::Pfc { link, xoff, seq });
+    }
+
+    /// A PFC frame arrives at `link`'s transmitting end: gate (or
+    /// restart) serialization and account paused time.
+    fn on_pfc(&mut self, link_id: LinkId, xoff: bool) {
+        let now = self.now;
+        let ls = &mut self.links[link_id.0 as usize];
+        if xoff {
+            if !ls.paused {
+                ls.paused = true;
+                ls.paused_since = now;
+            }
+            return;
+        }
+        if !ls.paused {
+            return;
+        }
+        ls.paused = false;
+        ls.paused_ns += now.saturating_since(ls.paused_since).as_nanos();
+        if !ls.busy && ls.queue.len_packets() > 0 {
+            self.begin_tx(link_id);
+        }
+    }
+
+    /// A pause-storm watchdog expires. If the ingress has been
+    /// continuously paused since the XOFF that armed it (`epoch` still
+    /// matches), the switch is in a sustained pause — possibly a cyclic
+    /// buffer dependency that will never resolve on its own. Break it:
+    /// drain this switch's egress queues (ascending link id, FIFO order)
+    /// until the stuck ingress clears its resume threshold, counting the
+    /// victims as `pfc_dropped`, then force-resume.
+    fn on_pfc_watchdog(&mut self, node: NodeId, link: LinkId, epoch: u64) {
+        let now = self.now;
+        // Disjoint field borrows: the drain alternates between switch
+        // accounting and link queues.
+        let switches = &mut self.switches;
+        let links = &mut self.links;
+        let tracer = &mut self.tracer;
+        let Some(sw) = switches[node.0 as usize].as_deref_mut() else {
+            return;
+        };
+        if !sw.watchdog_pending(link, epoch) {
+            return;
+        }
+        sw.note_watchdog_fire();
+        let xon = sw.spec.pfc.map_or(0, |p| p.xon_bytes);
+        let egress: Vec<LinkId> = sw.egress_links().to_vec();
+        'drain: for e in egress {
+            loop {
+                if sw.ingress_bytes(link) <= xon {
+                    break 'drain;
+                }
+                let ls = &mut links[e.0 as usize];
+                ls.stats.advance_occupancy(now, ls.queue.len_bytes());
+                let Some((p, _)) = ls.queue.take() else {
+                    break;
+                };
+                sw.drain_release(e, &p);
+                if let Some(t) = tracer.as_mut() {
+                    t.event(&TraceEvent::new(now, TraceOp::PfcDrop, Some(e), None, &p));
+                }
+            }
+        }
+        let resumes = sw.watchdog_resumes(link);
+        for edge in resumes {
+            self.emit_pfc(edge);
         }
     }
 }
@@ -680,7 +894,7 @@ impl Ctx<'_> {
             pkt.id = c.mint_packet_id(agent);
             pkt.sent_at = c.now;
             pkt.src = node;
-            c.forward(node, pkt);
+            c.forward(node, pkt, NO_LINK);
         })
     }
 
@@ -819,11 +1033,15 @@ impl<S: EventSeq> Simulator<S> {
                 busy: false,
                 stats: LinkStats::new(),
                 rolling: RollingUtil::new(UTIL_WINDOW),
+                paused: false,
+                paused_since: Time::ZERO,
+                paused_ns: 0,
                 fault: None,
             })
             .collect();
         let (queue, timers) = recycled_scheduler::<S>();
         let ports = vec![Vec::new(); topology.node_count()];
+        let switches = (0..topology.node_count()).map(|_| None).collect();
         Simulator {
             core: SimCore {
                 now: Time::ZERO,
@@ -831,6 +1049,7 @@ impl<S: EventSeq> Simulator<S> {
                 timers,
                 topology,
                 links,
+                switches,
                 ports,
                 agent_nodes: Vec::new(),
                 fifo: 0,
@@ -907,6 +1126,38 @@ impl<S: EventSeq> Simulator<S> {
         }
     }
 
+    /// Install a shared-buffer switch model (DT admission, optional ECN
+    /// marking and PFC backpressure) on `node`: every egress link of the
+    /// node draws from one buffer pool, per [`SwitchSpec`].
+    ///
+    /// The inner link queues still apply their own capacity after
+    /// admission; give them at least the pool's worth of room (the
+    /// harness uses `Capacity::Bytes(pool_bytes)`) so the shared buffer
+    /// is the only thing that rejects.
+    ///
+    /// # Panics
+    /// Panics if the simulation has started, the node already has a
+    /// switch, or the spec is invalid (zero pool, non-positive α,
+    /// `xon > xoff`, zero watchdog).
+    pub fn install_switch(&mut self, node: NodeId, spec: SwitchSpec) {
+        assert!(!self.started, "install switches before the run starts");
+        assert!(
+            self.core.switches[node.0 as usize].is_none(),
+            "{node} already has a switch installed"
+        );
+        let sw = SwitchState::new(node, spec, &self.core.topology);
+        self.core.switches[node.0 as usize] = Some(Box::new(sw));
+    }
+
+    /// Per-switch backpressure counters, [`Simulator::fault_stats`]-style:
+    /// all-zero when no switch is installed on `node`.
+    pub fn switch_stats(&self, node: NodeId) -> SwitchStats {
+        self.core.switches[node.0 as usize]
+            .as_deref()
+            .map(|s| s.stats)
+            .unwrap_or_default()
+    }
+
     /// Per-link chaos-plane counters; all-zero when no plan is installed.
     pub fn fault_stats(&self, link: LinkId) -> FaultStats {
         self.core.links[link.0 as usize]
@@ -974,14 +1225,27 @@ impl<S: EventSeq> Simulator<S> {
         let mut corrupted = 0u64;
         let mut duplicated = 0u64;
         let mut blackholed = 0u64;
+        let mut paused_ns = 0u64;
         for ls in &self.core.links {
             queued += ls.queue.len_packets() as u64;
             dropped += ls.stats.dropped;
+            paused_ns += ls.paused_ns;
+            if ls.paused {
+                // Open pause interval: count it up to the current clock
+                // so the census is point-in-time accurate mid-pause.
+                paused_ns += self.core.now.saturating_since(ls.paused_since).as_nanos();
+            }
             if let Some(f) = ls.fault.as_deref() {
                 corrupted += f.stats.corrupted;
                 duplicated += f.stats.duplicated;
                 blackholed += f.stats.blackholed;
             }
+        }
+        let mut ecn_marked = 0u64;
+        let mut pfc_dropped = 0u64;
+        for sw in self.core.switches.iter().flatten() {
+            ecn_marked += sw.stats.ecn_marked;
+            pfc_dropped += sw.stats.pfc_dropped;
         }
         PacketCensus {
             injected: self.core.next_packet_id,
@@ -991,8 +1255,11 @@ impl<S: EventSeq> Simulator<S> {
             corrupted,
             duplicated,
             blackholed,
+            pfc_dropped,
             queued,
             in_flight,
+            ecn_marked,
+            paused_ns,
         }
     }
 
@@ -1089,7 +1356,7 @@ impl<S: EventSeq> Simulator<S> {
                 self.core.events_fired += 1;
                 self.core.on_tx_end(link, pkt);
             }
-            Event::Deliver { node, pkt } => {
+            Event::Deliver { node, pkt, via } => {
                 self.core.events_fired += 1;
                 if pkt.dst == node {
                     self.core.trace(TraceOp::Deliver, None, Some(node), &pkt);
@@ -1108,7 +1375,7 @@ impl<S: EventSeq> Simulator<S> {
                         None => self.core.undeliverable += 1,
                     }
                 } else {
-                    self.core.forward(node, pkt);
+                    self.core.forward(node, pkt, via);
                 }
             }
             Event::Timer {
@@ -1128,6 +1395,14 @@ impl<S: EventSeq> Simulator<S> {
             Event::FaultEdge { link, up, idx: _ } => {
                 self.core.events_fired += 1;
                 self.core.on_fault_edge(link, up);
+            }
+            Event::Pfc { link, xoff, seq: _ } => {
+                self.core.events_fired += 1;
+                self.core.on_pfc(link, xoff);
+            }
+            Event::PfcWatchdog { node, link, epoch } => {
+                self.core.events_fired += 1;
+                self.core.on_pfc_watchdog(node, link, epoch);
             }
         }
     }
@@ -1263,17 +1538,23 @@ impl<S: EventSeq> Simulator<S> {
         }
     }
 
-    /// Inject a cross-domain delivery received at a barrier. The message's
+    /// Inject a cross-domain handoff received at a barrier. The message's
     /// arrival time is at least one lookahead past the window that
     /// produced it, so it is never in this domain's past.
     pub(crate) fn inject(&mut self, m: Xmsg) {
-        self.core.schedule(
-            m.at,
-            Event::Deliver {
-                node: m.node,
-                pkt: m.pkt,
-            },
-        );
+        match m.body {
+            XmsgBody::Deliver { pkt, via } => self.core.schedule(
+                m.at,
+                Event::Deliver {
+                    node: m.node,
+                    pkt,
+                    via,
+                },
+            ),
+            XmsgBody::Pfc { link, xoff, seq } => {
+                self.core.schedule(m.at, Event::Pfc { link, xoff, seq });
+            }
+        }
     }
 
     /// Lifetime count of deliveries exported across the partition cut.
@@ -1341,11 +1622,20 @@ pub struct PacketCensus {
     /// Packets destroyed by the fault plane: killed by a downed link
     /// (arriving, queued, or mid-serialization) or by random loss.
     pub blackholed: u64,
+    /// Packets destroyed by PFC pause-storm watchdog drains (summed over
+    /// switches) — a terminal state, like `dropped`.
+    pub pfc_dropped: u64,
     /// Packets sitting in link queues right now.
     pub queued: u64,
     /// Packets serializing on a link or propagating toward a node
     /// (scheduled `TxEnd`/`Deliver` events).
     pub in_flight: u64,
+    /// Informational (not a packet state): packets CE-marked by switch
+    /// ECN on admission. A marked packet continues toward delivery.
+    pub ecn_marked: u64,
+    /// Informational (not a packet state): nanoseconds links spent
+    /// PFC-paused, summed over links, open intervals included.
+    pub paused_ns: u64,
 }
 
 impl PacketCensus {
@@ -1354,13 +1644,18 @@ impl PacketCensus {
         self.queued + self.in_flight
     }
 
-    /// The conservation invariant, extended for the fault plane:
+    /// The conservation invariant, extended for the fault plane and the
+    /// backpressure plane:
     /// `injected + duplicated == delivered + dropped + undeliverable
-    ///  + corrupted + blackholed + queued + in_flight`.
+    ///  + corrupted + blackholed + pfc_dropped + queued + in_flight`.
     ///
     /// Duplication mints a packet copy mid-network, so copies join the
-    /// injected side of the ledger; with no impairments installed every
-    /// fault term is zero and this reduces to the original law.
+    /// injected side of the ledger; watchdog drains (`pfc_dropped`) are
+    /// a terminal state like queue drops. `ecn_marked` and `paused_ns`
+    /// are informational and deliberately outside the identity — a
+    /// marked packet is still in exactly one of the states above. With
+    /// no impairments or switches installed every extension term is zero
+    /// and this reduces to the original law.
     pub fn conserved(&self) -> bool {
         self.injected + self.duplicated
             == self.delivered
@@ -1368,6 +1663,7 @@ impl PacketCensus {
                 + self.undeliverable
                 + self.corrupted
                 + self.blackholed
+                + self.pfc_dropped
                 + self.queued
                 + self.in_flight
     }
@@ -1861,15 +2157,23 @@ mod tests {
 
     #[test]
     fn custom_disciplines_installed_per_link() {
-        use crate::queue::Red;
+        use crate::queue::DisciplineSpec;
         let (t, a, z) = two_nodes(1_000_000, Dur::from_millis(1), Capacity::Packets(10));
         // RED with thresholds far below the load: early drops must occur
         // where plain drop-tail (capacity 10_000) would accept everything.
+        // Routed through the same serializable DisciplineSpec the
+        // parallel engine's factory consumes, so the exact queue built
+        // here is also installable on partitioned runs.
         let mut sim = Simulator::with_disciplines(t, |id, spec| {
             if id.0 == 0 {
-                LinkQueue::custom(Red::new(Capacity::Packets(10_000), 2.0, 6.0, 1.0))
+                DisciplineSpec::Red {
+                    min_th: 2.0,
+                    max_th: 6.0,
+                    max_p: 1.0,
+                }
+                .build(Capacity::Packets(10_000))
             } else {
-                LinkQueue::drop_tail(spec.capacity)
+                DisciplineSpec::DropTail.build(spec.capacity)
             }
         });
         sim.add_agent(

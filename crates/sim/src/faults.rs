@@ -27,6 +27,18 @@
 //! order, which the engine's total `(time, seq)` event order makes
 //! deterministic.
 //!
+//! The backpressure plane composes with this contract rather than
+//! perturbing it: switch ECN marking (see [`crate::switch::EcnSpec`])
+//! draws **nothing** from any `SeedRng` stream — its probabilistic band
+//! hashes the packet id — and it happens at *admission* (enqueue),
+//! while every per-packet fault draw happens at *egress* (end of
+//! serialization), in the fixed order above. So installing an
+//! [`ImpairmentPlan`] on a link whose upstream switch also marks ECN
+//! neither consumes from nor reorders the link's fault stream: the draw
+//! order is pinned, and the combined fault + marking trace is
+//! bit-identical across reruns (asserted by
+//! `ecn_marking_does_not_perturb_fault_draws` in this module's tests).
+//!
 //! ## Accounting
 //!
 //! Packets destroyed by the chaos plane are counted per link in
@@ -526,5 +538,145 @@ mod tests {
     fn noop_plan_detected() {
         assert!(ImpairmentPlan::new().is_noop());
         assert!(!ImpairmentPlan::new().corrupt(0.1).is_noop());
+    }
+
+    /// The backpressure/fault composition pin from the module docs: an
+    /// impaired link whose upstream switch also marks ECN has a fixed
+    /// per-packet draw order (marking hashes packet ids at admission,
+    /// fault draws fire at egress), so reruns are bit-identical — and
+    /// enabling the marking does not shift the link's fault stream at
+    /// all.
+    #[test]
+    fn ecn_marking_does_not_perturb_fault_draws() {
+        use std::any::Any;
+
+        use crate::engine::{packet_to, Agent, Ctx, Simulator};
+        use crate::packet::{Flags, FlowId, NodeId, Packet};
+        use crate::queue::Capacity;
+        use crate::switch::{EcnSpec, SwitchSpec};
+        use crate::topology::TopologyBuilder;
+        use crate::trace::SharedTraceCollector;
+
+        /// Blasts ECT-flagged packets so switch ECN has something to mark.
+        struct EctBlaster {
+            peer: NodeId,
+            remaining: u32,
+        }
+        impl Agent for EctBlaster {
+            fn start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer_after(Dur::ZERO, 0);
+            }
+            fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
+            fn on_timer(&mut self, _token: u64, ctx: &mut Ctx<'_>) {
+                if self.remaining == 0 {
+                    return;
+                }
+                self.remaining -= 1;
+                let mut p = packet_to(self.peer, 80, 1, FlowId(9), 1_000);
+                p.flags = Flags::ECT;
+                ctx.send(p);
+                ctx.set_timer_after(Dur::from_micros(200), 0);
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+
+        /// Swallows arrivals.
+        struct Null;
+        impl Agent for Null {
+            fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+
+        // a → r → z; the r→z hop is slow (queue builds at r, exercising
+        // the ECN ramp) and impaired (loss, duplication, reordering).
+        let run = |ecn: bool| {
+            let mut b = TopologyBuilder::new();
+            let a = b.add_node();
+            let r = b.add_node();
+            let z = b.add_node();
+            b.add_duplex(
+                a,
+                r,
+                100_000_000,
+                Dur::from_micros(50),
+                Capacity::Packets(1_000),
+            );
+            let (rz, _) = b.add_duplex(
+                r,
+                z,
+                2_000_000,
+                Dur::from_millis(1),
+                Capacity::Packets(1_000),
+            );
+            let mut sim = Simulator::new(b.build());
+            let mut spec = SwitchSpec::shared(200_000);
+            if ecn {
+                spec = spec.with_ecn(EcnSpec {
+                    min_bytes: 2_000,
+                    max_bytes: 40_000,
+                });
+            }
+            sim.install_switch(r, spec);
+            let plan = ImpairmentPlan::new()
+                .loss(LossModel::Bernoulli { p: 0.05 })
+                .duplicate(0.03)
+                .reorder(0.2, Dur::from_millis(2));
+            sim.install_impairments(rz, plan, &SeedRng::new(4242));
+            let (tracer, events) = SharedTraceCollector::new();
+            sim.set_tracer(tracer);
+            sim.add_agent(
+                a,
+                1,
+                Box::new(EctBlaster {
+                    peer: z,
+                    remaining: 400,
+                }),
+            );
+            sim.add_agent(z, 80, Box::new(Null));
+            sim.run_until(Time::from_secs(2));
+            let trace: Vec<String> = events
+                .lock()
+                .expect("trace buffer")
+                .iter()
+                .map(|ev| format!("{ev:?}"))
+                .collect();
+            (
+                trace,
+                sim.packet_census(),
+                sim.fault_stats(rz),
+                sim.switch_stats(r),
+            )
+        };
+
+        // Both planes actually engaged.
+        let (trace, census, faults, switch) = run(true);
+        assert!(switch.ecn_marked > 0, "the ramp must mark: {switch:?}");
+        assert!(faults.blackholed > 0 && faults.duplicated > 0, "{faults:?}");
+        assert!(census.conserved(), "census must close: {census:?}");
+
+        // Rerun: bit-identical trace and accounting.
+        let (trace2, census2, faults2, switch2) = run(true);
+        assert_eq!(trace, trace2, "rerun must be bit-identical");
+        assert_eq!(census, census2);
+        assert_eq!(faults, faults2);
+        assert_eq!(switch, switch2);
+
+        // Marking consumes nothing from the fault stream: the same
+        // packets meet the same draws with ECN off.
+        let (_, census3, faults3, switch3) = run(false);
+        assert_eq!(switch3.ecn_marked, 0);
+        assert_eq!(faults, faults3, "ECN marking shifted the fault stream");
+        assert_eq!(census.delivered, census3.delivered);
+        assert_eq!(census.blackholed, census3.blackholed);
     }
 }

@@ -48,6 +48,7 @@ pub mod par;
 pub mod queue;
 pub mod sched;
 pub mod stats;
+pub mod switch;
 pub mod time;
 pub mod topology;
 pub mod trace;
@@ -64,8 +65,9 @@ pub mod prelude {
     pub use crate::fluid::{FluidCensus, FluidFlowPlan, FluidFlowRecord, FluidSim};
     pub use crate::packet::{wire, AgentId, Flags, FlowId, LinkId, NodeId, Packet};
     pub use crate::par::{domains_from_env, ParallelSimulator};
-    pub use crate::queue::{Capacity, LinkQueue};
+    pub use crate::queue::{Capacity, DisciplineSpec, LinkQueue};
     pub use crate::stats::{Ewma, LinkStats, OnlineStats};
+    pub use crate::switch::{EcnSpec, PfcSpec, SharedBuffer, SwitchSpec, SwitchStats};
     pub use crate::time::{Dur, Time};
     pub use crate::topology::{
         dumbbell, parking_lot, Dumbbell, DumbbellSpec, LinkSpec, ParkingLot, ParkingLotSpec,

@@ -65,6 +65,15 @@ impl Flags {
     pub const FIN: Flags = Flags(0b0100);
     /// Segment is a retransmission (simulator-side diagnostic bit).
     pub const RETX: Flags = Flags(0b1000);
+    /// ECN-Capable Transport: the sender opts into ECN marking, so
+    /// congested switches mark this packet instead of dropping it.
+    pub const ECT: Flags = Flags(0b0001_0000);
+    /// Congestion Experienced: set by a switch on an [`Flags::ECT`]
+    /// packet whose egress queue crossed the marking threshold.
+    pub const CE: Flags = Flags(0b0010_0000);
+    /// ECN Echo: set by the receiver on the ACK of a [`Flags::CE`]-marked
+    /// segment, carrying the congestion signal back to the sender.
+    pub const ECE: Flags = Flags(0b0100_0000);
 
     /// The empty flag set.
     pub const fn empty() -> Flags {
@@ -188,6 +197,16 @@ impl Packet {
     /// True if this closes its flow.
     pub fn is_fin(&self) -> bool {
         self.flags.contains(Flags::FIN)
+    }
+
+    /// True if the sender declared this packet ECN-capable.
+    pub fn is_ect(&self) -> bool {
+        self.flags.contains(Flags::ECT)
+    }
+
+    /// True if a switch marked this packet Congestion Experienced.
+    pub fn is_ce(&self) -> bool {
+        self.flags.contains(Flags::CE)
     }
 }
 

@@ -269,6 +269,24 @@ impl ParallelSimulator {
         self.domains[self.link_owner(link)].fault_stats(link)
     }
 
+    /// Install a shared-buffer switch (see [`Simulator::install_switch`])
+    /// on `node`, in the domain that owns it — the only domain that ever
+    /// enqueues on the node's egress links, so admission, marking, and
+    /// pause accounting stay domain-local. PAUSE/RESUME frames addressed
+    /// to a foreign upstream node ride the barrier mailboxes like
+    /// packets (their propagation delay is at least the lookahead).
+    pub fn install_switch(&mut self, node: NodeId, spec: crate::switch::SwitchSpec) {
+        let owner = self.partition.domain_of(node) as usize;
+        self.domains[owner].install_switch(node, spec);
+    }
+
+    /// Per-switch backpressure counters; all-zero when no switch is
+    /// installed on `node`.
+    pub fn switch_stats(&self, node: NodeId) -> crate::switch::SwitchStats {
+        let owner = self.partition.domain_of(node) as usize;
+        self.domains[owner].switch_stats(node)
+    }
+
     /// Whether `link` is currently up (always true without a plan).
     pub fn link_is_up(&self, link: LinkId) -> bool {
         self.domains[self.link_owner(link)].link_is_up(link)
@@ -360,8 +378,11 @@ impl ParallelSimulator {
             total.corrupted += c.corrupted;
             total.duplicated += c.duplicated;
             total.blackholed += c.blackholed;
+            total.pfc_dropped += c.pfc_dropped;
             total.queued += c.queued;
             total.in_flight += c.in_flight;
+            total.ecn_marked += c.ecn_marked;
+            total.paused_ns += c.paused_ns;
         }
         total
     }
@@ -948,5 +969,54 @@ mod tests {
         sim.run_until(Time::from_secs(2));
         assert_eq!(sim.events_processed(), events, "terminated run resumed");
         assert_eq!(sim.now(), now);
+    }
+
+    /// Partitioned runs can install non-drop-tail disciplines through
+    /// the same [`DisciplineSpec`] factory path the serial engine's
+    /// tests use — and the result stays bit-identical across domain
+    /// counts (RED's drop decision hashes packet ids, which the
+    /// parallel engine derives content-deterministically).
+    #[test]
+    fn red_disciplines_install_on_partitioned_runs() {
+        use crate::queue::DisciplineSpec;
+
+        let run = |k: u32| {
+            let l = lot();
+            let mut sim = ParallelSimulator::with_disciplines(l.topology.clone(), k, |_, spec| {
+                DisciplineSpec::Red {
+                    min_th: 1.0,
+                    max_th: 4.0,
+                    max_p: 1.0,
+                }
+                .build(spec.capacity)
+            });
+            let (src, dst) = l.long_path;
+            sim.add_agent(
+                src,
+                1,
+                Box::new(Blaster {
+                    peer: dst,
+                    peer_port: 2,
+                    gap: Dur::from_micros(200),
+                    remaining: 400,
+                    flow: FlowId(7),
+                    got: 0,
+                }),
+            );
+            sim.add_agent(dst, 2, Box::new(Sink::default()));
+            sim.run_until(Time::from_secs(2));
+            let census = sim.packet_census();
+            assert!(census.conserved(), "census must conserve: {census:?}");
+            let dropped: u64 = (0..l.topology.link_count())
+                .map(|i| sim.link_stats(LinkId(i as u32)).dropped)
+                .sum();
+            (sim.events_processed(), dropped)
+        };
+
+        let (e1, d1) = run(1);
+        let (e2, d2) = run(2);
+        assert!(d1 > 0, "RED thresholds this low must drop early");
+        assert_eq!(e1, e2, "events diverged across domain counts");
+        assert_eq!(d1, d2, "drops diverged across domain counts");
     }
 }

@@ -191,6 +191,58 @@ impl LinkQueue {
     }
 }
 
+/// A serializable queueing-discipline choice, materialized per link.
+///
+/// [`LinkQueue`] holds trait objects and cannot travel inside an
+/// experiment spec, and the serial and parallel engines each take their
+/// own per-link factory closure — before this enum existed, a run that
+/// wanted RED under the partitioned engine had no spec-level way to say
+/// so (`ParallelSimulator::new` installs drop-tail everywhere). Both
+/// engines' factories can now route through [`DisciplineSpec::build`],
+/// so any discipline expressible here installs identically under every
+/// domain count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DisciplineSpec {
+    /// Classic FIFO drop-tail (the engine default).
+    DropTail,
+    /// RED with explicit thresholds (average queue lengths in packets)
+    /// and the drop probability reached at `max_th`.
+    Red {
+        /// Average-queue threshold where early drops begin, packets.
+        min_th: f64,
+        /// Average-queue threshold of maximum drop pressure, packets.
+        max_th: f64,
+        /// Early-drop probability at `max_th`, in (0, 1].
+        max_p: f64,
+    },
+    /// Gentle RED auto-tuned to the link's physical buffer (thresholds
+    /// at 20% / 60% of the packet capacity, `max_p` 0.1).
+    RedGentle,
+}
+
+impl DisciplineSpec {
+    /// Build the queue for a link of physical capacity `capacity`.
+    ///
+    /// Deterministic in its arguments, as both engines' factory
+    /// contracts require (the parallel engine instantiates every link
+    /// once per domain).
+    pub fn build(&self, capacity: Capacity) -> LinkQueue {
+        let pkts = match capacity {
+            Capacity::Packets(p) => p,
+            Capacity::Bytes(b) => (b / 1500).max(5) as usize,
+        };
+        match *self {
+            DisciplineSpec::DropTail => LinkQueue::drop_tail(capacity),
+            DisciplineSpec::Red {
+                min_th,
+                max_th,
+                max_p,
+            } => LinkQueue::custom(Red::new(capacity, min_th, max_th, max_p)),
+            DisciplineSpec::RedGentle => LinkQueue::custom(Red::gentle(pkts)),
+        }
+    }
+}
+
 /// Random Early Detection (Floyd & Jacobson '93), the classic AQM
 /// contrast to drop-tail: as the *average* queue grows between `min_th`
 /// and `max_th`, arriving packets are dropped with rising probability,

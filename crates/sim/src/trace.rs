@@ -28,6 +28,8 @@ pub enum TraceOp {
     Corrupt,
     /// An extra copy of the packet was created by the fault plane.
     Duplicate,
+    /// Packet destroyed by a PFC pause-storm watchdog drain.
+    PfcDrop,
 }
 
 /// A traced event.
@@ -93,6 +95,7 @@ impl TraceEvent {
             TraceOp::Blackhole => 4,
             TraceOp::Corrupt => 5,
             TraceOp::Duplicate => 6,
+            TraceOp::PfcDrop => 7,
         };
         (
             self.at,
@@ -205,6 +208,7 @@ impl Tracer for TraceWriter {
             TraceOp::Blackhole => 'x',
             TraceOp::Corrupt => 'c',
             TraceOp::Duplicate => '2',
+            TraceOp::PfcDrop => 'w',
         };
         let place = match (ev.link, ev.node) {
             (Some(l), _) => format!("{l}"),

@@ -464,3 +464,166 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Backpressure-plane properties: shared-buffer admission and PFC census.
+// ---------------------------------------------------------------------------
+
+use phi_sim::switch::{PfcSpec, SharedBuffer, SwitchSpec};
+
+/// One step of an interleaved shared-buffer workload.
+#[derive(Debug, Clone, Copy)]
+enum PoolOp {
+    /// Offer `bytes` to `port` (modulo the port count).
+    Admit { port: usize, bytes: u32 },
+    /// Release the oldest admitted packet on `port`, if any.
+    Release { port: usize },
+}
+
+fn pool_op() -> impl Strategy<Value = PoolOp> {
+    prop_oneof![
+        (0usize..8, 1u32..20_000).prop_map(|(port, bytes)| PoolOp::Admit { port, bytes }),
+        (0usize..8, 1u32..20_000).prop_map(|(port, bytes)| PoolOp::Admit { port, bytes }),
+        (0usize..8).prop_map(|port| PoolOp::Release { port }),
+    ]
+}
+
+proptest! {
+    /// Dynamic-Threshold admission under any interleaving of arrivals
+    /// and drains: total occupancy never exceeds the pool, the total
+    /// always equals the sum of the per-port occupancies, and both
+    /// ledgers track a reference model exactly.
+    #[test]
+    fn shared_buffer_never_exceeds_pool(
+        pool in 1_000u64..200_000,
+        alpha in 0.25f64..16.0,
+        ports in 1usize..8,
+        ops in proptest::collection::vec(pool_op(), 1..200),
+    ) {
+        let mut buf = SharedBuffer::new(pool, alpha, ports);
+        let mut model: Vec<Vec<u32>> = vec![Vec::new(); ports];
+        for op in ops {
+            match op {
+                PoolOp::Admit { port, bytes } => {
+                    let port = port % ports;
+                    if buf.try_admit(port, bytes) {
+                        model[port].push(bytes);
+                    }
+                }
+                PoolOp::Release { port } => {
+                    let port = port % ports;
+                    if !model[port].is_empty() {
+                        let bytes = model[port].remove(0);
+                        buf.release(port, bytes);
+                    }
+                }
+            }
+            let expect: u64 = model.iter().flatten().map(|&b| u64::from(b)).sum();
+            prop_assert!(buf.total_bytes() <= pool, "pool overrun: {} > {pool}", buf.total_bytes());
+            prop_assert_eq!(buf.total_bytes(), expect, "total diverged from model");
+            let port_sum: u64 = (0..ports).map(|p| buf.port_bytes(p)).sum();
+            prop_assert_eq!(port_sum, expect, "per-port ledger diverged");
+            for (p, port_model) in model.iter().enumerate() {
+                let want: u64 = port_model.iter().map(|&b| u64::from(b)).sum();
+                prop_assert_eq!(buf.port_bytes(p), want, "port {} diverged", p);
+            }
+        }
+    }
+}
+
+/// One PFC chain scenario: `count` packets blasted through a PFC switch
+/// whose slow egress forces PAUSE/RESUME cycles on the ingress.
+#[derive(Debug, Clone)]
+struct PfcCase {
+    count: u32,
+    gap_us: u64,
+    xoff: u64,
+    xon_frac: f64,
+    egress_bps: u64,
+    watchdog_ms: Option<u64>,
+    checkpoints: Vec<u64>,
+}
+
+fn pfc_case() -> impl Strategy<Value = PfcCase> {
+    (
+        50u32..400,
+        50u64..500,
+        4_000u64..40_000,
+        0.1f64..1.0,
+        1_000_000u64..20_000_000,
+        prop_oneof![Just(None), (20u64..500).prop_map(Some)],
+        proptest::collection::vec(1u64..5_000, 0..4),
+    )
+        .prop_map(
+            |(count, gap_us, xoff, xon_frac, egress_bps, watchdog_ms, checkpoints)| PfcCase {
+                count,
+                gap_us,
+                xoff,
+                xon_frac,
+                egress_bps,
+                watchdog_ms,
+                checkpoints,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any PAUSE/RESUME (and watchdog-drain) sequence conserves the
+    /// packet census — at arbitrary mid-run checkpoints and at the
+    /// drained end state, where every XOFF has been matched by an XON.
+    #[test]
+    fn pfc_pause_resume_sequences_conserve_census(case in pfc_case()) {
+        let mut b = TopologyBuilder::new();
+        let a = b.add_node();
+        let s = b.add_node();
+        let z = b.add_node();
+        b.add_duplex(a, s, 200_000_000, Dur::from_micros(20), Capacity::Packets(5_000));
+        b.add_duplex(a, s, 200_000_000, Dur::from_micros(20), Capacity::Packets(5_000));
+        b.add_duplex(s, z, case.egress_bps, Dur::from_micros(200), Capacity::Packets(5_000));
+        let mut sim = Simulator::new(b.build());
+        let xon = (case.xoff as f64 * case.xon_frac) as u64;
+        let pfc = PfcSpec {
+            xoff_bytes: case.xoff,
+            xon_bytes: xon.min(case.xoff),
+            watchdog: Dur::from_millis(case.watchdog_ms.unwrap_or(60_000)),
+        };
+        sim.install_switch(s, SwitchSpec::shared(1 << 20).with_pfc(pfc));
+        sim.add_agent(a, 1, Box::new(Blaster {
+            peer: z,
+            count: case.count,
+            gap: Dur::from_micros(case.gap_us),
+            sent: 0,
+        }));
+        sim.add_agent(z, 2, Box::new(Sink::default()));
+
+        // Census closes at every checkpoint, pause state included.
+        let mut at = 0u64;
+        for c in &case.checkpoints {
+            at += c * 1_000; // µs steps
+            sim.run_until(Time::from_nanos(at * 1_000));
+            let census = sim.packet_census();
+            prop_assert!(census.conserved(), "mid-run census leak: {census:?}");
+        }
+
+        sim.run_to_completion();
+        let census = sim.packet_census();
+        let stats = sim.switch_stats(s);
+        prop_assert!(census.conserved(), "final census leak: {census:?}");
+        prop_assert_eq!(census.queued, 0, "chain must drain: {:?}", census);
+        prop_assert_eq!(census.in_flight, 0, "chain must drain: {:?}", census);
+        prop_assert_eq!(
+            census.injected,
+            census.delivered + census.dropped + census.pfc_dropped,
+            "terminal states must absorb every packet: {:?}",
+            census
+        );
+        prop_assert_eq!(census.pfc_dropped, stats.pfc_dropped, "drain ledgers disagree");
+        // Once drained, every pause has been matched by a resume.
+        prop_assert_eq!(stats.pauses, stats.resumes, "unbalanced XOFF/XON: {:?}", stats);
+        if stats.pauses > 0 {
+            prop_assert!(census.paused_ns > 0, "paused links must accrue paused_ns");
+        }
+    }
+}

@@ -30,6 +30,11 @@ pub struct AckEvent {
     pub sent_at: Time,
     /// Shared bottleneck utilization from Phi, when available, in [0, 1].
     pub shared_util: Option<f64>,
+    /// True when the ACK carried an ECN Echo: the receiver saw a
+    /// Congestion-Experienced mark on the acked segment. Always false
+    /// unless the path's switches mark and the controller opted in via
+    /// [`CongestionControl::ecn_capable`].
+    pub ece: bool,
 }
 
 /// A loss detected via duplicate ACKs (entry into fast recovery).
@@ -65,6 +70,13 @@ pub trait CongestionControl: Send {
 
     /// The retransmission timer fired.
     fn on_rto(&mut self, now: Time);
+
+    /// Whether the sender should mark outgoing segments ECN-Capable
+    /// Transport (ECT), inviting switches to mark instead of drop.
+    /// Default false; DCTCP overrides to true.
+    fn ecn_capable(&self) -> bool {
+        false
+    }
 
     /// Human-readable scheme name for reports.
     fn name(&self) -> &'static str;
@@ -114,6 +126,7 @@ mod tests {
             newly_acked: 5,
             sent_at: Time::ZERO,
             shared_util: None,
+            ece: false,
         });
         cc.on_loss(&LossEvent {
             now: Time::from_secs(2),

@@ -327,6 +327,7 @@ mod tests {
             newly_acked: newly,
             sent_at: Time::ZERO,
             shared_util: None,
+            ece: false,
         }
     }
 

@@ -7,6 +7,8 @@
 //!   (`windowInit_`, `initial_ssthresh`, β; Tables 1–2),
 //! * [`newreno::NewReno`] — the AIMD baseline (with a weighted-increase
 //!   knob used by Phi's cross-flow prioritizer),
+//! * [`dctcp::Dctcp`] — ECN-proportional datacenter congestion control
+//!   (g-EWMA of the marked fraction, one proportional cut per RTT),
 //! * [`sender::TcpSender`] / [`receiver::TcpReceiver`] — connection
 //!   lifecycle over the paper's on/off workload, fast retransmit after a
 //!   configurable duplicate-ACK threshold, NewReno partial-ACK recovery,
@@ -19,6 +21,7 @@
 
 pub mod cc;
 pub mod cubic;
+pub mod dctcp;
 pub mod hook;
 pub mod newreno;
 pub mod receiver;
@@ -27,6 +30,7 @@ pub mod sender;
 
 pub use cc::{AckEvent, CongestionControl, FixedWindow, LossEvent};
 pub use cubic::{Cubic, CubicParams};
+pub use dctcp::{Dctcp, DctcpParams};
 pub use hook::{ContextSnapshot, NoHook, SessionHook};
 pub use newreno::{NewReno, NewRenoParams};
 pub use receiver::TcpReceiver;

@@ -118,6 +118,7 @@ mod tests {
             newly_acked: newly,
             sent_at: Time::ZERO,
             shared_util: None,
+            ece: false,
         }
     }
 

@@ -43,6 +43,7 @@ impl RecvFlow {
 pub struct TcpReceiver {
     flows: HashMap<FlowId, RecvFlow>,
     acks_sent: u64,
+    ce_received: u64,
 }
 
 impl TcpReceiver {
@@ -51,12 +52,19 @@ impl TcpReceiver {
         TcpReceiver {
             flows: HashMap::new(),
             acks_sent: 0,
+            ce_received: 0,
         }
     }
 
     /// Acks sent so far (diagnostics).
     pub fn acks_sent(&self) -> u64 {
         self.acks_sent
+    }
+
+    /// Data segments that arrived carrying a Congestion Experienced mark
+    /// (each one was echoed back as an ECE-flagged ACK).
+    pub fn ce_received(&self) -> u64 {
+        self.ce_received
     }
 
     /// Segments received in order for `flow` (the cumulative ack point).
@@ -112,6 +120,13 @@ impl Agent for TcpReceiver {
         let mut flags = Flags::ACK;
         if pkt.is_retx() {
             flags = flags.union(Flags::RETX);
+        }
+        // ECN: echo a switch's Congestion Experienced mark back to the
+        // sender (per-packet, DCTCP-style — no latched ECE state, so the
+        // sender sees the exact marked fraction).
+        if pkt.is_ce() {
+            self.ce_received += 1;
+            flags = flags.union(Flags::ECE);
         }
         // SACK: report up to three contiguous out-of-order ranges above the
         // cumulative ack, lowest first (the holes the sender should fill
@@ -249,6 +264,7 @@ mod tests {
         let copy = TcpReceiver {
             flows: HashMap::new(),
             acks_sent: r.acks_sent,
+            ce_received: r.ce_received,
         };
         let fin = r.finished(FlowId(1));
         let progress = r.progress(FlowId(1));

@@ -26,7 +26,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use phi_sim::engine::{packet_to, Agent, Ctx, TimerHandle};
 use phi_sim::packet::{wire, Flags, FlowId, NodeId, Packet};
 use phi_sim::time::{Dur, Time};
-use phi_workload::OnOffSource;
+use phi_workload::FlowSource;
 
 use crate::cc::{AckEvent, CongestionControl, LossEvent};
 use crate::hook::{ContextSnapshot, SessionHook};
@@ -305,7 +305,7 @@ impl Conn {
 /// A TCP-like sender agent driving an on/off connection sequence.
 pub struct TcpSender {
     cfg: SenderConfig,
-    source: OnOffSource,
+    source: FlowSource,
     cc_factory: CcFactory,
     hook: Box<dyn SessionHook>,
     conn: Option<Conn>,
@@ -330,17 +330,18 @@ pub struct TcpSender {
 }
 
 impl TcpSender {
-    /// A sender with the given workload source, controller factory, and
-    /// session hook.
+    /// A sender with the given workload source (anything convertible to a
+    /// [`FlowSource`], e.g. an on/off or incast generator), controller
+    /// factory, and session hook.
     pub fn new(
         cfg: SenderConfig,
-        source: OnOffSource,
+        source: impl Into<FlowSource>,
         cc_factory: CcFactory,
         hook: Box<dyn SessionHook>,
     ) -> Self {
         TcpSender {
             cfg,
-            source,
+            source: source.into(),
             cc_factory,
             hook,
             conn: None,
@@ -571,6 +572,12 @@ impl TcpSender {
         if retx {
             flags = flags.union(Flags::RETX);
         }
+        // ECN negotiation is a sender-side property here: an ECN-capable
+        // controller (DCTCP) marks its data ECT, so switches mark instead
+        // of dropping where configured.
+        if conn.cc.ecn_capable() {
+            flags = flags.union(Flags::ECT);
+        }
         pkt.flags = flags;
         pkt
     }
@@ -748,6 +755,7 @@ impl TcpSender {
                 newly_acked: newly,
                 sent_at: pkt.echo,
                 shared_util: live_util,
+                ece: pkt.flags.contains(Flags::ECE),
             };
             conn.cc.on_ack(&ev);
 
@@ -895,7 +903,7 @@ mod tests {
     use phi_sim::engine::Simulator;
     use phi_sim::queue::Capacity;
     use phi_sim::topology::TopologyBuilder;
-    use phi_workload::{OnOffConfig, SeedRng};
+    use phi_workload::{OnOffConfig, OnOffSource, SeedRng};
 
     /// One sender/receiver pair over a configurable single link.
     fn pair_sim(

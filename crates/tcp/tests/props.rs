@@ -102,6 +102,7 @@ proptest! {
                     newly_acked: 3,
                     sent_at: Time::from_millis(now_ms.saturating_sub(50)),
                     shared_util: None,
+                    ece: false,
                 }),
                 1 => cc.on_loss(&LossEvent {
                     now: Time::from_millis(now_ms),
@@ -135,6 +136,7 @@ proptest! {
                     newly_acked: 2,
                     sent_at: Time::ZERO,
                     shared_util: Some(0.5),
+                    ece: false,
                 }),
                 1 => {
                     let before = cc.window();

@@ -10,14 +10,19 @@
 //!   implemented from first principles.
 //! * [`onoff`] — the paper's on/off sender model (§2.2): exponential
 //!   on-period bytes, exponential off-period gaps.
+//! * [`incast`] — the synchronized many-to-one datacenter fan-in
+//!   (fixed blocks, barrier rounds), plus the [`incast::FlowSource`]
+//!   enum that lets transports take either model.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dist;
+pub mod incast;
 pub mod onoff;
 pub mod rng;
 
 pub use dist::{BoundedPareto, Constant, Empirical, Exponential, Sample, Zipf};
+pub use incast::{FlowSource, IncastConfig, IncastSource};
 pub use onoff::{FlowPlan, OnOffConfig, OnOffSource};
 pub use rng::{fnv1a, SeedRng};

@@ -326,3 +326,68 @@ fn store_config_and_flow_summary_roundtrip() {
     };
     assert_eq!(roundtrip(&s), s);
 }
+
+/// The datacenter backpressure sections ride the same additive contract
+/// as `ha`/`fluid`/`domains`/`budget`: `SwitchSpec` (with its nested
+/// `EcnSpec`/`PfcSpec`) and `IncastConfig` round-trip when present, and
+/// a spec serialized before the fields existed (no `"switch"` or
+/// `"incast"` key) still deserializes — to `None`, the classic per-link
+/// drop-tail islands and on/off workload with their historical digests.
+#[test]
+fn switch_and_incast_roundtrip_and_pre_datacenter_json_deserializes() {
+    use phi::sim::switch::{EcnSpec, PfcSpec, SwitchSpec};
+    use phi::workload::IncastConfig;
+
+    // The nested specs themselves.
+    let ecn = EcnSpec {
+        min_bytes: 10_000,
+        max_bytes: 50_000,
+    };
+    assert_eq!(roundtrip(&ecn), ecn);
+    let pfc = PfcSpec {
+        xoff_bytes: 30_000,
+        xon_bytes: 12_000,
+        watchdog: Dur::from_millis(50),
+    };
+    assert_eq!(roundtrip(&pfc), pfc);
+    let switch = SwitchSpec::shared(256_000)
+        .with_alpha(2.0)
+        .with_ecn(EcnSpec::step(30_000))
+        .with_pfc(pfc);
+    assert_eq!(roundtrip(&switch), switch);
+
+    // ECN/PFC are additive *within* SwitchSpec too: a bare shared-pool
+    // switch JSON without those keys deserializes to a plain DT switch.
+    let bare: SwitchSpec =
+        serde_json::from_str("{\"pool_bytes\":1000,\"dt_alpha\":1.0}").expect("bare switch");
+    assert_eq!(bare, SwitchSpec::shared(1_000));
+
+    // Through the full spec.
+    let incast = IncastConfig::fan_in(8).with_jitter(0.002);
+    assert_eq!(roundtrip(&incast), incast);
+    let spec = ExperimentSpec::new(8, OnOffConfig::fig2(), Dur::from_secs(10), 5)
+        .with_switch(switch)
+        .with_incast(incast);
+    let back = roundtrip(&spec);
+    assert_eq!(back.switch, Some(switch));
+    assert_eq!(back.incast, Some(incast));
+
+    // A pre-datacenter writer simply never had the keys.
+    let spec = ExperimentSpec::new(4, OnOffConfig::fig2(), Dur::from_secs(30), 7);
+    let mut json = serde_json::to_string(&spec).expect("serialize");
+    for key in ["switch", "incast"] {
+        assert!(
+            json.contains(&format!("\"{key}\"")),
+            "{key} should serialize when present"
+        );
+        json = json.replace(&format!(",\"{key}\":null"), "");
+        assert!(
+            !json.contains(&format!("\"{key}\"")),
+            "test must actually remove the {key} key"
+        );
+    }
+    let back: ExperimentSpec = serde_json::from_str(&json).expect("old JSON must deserialize");
+    assert_eq!(back.switch, None);
+    assert_eq!(back.incast, None);
+    assert_eq!(back.seed, 7);
+}
